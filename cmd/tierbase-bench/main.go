@@ -1,0 +1,71 @@
+// Command tierbase-bench regenerates the paper's evaluation tables and
+// figures (§6). Each experiment prints the same rows/series the paper
+// reports; see EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Usage:
+//
+//	tierbase-bench -list
+//	tierbase-bench -experiment fig10
+//	tierbase-bench -experiment all -scale 2.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tierbase/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (fig1, fig7..fig13b, tab2, tab3) or 'all'")
+		scale      = flag.Float64("scale", 1.0, "workload scale multiplier")
+		dir        = flag.String("dir", "", "scratch directory (default: temp)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scratch := *dir
+	if scratch == "" {
+		var err error
+		scratch, err = os.MkdirTemp("", "tierbase-bench")
+		if err != nil {
+			log.Fatalf("tierbase-bench: %v", err)
+		}
+		defer os.RemoveAll(scratch)
+	}
+	opts := bench.RunOpts{Scale: *scale, Dir: scratch}
+
+	run := func(e bench.Experiment) {
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			log.Printf("%s: FAILED: %v", e.ID, err)
+			return
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *experiment == "all" {
+		for _, e := range bench.Registry() {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.ByID(*experiment)
+	if !ok {
+		log.Fatalf("tierbase-bench: unknown experiment %q (use -list)", *experiment)
+	}
+	run(e)
+}

@@ -1,0 +1,65 @@
+// Quickstart: an embedded TierBase store in a few lines — basic KV
+// operations, read-modify-write, CAS, TTLs and the data-structure surface.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tierbase"
+)
+
+func main() {
+	store, err := tierbase.Open(tierbase.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// Strings.
+	if err := store.Set("greeting", []byte("hello, tierbase")); err != nil {
+		log.Fatal(err)
+	}
+	v, err := store.Get("greeting")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GET greeting = %q\n", v)
+
+	// Read-modify-write.
+	store.Update("greeting", func(old []byte, exists bool) []byte {
+		return append(old, '!')
+	})
+	v, _ = store.Get("greeting")
+	fmt.Printf("after update = %q\n", v)
+
+	// Compare-and-set (the paper's CAS extension).
+	if err := store.CompareAndSet("greeting", v, []byte("replaced")); err != nil {
+		log.Fatal(err)
+	}
+	if err := store.CompareAndSet("greeting", []byte("stale"), []byte("x")); err == tierbase.ErrCASMismatch {
+		fmt.Println("stale CAS correctly rejected")
+	}
+
+	// Counters and TTLs.
+	n, _ := store.IncrBy("visits", 1)
+	fmt.Printf("visits = %d\n", n)
+	store.Expire("visits", time.Hour)
+
+	// Advanced data structures via the engine.
+	eng := store.Engine()
+	eng.RPush("queue", []byte("job-1"), []byte("job-2"))
+	job, _ := eng.LPop("queue")
+	fmt.Printf("popped %q\n", job)
+	eng.ZAdd("leaderboard", "alice", 42)
+	eng.ZAdd("leaderboard", "bob", 17)
+	top, _ := eng.ZRange("leaderboard", 0, -1)
+	fmt.Printf("leaderboard: %v\n", top)
+	eng.HSet("user:1", "name", []byte("Wei"))
+	name, _ := eng.HGet("user:1", "name")
+	fmt.Printf("user:1 name = %q\n", name)
+
+	st := store.Stats()
+	fmt.Printf("stats: %d keys, %d B cache\n", st.Keys, st.CacheMemBytes)
+}

@@ -1,0 +1,278 @@
+// Package cache implements TierBase's tiered storage layer (paper §4.1):
+// a cache tier (the in-memory engine) synchronized with a disaggregated
+// storage tier through write-through or write-back policies. It contains
+// the techniques the paper credits for a low miss penalty and low storage
+// cost: per-key write queues, write coalescing (group commit), dirty-data
+// batching with backpressure, deferred cache-fetching, and cache-content
+// replication.
+package cache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tierbase/internal/lsm"
+)
+
+// ErrNotFound is returned when a key is absent from both tiers.
+var ErrNotFound = errors.New("cache: key not found")
+
+// Storage is the pluggable storage-tier adapter (paper §3: "TierBase
+// offers various disaggregated storage options through a pluggable storage
+// adapter"). Implementations must be safe for concurrent use.
+type Storage interface {
+	Get(key string) ([]byte, error) // ErrNotFound when absent
+	Put(key string, val []byte) error
+	Delete(key string) error
+	// BatchGet fetches many keys in one round trip; absent keys map to nil.
+	BatchGet(keys []string) (map[string][]byte, error)
+	// BatchPut applies many writes in one round trip; nil value = delete.
+	BatchPut(entries map[string][]byte) error
+}
+
+// --- LSM adapter ---
+
+// LSMStorage adapts an lsm.DB to the Storage interface — the UCS role.
+type LSMStorage struct {
+	DB *lsm.DB
+}
+
+// NewLSMStorage wraps db.
+func NewLSMStorage(db *lsm.DB) *LSMStorage { return &LSMStorage{DB: db} }
+
+// Get implements Storage.
+func (s *LSMStorage) Get(key string) ([]byte, error) {
+	v, err := s.DB.Get([]byte(key))
+	if err == lsm.ErrNotFound {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+
+// Put implements Storage.
+func (s *LSMStorage) Put(key string, val []byte) error {
+	return s.DB.Put([]byte(key), val)
+}
+
+// Delete implements Storage.
+func (s *LSMStorage) Delete(key string) error {
+	return s.DB.Delete([]byte(key))
+}
+
+// BatchGet implements Storage.
+func (s *LSMStorage) BatchGet(keys []string) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		v, err := s.DB.Get([]byte(k))
+		if err == lsm.ErrNotFound {
+			out[k] = nil
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// BatchPut implements Storage.
+func (s *LSMStorage) BatchPut(entries map[string][]byte) error {
+	for k, v := range entries {
+		var err error
+		if v == nil {
+			err = s.DB.Delete([]byte(k))
+		} else {
+			err = s.DB.Put([]byte(k), v)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- remote wrapper: models the disaggregation network hop ---
+
+// Remote wraps a Storage with a per-round-trip latency (the cache/storage
+// disaggregation cost) and RPC counters. Batch operations pay one round
+// trip — this is exactly why the paper's batching optimizations lower
+// PC_miss and PC_storage.
+type Remote struct {
+	Inner Storage
+	// RTT is the injected round-trip latency per call (0 = none).
+	RTT time.Duration
+
+	gets      atomic.Int64
+	puts      atomic.Int64
+	deletes   atomic.Int64
+	batchGets atomic.Int64
+	batchPuts atomic.Int64
+	keysMoved atomic.Int64
+}
+
+// NewRemote wraps inner with rtt per round trip.
+func NewRemote(inner Storage, rtt time.Duration) *Remote {
+	return &Remote{Inner: inner, RTT: rtt}
+}
+
+func (r *Remote) pause() {
+	if r.RTT <= 0 {
+		return
+	}
+	// Busy-wait: time.Sleep floors at the kernel tick (>1 ms on coarse
+	// timers), which would inflate sub-millisecond RTTs by an order of
+	// magnitude and distort every miss-penalty measurement.
+	deadline := time.Now().Add(r.RTT)
+	for time.Now().Before(deadline) {
+	}
+}
+
+// Get implements Storage.
+func (r *Remote) Get(key string) ([]byte, error) {
+	r.gets.Add(1)
+	r.pause()
+	return r.Inner.Get(key)
+}
+
+// Put implements Storage.
+func (r *Remote) Put(key string, val []byte) error {
+	r.puts.Add(1)
+	r.pause()
+	return r.Inner.Put(key, val)
+}
+
+// Delete implements Storage.
+func (r *Remote) Delete(key string) error {
+	r.deletes.Add(1)
+	r.pause()
+	return r.Inner.Delete(key)
+}
+
+// BatchGet implements Storage.
+func (r *Remote) BatchGet(keys []string) (map[string][]byte, error) {
+	r.batchGets.Add(1)
+	r.keysMoved.Add(int64(len(keys)))
+	r.pause()
+	return r.Inner.BatchGet(keys)
+}
+
+// BatchPut implements Storage.
+func (r *Remote) BatchPut(entries map[string][]byte) error {
+	r.batchPuts.Add(1)
+	r.keysMoved.Add(int64(len(entries)))
+	r.pause()
+	return r.Inner.BatchPut(entries)
+}
+
+// RPCStats reports storage-tier round trips by type.
+type RPCStats struct {
+	Gets, Puts, Deletes, BatchGets, BatchPuts, KeysMoved int64
+}
+
+// Stats returns the RPC counters.
+func (r *Remote) Stats() RPCStats {
+	return RPCStats{
+		Gets:      r.gets.Load(),
+		Puts:      r.puts.Load(),
+		Deletes:   r.deletes.Load(),
+		BatchGets: r.batchGets.Load(),
+		BatchPuts: r.batchPuts.Load(),
+		KeysMoved: r.keysMoved.Load(),
+	}
+}
+
+// TotalRPCs returns the total number of storage round trips.
+func (r *Remote) TotalRPCs() int64 {
+	s := r.Stats()
+	return s.Gets + s.Puts + s.Deletes + s.BatchGets + s.BatchPuts
+}
+
+// --- map storage: in-memory test double / pure-cache backend ---
+
+// MapStorage is a trivial Storage for tests and cache-only deployments.
+type MapStorage struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+	// FailPuts makes writes fail (for write-through failure-path tests).
+	FailPuts atomic.Bool
+}
+
+// NewMapStorage returns an empty MapStorage.
+func NewMapStorage() *MapStorage { return &MapStorage{m: make(map[string][]byte)} }
+
+var errInjectedFailure = errors.New("cache: injected storage failure")
+
+// Get implements Storage.
+func (s *MapStorage) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Put implements Storage.
+func (s *MapStorage) Put(key string, val []byte) error {
+	if s.FailPuts.Load() {
+		return errInjectedFailure
+	}
+	s.mu.Lock()
+	s.m[key] = append([]byte(nil), val...)
+	s.mu.Unlock()
+	return nil
+}
+
+// Delete implements Storage.
+func (s *MapStorage) Delete(key string) error {
+	if s.FailPuts.Load() {
+		return errInjectedFailure
+	}
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// BatchGet implements Storage.
+func (s *MapStorage) BatchGet(keys []string) (map[string][]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		if v, ok := s.m[k]; ok {
+			out[k] = append([]byte(nil), v...)
+		} else {
+			out[k] = nil
+		}
+	}
+	return out, nil
+}
+
+// BatchPut implements Storage.
+func (s *MapStorage) BatchPut(entries map[string][]byte) error {
+	if s.FailPuts.Load() {
+		return errInjectedFailure
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range entries {
+		if v == nil {
+			delete(s.m, k)
+		} else {
+			s.m[k] = append([]byte(nil), v...)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of stored keys.
+func (s *MapStorage) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}

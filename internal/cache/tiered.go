@@ -1,0 +1,467 @@
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tierbase/internal/engine"
+)
+
+// Policy selects how the cache tier synchronizes with the storage tier.
+type Policy int
+
+// Policies.
+const (
+	// CacheOnly disables the storage tier (pure in-memory mode, the
+	// Redis/Memcached-style deployment).
+	CacheOnly Policy = iota
+	// WriteThrough synchronously writes to storage before acking (§4.1.1);
+	// best for read-heavy workloads needing high reliability.
+	WriteThrough
+	// WriteBack acks from the cache tier and flushes dirty data to storage
+	// asynchronously in batches (§4.1.2); best for write-heavy workloads.
+	WriteBack
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case WriteThrough:
+		return "write-through"
+	case WriteBack:
+		return "write-back"
+	default:
+		return "cache-only"
+	}
+}
+
+// Options configures a Tiered store.
+type Options struct {
+	Policy  Policy
+	Engine  *engine.Engine
+	Storage Storage // required unless CacheOnly
+	// Replicas receive every cache mutation synchronously ("TierBase
+	// maintains multiple replicas of dirty data and cache contents").
+	Replicas []*engine.Engine
+	// CacheCapacityBytes bounds the cache tier's DRAM use; 0 = unbounded.
+	// This is the knob behind the paper's cache-ratio (NX) configurations.
+	CacheCapacityBytes int64
+	// FlushBatch is the write-back dirty batch size (default 128).
+	FlushBatch int
+	// FlushInterval is the max time dirty data waits (default 50 ms).
+	FlushInterval time.Duration
+	// MaxDirty triggers backpressure (default 8 * FlushBatch).
+	MaxDirty int
+	// FetchWindow batches deferred cache-fetches (default 1 ms).
+	FetchWindow time.Duration
+	// DisableCoalescing turns off write-through group commit (ablation).
+	DisableCoalescing bool
+}
+
+func (o *Options) fill() {
+	if o.FlushBatch <= 0 {
+		o.FlushBatch = 128
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 50 * time.Millisecond
+	}
+	if o.MaxDirty <= 0 {
+		o.MaxDirty = 8 * o.FlushBatch
+	}
+	if o.FetchWindow <= 0 {
+		o.FetchWindow = time.Millisecond
+	}
+}
+
+// Tiered is the tiered store: engine cache in front of pluggable storage.
+type Tiered struct {
+	opts Options
+	eng  *engine.Engine
+
+	// LRU bookkeeping for capacity eviction.
+	lruMu sync.Mutex
+	ll    *list.List
+	pos   map[string]*list.Element
+
+	// Write-through per-key queues (write ordering + coalescing).
+	wtMu     sync.Mutex
+	wtQueues map[string]*wtQueue
+
+	// Write-back dirty state.
+	dirtyMu   sync.Mutex
+	dirty     map[string]*dirtyEntry
+	dirtyCond *sync.Cond
+	dirtyGen  uint64
+
+	// Deferred cache-fetch batcher.
+	fetchCh chan fetchReq
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// stats
+	reqs      atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	coalesced atomic.Int64
+	flushed   atomic.Int64
+	batches   atomic.Int64
+	fetched   atomic.Int64
+}
+
+type dirtyEntry struct {
+	val []byte // nil = tombstone
+	gen uint64
+}
+
+type fetchReq struct {
+	key  string
+	resp chan fetchResp
+}
+
+type fetchResp struct {
+	val []byte // nil = absent
+	err error
+}
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("cache: closed")
+
+// New builds a Tiered store.
+func New(opts Options) (*Tiered, error) {
+	opts.fill()
+	if opts.Engine == nil {
+		return nil, errors.New("cache: Engine required")
+	}
+	if opts.Policy != CacheOnly && opts.Storage == nil {
+		return nil, errors.New("cache: Storage required for tiered policies")
+	}
+	t := &Tiered{
+		opts:     opts,
+		eng:      opts.Engine,
+		ll:       list.New(),
+		pos:      make(map[string]*list.Element),
+		wtQueues: make(map[string]*wtQueue),
+		dirty:    make(map[string]*dirtyEntry),
+		stopCh:   make(chan struct{}),
+	}
+	t.dirtyCond = sync.NewCond(&t.dirtyMu)
+	if opts.Policy == WriteBack {
+		t.fetchCh = make(chan fetchReq, 1024)
+		t.wg.Add(2)
+		go t.flushLoop()
+		go t.fetchLoop()
+	}
+	return t, nil
+}
+
+// --- LRU ---
+
+func (t *Tiered) touch(key string) {
+	if t.opts.CacheCapacityBytes <= 0 {
+		return
+	}
+	t.lruMu.Lock()
+	if el, ok := t.pos[key]; ok {
+		t.ll.MoveToFront(el)
+	} else {
+		t.pos[key] = t.ll.PushFront(key)
+	}
+	t.lruMu.Unlock()
+}
+
+func (t *Tiered) forget(key string) {
+	if t.opts.CacheCapacityBytes <= 0 {
+		return
+	}
+	t.lruMu.Lock()
+	if el, ok := t.pos[key]; ok {
+		t.ll.Remove(el)
+		delete(t.pos, key)
+	}
+	t.lruMu.Unlock()
+}
+
+// maybeEvict removes cold clean entries until the engine fits capacity.
+// Dirty keys are skipped: they must reach storage first.
+func (t *Tiered) maybeEvict() {
+	cap := t.opts.CacheCapacityBytes
+	if cap <= 0 {
+		return
+	}
+	for t.eng.MemUsed() > cap {
+		t.lruMu.Lock()
+		el := t.ll.Back()
+		var key string
+		found := false
+		// Walk from the back past dirty entries.
+		for el != nil {
+			k := el.Value.(string)
+			if !t.isDirty(k) {
+				key = k
+				found = true
+				t.ll.Remove(el)
+				delete(t.pos, k)
+				break
+			}
+			el = el.Prev()
+		}
+		t.lruMu.Unlock()
+		if !found {
+			return // everything resident is dirty; flusher will unblock us
+		}
+		t.eng.Del(key)
+		for _, r := range t.opts.Replicas {
+			r.Del(key)
+		}
+		t.evictions.Add(1)
+	}
+}
+
+func (t *Tiered) isDirty(key string) bool {
+	if t.opts.Policy != WriteBack {
+		return false
+	}
+	t.dirtyMu.Lock()
+	_, ok := t.dirty[key]
+	t.dirtyMu.Unlock()
+	return ok
+}
+
+// --- reads ---
+
+// Get returns the value for key, consulting the cache tier first and the
+// storage tier on a miss (populating the cache on the way back).
+func (t *Tiered) Get(key string) ([]byte, error) {
+	if t.closed.Load() {
+		return nil, ErrClosed
+	}
+	t.reqs.Add(1)
+	if v, err := t.eng.Get(key); err == nil {
+		t.hits.Add(1)
+		t.touch(key)
+		return v, nil
+	} else if err == engine.ErrWrongType {
+		return nil, err
+	}
+	t.misses.Add(1)
+	if t.opts.Policy == CacheOnly {
+		return nil, ErrNotFound
+	}
+	// Dirty tombstone shadows storage (write-back delete not yet flushed).
+	if t.opts.Policy == WriteBack {
+		t.dirtyMu.Lock()
+		if e, ok := t.dirty[key]; ok {
+			t.dirtyMu.Unlock()
+			if e.val == nil {
+				return nil, ErrNotFound
+			}
+			// Dirty value exists but was missing from cache (should not
+			// happen — dirty keys are eviction-exempt — but be safe).
+			return append([]byte(nil), e.val...), nil
+		}
+		t.dirtyMu.Unlock()
+	}
+	v, err := t.opts.Storage.Get(key)
+	if err == ErrNotFound {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Admit into the cache tier.
+	t.eng.Set(key, v)
+	for _, r := range t.opts.Replicas {
+		r.Set(key, v)
+	}
+	t.touch(key)
+	t.maybeEvict()
+	return v, nil
+}
+
+// --- writes (dispatch by policy) ---
+
+// Set stores key=val according to the configured policy.
+func (t *Tiered) Set(key string, val []byte) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	t.reqs.Add(1)
+	switch t.opts.Policy {
+	case WriteThrough:
+		return t.writeThrough(key, val, false)
+	case WriteBack:
+		return t.writeBack(key, val, false)
+	default:
+		t.applyToCache(key, val, false)
+		t.maybeEvict()
+		return nil
+	}
+}
+
+// Delete removes key according to the configured policy.
+func (t *Tiered) Delete(key string) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	t.reqs.Add(1)
+	switch t.opts.Policy {
+	case WriteThrough:
+		return t.writeThrough(key, nil, true)
+	case WriteBack:
+		return t.writeBack(key, nil, true)
+	default:
+		t.applyToCache(key, nil, true)
+		return nil
+	}
+}
+
+// Update is the read-modify-write entry point: fn receives the current
+// value (or exists=false) and returns the new value. Under write-back a
+// cache miss triggers the deferred cache-fetching path (batched reads,
+// §4.1.2) before fn runs.
+func (t *Tiered) Update(key string, fn func(old []byte, exists bool) []byte) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	t.reqs.Add(1)
+	var old []byte
+	exists := false
+	if v, err := t.eng.Get(key); err == nil {
+		old, exists = v, true
+		t.hits.Add(1)
+	} else {
+		t.misses.Add(1)
+		switch t.opts.Policy {
+		case WriteBack:
+			// Dirty state shadows storage.
+			t.dirtyMu.Lock()
+			if e, ok := t.dirty[key]; ok {
+				if e.val != nil {
+					old, exists = append([]byte(nil), e.val...), true
+				}
+				t.dirtyMu.Unlock()
+			} else {
+				t.dirtyMu.Unlock()
+				resp := t.deferredFetch(key)
+				if resp.err != nil && resp.err != ErrNotFound {
+					return resp.err
+				}
+				if resp.val != nil {
+					old, exists = resp.val, true
+				}
+			}
+		case WriteThrough:
+			if v, err := t.opts.Storage.Get(key); err == nil {
+				old, exists = v, true
+			} else if err != ErrNotFound {
+				return err
+			}
+		}
+	}
+	newVal := fn(old, exists)
+	if newVal == nil {
+		return t.Delete(key)
+	}
+	switch t.opts.Policy {
+	case WriteThrough:
+		return t.writeThrough(key, newVal, false)
+	case WriteBack:
+		return t.writeBack(key, newVal, false)
+	default:
+		t.applyToCache(key, newVal, false)
+		t.maybeEvict()
+		return nil
+	}
+}
+
+// applyToCache mutates the cache tier and its replicas.
+func (t *Tiered) applyToCache(key string, val []byte, del bool) {
+	if del {
+		t.eng.Del(key)
+		for _, r := range t.opts.Replicas {
+			r.Del(key)
+		}
+		t.forget(key)
+		return
+	}
+	t.eng.Set(key, val)
+	for _, r := range t.opts.Replicas {
+		r.Set(key, val)
+	}
+	t.touch(key)
+}
+
+// invalidate drops a key from the cache tier (write-through failure path:
+// "the corresponding cache entry is invalidated").
+func (t *Tiered) invalidate(key string) {
+	t.eng.Del(key)
+	for _, r := range t.opts.Replicas {
+		r.Del(key)
+	}
+	t.forget(key)
+}
+
+// --- stats ---
+
+// Stats summarizes tiered-store behavior for cost measurement.
+type Stats struct {
+	Requests  int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Coalesced int64 // write-through writes absorbed by group commit
+	Flushed   int64 // write-back entries flushed
+	Batches   int64 // write-back flush round trips
+	Fetched   int64 // deferred cache-fetch keys
+	Dirty     int   // current dirty entries
+}
+
+// Stats returns a snapshot of counters.
+func (t *Tiered) Stats() Stats {
+	t.dirtyMu.Lock()
+	dirty := len(t.dirty)
+	t.dirtyMu.Unlock()
+	return Stats{
+		Requests:  t.reqs.Load(),
+		Hits:      t.hits.Load(),
+		Misses:    t.misses.Load(),
+		Evictions: t.evictions.Load(),
+		Coalesced: t.coalesced.Load(),
+		Flushed:   t.flushed.Load(),
+		Batches:   t.batches.Load(),
+		Fetched:   t.fetched.Load(),
+		Dirty:     dirty,
+	}
+}
+
+// MissRatio returns misses/requests (the MR of the cost model).
+func (t *Tiered) MissRatio() float64 {
+	r := t.reqs.Load()
+	if r == 0 {
+		return 0
+	}
+	return float64(t.misses.Load()) / float64(r)
+}
+
+// Engine exposes the cache-tier engine (for measurement).
+func (t *Tiered) Engine() *engine.Engine { return t.eng }
+
+// Close flushes dirty data and stops background work.
+func (t *Tiered) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	close(t.stopCh)
+	t.dirtyCond.Broadcast()
+	t.wg.Wait()
+	if t.opts.Policy == WriteBack {
+		return t.flushDirty(0) // final full flush
+	}
+	return nil
+}

@@ -1,0 +1,571 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tierbase/internal/engine"
+	"tierbase/internal/lsm"
+)
+
+func newWT(t *testing.T, stor Storage) *Tiered {
+	t.Helper()
+	tr, err := New(Options{Policy: WriteThrough, Engine: engine.New(engine.Options{}), Storage: stor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+func newWB(t *testing.T, stor Storage, opts ...func(*Options)) *Tiered {
+	t.Helper()
+	o := Options{
+		Policy:        WriteBack,
+		Engine:        engine.New(engine.Options{}),
+		Storage:       stor,
+		FlushBatch:    8,
+		FlushInterval: 10 * time.Millisecond,
+	}
+	for _, f := range opts {
+		f(&o)
+	}
+	tr, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Policy: WriteThrough}); err == nil {
+		t.Fatal("missing engine accepted")
+	}
+	if _, err := New(Options{Policy: WriteThrough, Engine: engine.New(engine.Options{})}); err == nil {
+		t.Fatal("missing storage accepted")
+	}
+	if _, err := New(Options{Policy: CacheOnly, Engine: engine.New(engine.Options{})}); err != nil {
+		t.Fatalf("cache-only should not need storage: %v", err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if CacheOnly.String() != "cache-only" || WriteThrough.String() != "write-through" || WriteBack.String() != "write-back" {
+		t.Fatal("policy names")
+	}
+}
+
+// --- write-through ---
+
+func TestWTSetReachesStorageSynchronously(t *testing.T) {
+	stor := NewMapStorage()
+	tr := newWT(t, stor)
+	if err := tr.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous: value must already be durable.
+	v, err := stor.Get("k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("storage: %q %v", v, err)
+	}
+	// And cached.
+	v, err = tr.Engine().Get("k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("cache: %q %v", v, err)
+	}
+}
+
+func TestWTStorageFailureInvalidatesCache(t *testing.T) {
+	stor := NewMapStorage()
+	tr := newWT(t, stor)
+	tr.Set("k", []byte("v1"))
+	stor.FailPuts.Store(true)
+	if err := tr.Set("k", []byte("v2")); err == nil {
+		t.Fatal("failed storage write must surface")
+	}
+	// Cache entry must be invalidated so readers refetch from storage.
+	if _, err := tr.Engine().Get("k"); err != engine.ErrNotFound {
+		t.Fatalf("cache should be invalidated: %v", err)
+	}
+	stor.FailPuts.Store(false)
+	v, err := tr.Get("k")
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("refetch: %q %v", v, err)
+	}
+}
+
+func TestWTDelete(t *testing.T) {
+	stor := NewMapStorage()
+	tr := newWT(t, stor)
+	tr.Set("k", []byte("v"))
+	if err := tr.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stor.Get("k"); err != ErrNotFound {
+		t.Fatalf("storage still has key: %v", err)
+	}
+	if _, err := tr.Get("k"); err != ErrNotFound {
+		t.Fatalf("get after delete: %v", err)
+	}
+}
+
+func TestWTCoalescing(t *testing.T) {
+	stor := NewMapStorage()
+	slow := NewRemote(stor, 2*time.Millisecond)
+	tr, err := New(Options{Policy: WriteThrough, Engine: engine.New(engine.Options{}), Storage: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var wg sync.WaitGroup
+	const writers = 20
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := tr.Set("hot", []byte(fmt.Sprintf("v%02d", i))); err != nil {
+				t.Errorf("set: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// With a 2 ms RTT and 20 concurrent writers, coalescing must make
+	// storage round trips far fewer than writers.
+	puts := slow.Stats().Puts
+	if puts >= writers {
+		t.Fatalf("no coalescing: %d puts for %d writers", puts, writers)
+	}
+	// Cache and storage must converge to the same final value.
+	cv, _ := tr.Get("hot")
+	sv, _ := stor.Get("hot")
+	if !bytes.Equal(cv, sv) {
+		t.Fatalf("divergence: cache=%q storage=%q", cv, sv)
+	}
+}
+
+func TestWTCoalescingDisabled(t *testing.T) {
+	stor := NewMapStorage()
+	remote := NewRemote(stor, 0)
+	tr, err := New(Options{
+		Policy: WriteThrough, Engine: engine.New(engine.Options{}),
+		Storage: remote, DisableCoalescing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i := 0; i < 10; i++ {
+		tr.Set("k", []byte("v"))
+	}
+	if remote.Stats().Puts != 10 {
+		t.Fatalf("ablation: expected 10 puts, got %d", remote.Stats().Puts)
+	}
+}
+
+func TestWTPerKeyOrdering(t *testing.T) {
+	stor := NewMapStorage()
+	tr := newWT(t, stor)
+	// Sequential writes from one goroutine must land in order.
+	for i := 0; i < 100; i++ {
+		if err := tr.Set("seq", []byte(fmt.Sprintf("%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, _ := stor.Get("seq")
+	if string(v) != "099" {
+		t.Fatalf("final storage value %q", v)
+	}
+}
+
+func TestWTUpdateRMW(t *testing.T) {
+	stor := NewMapStorage()
+	stor.Put("ctr", []byte("10"))
+	tr := newWT(t, stor)
+	err := tr.Update("ctr", func(old []byte, exists bool) []byte {
+		if !exists {
+			t.Fatal("existing key reported absent")
+		}
+		return append(old, '!')
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := stor.Get("ctr")
+	if string(v) != "10!" {
+		t.Fatalf("rmw result %q", v)
+	}
+}
+
+// --- write-back ---
+
+func TestWBAcksBeforeStorage(t *testing.T) {
+	stor := NewMapStorage()
+	slow := NewRemote(stor, 5*time.Millisecond)
+	tr := newWB(t, slow, func(o *Options) { o.FlushInterval = time.Hour; o.FlushBatch = 1000 })
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		if err := tr.Set(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Fatalf("write-back writes should not wait on storage: %v", el)
+	}
+	if tr.Stats().Dirty != 50 {
+		t.Fatalf("dirty count %d", tr.Stats().Dirty)
+	}
+	// Data visible in cache immediately.
+	if v, err := tr.Get("k0"); err != nil || string(v) != "v" {
+		t.Fatalf("cache read: %q %v", v, err)
+	}
+}
+
+func TestWBFlushesInBatches(t *testing.T) {
+	stor := NewMapStorage()
+	remote := NewRemote(stor, 0)
+	tr := newWB(t, remote, func(o *Options) { o.FlushBatch = 10; o.FlushInterval = 5 * time.Millisecond })
+	for i := 0; i < 100; i++ {
+		tr.Set(fmt.Sprintf("k%02d", i), []byte("v"))
+	}
+	if err := tr.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if stor.Len() != 100 {
+		t.Fatalf("storage has %d keys", stor.Len())
+	}
+	st := remote.Stats()
+	if st.BatchPuts == 0 || st.Puts > 0 {
+		t.Fatalf("writes should go through batches: %+v", st)
+	}
+	// Batch efficiency: far fewer round trips than keys.
+	if st.BatchPuts > 30 {
+		t.Fatalf("too many batch round trips: %d", st.BatchPuts)
+	}
+}
+
+func TestWBMergesUpdatesToSameKey(t *testing.T) {
+	stor := NewMapStorage()
+	remote := NewRemote(stor, 0)
+	tr := newWB(t, remote, func(o *Options) { o.FlushInterval = time.Hour; o.FlushBatch = 1000 })
+	for i := 0; i < 50; i++ {
+		tr.Set("hot", []byte(fmt.Sprintf("v%02d", i)))
+	}
+	tr.FlushDirty()
+	if moved := remote.Stats().KeysMoved; moved != 1 {
+		t.Fatalf("same-key updates not merged: %d keys moved", moved)
+	}
+	v, _ := stor.Get("hot")
+	if string(v) != "v49" {
+		t.Fatalf("final value %q", v)
+	}
+}
+
+func TestWBDeleteTombstoneShadowsStorage(t *testing.T) {
+	stor := NewMapStorage()
+	stor.Put("k", []byte("stale"))
+	tr := newWB(t, stor, func(o *Options) { o.FlushInterval = time.Hour; o.FlushBatch = 1000 })
+	// Key in storage, absent in cache. Delete writes a dirty tombstone.
+	if err := tr.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	// A read must NOT resurrect the stale storage value.
+	if _, err := tr.Get("k"); err != ErrNotFound {
+		t.Fatalf("stale resurrection: %v", err)
+	}
+	tr.FlushDirty()
+	if _, err := stor.Get("k"); err != ErrNotFound {
+		t.Fatal("tombstone not propagated")
+	}
+}
+
+func TestWBBackpressure(t *testing.T) {
+	stor := NewMapStorage()
+	slow := NewRemote(stor, time.Millisecond)
+	tr := newWB(t, slow, func(o *Options) {
+		o.FlushBatch = 4
+		o.MaxDirty = 8
+		o.FlushInterval = time.Millisecond
+	})
+	// Writing far beyond MaxDirty must not grow dirty unboundedly.
+	for i := 0; i < 200; i++ {
+		if err := tr.Set(fmt.Sprintf("k%03d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := tr.Stats().Dirty; d > 16 {
+		t.Fatalf("backpressure ineffective: %d dirty", d)
+	}
+}
+
+func TestWBUpdateFetchesFromStorage(t *testing.T) {
+	stor := NewMapStorage()
+	stor.Put("k", []byte("base"))
+	remote := NewRemote(stor, 0)
+	tr := newWB(t, remote)
+	err := tr.Update("k", func(old []byte, exists bool) []byte {
+		if !exists || string(old) != "base" {
+			t.Fatalf("deferred fetch broken: %q %v", old, exists)
+		}
+		return append(old, '+')
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.FlushDirty()
+	v, _ := stor.Get("k")
+	if string(v) != "base+" {
+		t.Fatalf("value %q", v)
+	}
+	if remote.Stats().BatchGets == 0 {
+		t.Fatal("fetch should use the batched path")
+	}
+}
+
+func TestWBDeferredFetchBatching(t *testing.T) {
+	stor := NewMapStorage()
+	for i := 0; i < 32; i++ {
+		stor.Put(fmt.Sprintf("k%02d", i), []byte("v"))
+	}
+	remote := NewRemote(stor, 2*time.Millisecond)
+	tr := newWB(t, remote, func(o *Options) { o.FetchWindow = 5 * time.Millisecond })
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr.Update(fmt.Sprintf("k%02d", i), func(old []byte, _ bool) []byte {
+				return append(old, '!')
+			})
+		}(i)
+	}
+	wg.Wait()
+	st := remote.Stats()
+	if st.BatchGets >= 32 {
+		t.Fatalf("fetches not batched: %d round trips", st.BatchGets)
+	}
+}
+
+func TestWBUpdateMissingKey(t *testing.T) {
+	stor := NewMapStorage()
+	tr := newWB(t, stor)
+	err := tr.Update("new", func(old []byte, exists bool) []byte {
+		if exists {
+			t.Fatal("missing key reported present")
+		}
+		return []byte("created")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tr.Get("new")
+	if err != nil || string(v) != "created" {
+		t.Fatalf("%q %v", v, err)
+	}
+}
+
+func TestWBCloseFlushesEverything(t *testing.T) {
+	stor := NewMapStorage()
+	eng := engine.New(engine.Options{})
+	tr, err := New(Options{
+		Policy: WriteBack, Engine: eng, Storage: stor,
+		FlushInterval: time.Hour, FlushBatch: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		tr.Set(fmt.Sprintf("k%03d", i), []byte("v"))
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if stor.Len() != 500 {
+		t.Fatalf("close lost dirty data: %d/500 in storage", stor.Len())
+	}
+	if err := tr.Set("late", []byte("v")); err != ErrClosed {
+		t.Fatalf("write after close: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// --- miss path, eviction, replication ---
+
+func TestMissPathPopulatesCache(t *testing.T) {
+	stor := NewMapStorage()
+	stor.Put("cold", []byte("from-storage"))
+	tr := newWT(t, stor)
+	v, err := tr.Get("cold")
+	if err != nil || string(v) != "from-storage" {
+		t.Fatalf("%q %v", v, err)
+	}
+	if tr.Stats().Misses != 1 {
+		t.Fatalf("misses %d", tr.Stats().Misses)
+	}
+	// Second read is a hit served from cache.
+	tr.Get("cold")
+	if tr.Stats().Hits != 1 {
+		t.Fatalf("hits %d", tr.Stats().Hits)
+	}
+	if tr.MissRatio() != 0.5 {
+		t.Fatalf("MR %.2f", tr.MissRatio())
+	}
+}
+
+func TestCapacityEvictionLRU(t *testing.T) {
+	stor := NewMapStorage()
+	eng := engine.New(engine.Options{})
+	tr, err := New(Options{
+		Policy: WriteThrough, Engine: eng, Storage: stor,
+		CacheCapacityBytes: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	val := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < 50; i++ {
+		tr.Set(fmt.Sprintf("k%02d", i), val)
+	}
+	if eng.MemUsed() > 2048+512 {
+		t.Fatalf("cache over capacity: %d", eng.MemUsed())
+	}
+	if tr.Stats().Evictions == 0 {
+		t.Fatal("no evictions")
+	}
+	// Evicted keys are still readable through storage.
+	v, err := tr.Get("k00")
+	if err != nil || !bytes.Equal(v, val) {
+		t.Fatalf("evicted key lost: %v", err)
+	}
+}
+
+func TestEvictionSkipsDirty(t *testing.T) {
+	stor := NewMapStorage()
+	eng := engine.New(engine.Options{})
+	tr, err := New(Options{
+		Policy: WriteBack, Engine: eng, Storage: stor,
+		CacheCapacityBytes: 1024,
+		FlushInterval:      time.Hour, FlushBatch: 100000, MaxDirty: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	val := bytes.Repeat([]byte("d"), 100)
+	for i := 0; i < 20; i++ {
+		tr.Set(fmt.Sprintf("k%02d", i), val)
+	}
+	// All dirty, nothing flushed: dirty keys must survive in cache even
+	// though capacity is exceeded.
+	for i := 0; i < 20; i++ {
+		if _, err := eng.Get(fmt.Sprintf("k%02d", i)); err != nil {
+			t.Fatalf("dirty key %d evicted before flush", i)
+		}
+	}
+	// After flushing, eviction can proceed.
+	tr.FlushDirty()
+	tr.Set("trigger", val)
+	if eng.MemUsed() > 4096 {
+		t.Fatalf("eviction still blocked after flush: %d bytes", eng.MemUsed())
+	}
+}
+
+func TestReplicasReceiveMutations(t *testing.T) {
+	stor := NewMapStorage()
+	replica := engine.New(engine.Options{})
+	tr, err := New(Options{
+		Policy: WriteBack, Engine: engine.New(engine.Options{}), Storage: stor,
+		Replicas: []*engine.Engine{replica},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Set("k", []byte("v"))
+	v, err := replica.Get("k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("replica: %q %v", v, err)
+	}
+	tr.Delete("k")
+	if _, err := replica.Get("k"); err != engine.ErrNotFound {
+		t.Fatalf("replica delete: %v", err)
+	}
+}
+
+func TestCacheOnlyMode(t *testing.T) {
+	tr, err := New(Options{Policy: CacheOnly, Engine: engine.New(engine.Options{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Set("k", []byte("v"))
+	v, err := tr.Get("k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("%q %v", v, err)
+	}
+	if _, err := tr.Get("missing"); err != ErrNotFound {
+		t.Fatalf("miss: %v", err)
+	}
+	tr.Delete("k")
+	if _, err := tr.Get("k"); err != ErrNotFound {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestTieredOverLSM(t *testing.T) {
+	db, err := lsm.Open(lsm.Options{Dir: t.TempDir(), DisableWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tr := newWT(t, NewLSMStorage(db))
+	for i := 0; i < 200; i++ {
+		if err := tr.Set(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Engine().FlushAll() // force all reads through the storage tier
+	for i := 0; i < 200; i++ {
+		v, err := tr.Get(fmt.Sprintf("k%03d", i))
+		if err != nil || string(v) != fmt.Sprintf("v%03d", i) {
+			t.Fatalf("lsm roundtrip %d: %q %v", i, v, err)
+		}
+	}
+	tr.Delete("k000")
+	if _, err := tr.Get("k000"); err != ErrNotFound {
+		t.Fatalf("lsm delete: %v", err)
+	}
+}
+
+func TestConcurrentMixedTiered(t *testing.T) {
+	stor := NewMapStorage()
+	tr := newWB(t, stor, func(o *Options) { o.MaxDirty = 64; o.FlushBatch = 16 })
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := fmt.Sprintf("k%02d", (g*300+i)%40)
+				switch g % 3 {
+				case 0:
+					tr.Set(k, []byte("v"))
+				case 1:
+					tr.Get(k)
+				case 2:
+					tr.Update(k, func(old []byte, _ bool) []byte { return append(old[:0:0], 'u') })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+package cache
+
+import (
+	"time"
+)
+
+// Write-back implementation (paper §4.1.2).
+//
+// Updates ack from the cache tier immediately; dirty entries propagate to
+// storage in batches. The paper's four mechanisms:
+//
+//   - Replication of cache: every mutation also lands on the replica
+//     engines before the ack (handled in applyToCache).
+//   - Managing dirty data: dirty size is bounded (MaxDirty) with
+//     backpressure, and a maximum flush interval bounds staleness.
+//   - Optimizing update: one BatchPut per flush round; multiple updates to
+//     the same key naturally merge in the dirty map.
+//   - Deferred cache-fetching: misses during updates are batched through
+//     the fetch loop into BatchGet round trips.
+
+// writeBack applies one write (or delete) under the write-back policy.
+func (t *Tiered) writeBack(key string, val []byte, del bool) error {
+	// Backpressure: hold the writer while the dirty set is saturated
+	// ("a backpressure mechanism is activated when dirty data approaches
+	// a predefined threshold").
+	t.dirtyMu.Lock()
+	for len(t.dirty) >= t.opts.MaxDirty && !t.closed.Load() {
+		t.dirtyCond.Signal() // nudge the flusher
+		t.dirtyCond.Wait()
+	}
+	if t.closed.Load() {
+		t.dirtyMu.Unlock()
+		return ErrClosed
+	}
+	t.dirtyGen++
+	var stored []byte
+	if !del {
+		stored = append([]byte(nil), val...)
+	}
+	t.dirty[key] = &dirtyEntry{val: stored, gen: t.dirtyGen}
+	reached := len(t.dirty) >= t.opts.FlushBatch
+	t.dirtyMu.Unlock()
+
+	t.applyToCache(key, val, del)
+	t.maybeEvict()
+	if reached {
+		t.dirtyCond.Signal()
+	}
+	return nil
+}
+
+// flushLoop is the background dirty-data propagator.
+func (t *Tiered) flushLoop() {
+	defer t.wg.Done()
+	ticker := time.NewTicker(t.opts.FlushInterval)
+	defer ticker.Stop()
+	wake := make(chan struct{}, 1)
+	// Bridge the cond signal into a channel so we can select with ticker.
+	go func() {
+		for {
+			t.dirtyMu.Lock()
+			for len(t.dirty) < t.opts.FlushBatch && !t.closed.Load() {
+				t.dirtyCond.Wait()
+			}
+			closed := t.closed.Load()
+			t.dirtyMu.Unlock()
+			if closed {
+				return
+			}
+			select {
+			case wake <- struct{}{}:
+			default:
+			}
+		}
+	}()
+	for {
+		select {
+		case <-t.stopCh:
+			return
+		case <-ticker.C:
+		case <-wake:
+		}
+		t.flushDirty(t.opts.FlushBatch)
+	}
+}
+
+// flushDirty writes up to max dirty entries (0 = all) to storage in one
+// batch. Entries overwritten during the flush stay dirty (generation check).
+func (t *Tiered) flushDirty(max int) error {
+	t.dirtyMu.Lock()
+	if len(t.dirty) == 0 {
+		t.dirtyMu.Unlock()
+		return nil
+	}
+	batch := make(map[string][]byte)
+	gens := make(map[string]uint64)
+	for k, e := range t.dirty {
+		batch[k] = e.val
+		gens[k] = e.gen
+		if max > 0 && len(batch) >= max {
+			break
+		}
+	}
+	t.dirtyMu.Unlock()
+
+	if err := t.opts.Storage.BatchPut(batch); err != nil {
+		return err
+	}
+
+	t.dirtyMu.Lock()
+	for k, gen := range gens {
+		if e, ok := t.dirty[k]; ok && e.gen == gen {
+			delete(t.dirty, k)
+		}
+	}
+	t.dirtyMu.Unlock()
+	t.flushed.Add(int64(len(batch)))
+	t.batches.Add(1)
+	t.dirtyCond.Broadcast() // release backpressured writers
+	return nil
+}
+
+// FlushDirty forces all dirty entries to storage (checkpoint / tests).
+func (t *Tiered) FlushDirty() error {
+	for {
+		t.dirtyMu.Lock()
+		n := len(t.dirty)
+		t.dirtyMu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		if err := t.flushDirty(0); err != nil {
+			return err
+		}
+	}
+}
+
+// --- deferred cache-fetching ---
+
+// deferredFetch submits a miss to the batch fetcher and waits.
+func (t *Tiered) deferredFetch(key string) fetchResp {
+	resp := make(chan fetchResp, 1)
+	select {
+	case t.fetchCh <- fetchReq{key: key, resp: resp}:
+		return <-resp
+	case <-t.stopCh:
+		return fetchResp{err: ErrClosed}
+	}
+}
+
+// fetchLoop accumulates fetch requests for FetchWindow (or until a full
+// batch) and issues one BatchGet round trip for the group.
+func (t *Tiered) fetchLoop() {
+	defer t.wg.Done()
+	const maxBatch = 64
+	for {
+		var first fetchReq
+		select {
+		case <-t.stopCh:
+			return
+		case first = <-t.fetchCh:
+		}
+		reqs := []fetchReq{first}
+		timer := time.NewTimer(t.opts.FetchWindow)
+	gather:
+		for len(reqs) < maxBatch {
+			select {
+			case r := <-t.fetchCh:
+				reqs = append(reqs, r)
+			case <-timer.C:
+				break gather
+			case <-t.stopCh:
+				timer.Stop()
+				// Serve what we have before exiting.
+				t.serveFetches(reqs)
+				return
+			}
+		}
+		timer.Stop()
+		t.serveFetches(reqs)
+	}
+}
+
+func (t *Tiered) serveFetches(reqs []fetchReq) {
+	keys := make([]string, 0, len(reqs))
+	seen := map[string]bool{}
+	for _, r := range reqs {
+		if !seen[r.key] {
+			seen[r.key] = true
+			keys = append(keys, r.key)
+		}
+	}
+	vals, err := t.opts.Storage.BatchGet(keys)
+	t.fetched.Add(int64(len(keys)))
+	for _, r := range reqs {
+		if err != nil {
+			r.resp <- fetchResp{err: err}
+			continue
+		}
+		v := vals[r.key]
+		if v == nil {
+			r.resp <- fetchResp{err: ErrNotFound}
+		} else {
+			r.resp <- fetchResp{val: v}
+		}
+	}
+}

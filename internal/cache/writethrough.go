@@ -1,0 +1,114 @@
+package cache
+
+// Write-through implementation (paper §4.1.1).
+//
+// Three techniques from the paper:
+//
+//   - Temporary update buffer: the cache tier is NOT updated until the
+//     storage write succeeds; concurrent readers keep seeing the previous
+//     value, and a storage failure invalidates the entry so subsequent
+//     reads refetch from storage. (Our Set carries the full new value, so
+//     the "buffer" is the pending write itself.)
+//   - Sequential write ordering: a per-key queue admits one in-flight
+//     storage write per key; later writes wait behind it, preserving
+//     per-key order.
+//   - Write coalescing: writes that arrive while one is in flight are
+//     merged — only the latest value is written when the leader finishes,
+//     and every coalesced waiter is acked by that single storage round
+//     trip (the group-commit analog).
+
+type wtQueue struct {
+	inflight bool
+	pending  *wtPending
+}
+
+type wtPending struct {
+	val     []byte
+	del     bool
+	waiters []chan error
+}
+
+// writeThrough routes one write (or delete) through the per-key queue.
+func (t *Tiered) writeThrough(key string, val []byte, del bool) error {
+	if t.opts.DisableCoalescing {
+		return t.wtCommit(key, val, del)
+	}
+	t.wtMu.Lock()
+	q, ok := t.wtQueues[key]
+	if !ok {
+		q = &wtQueue{}
+		t.wtQueues[key] = q
+	}
+	if q.inflight {
+		// Piggyback on the in-flight leader: replace the pending value
+		// (coalescing) and wait for the commit that covers us.
+		if q.pending == nil {
+			q.pending = &wtPending{}
+		} else {
+			t.coalesced.Add(1) // an earlier pending value was absorbed
+		}
+		q.pending.val = val
+		q.pending.del = del
+		ch := make(chan error, 1)
+		q.pending.waiters = append(q.pending.waiters, ch)
+		t.wtMu.Unlock()
+		return <-ch
+	}
+	q.inflight = true
+	t.wtMu.Unlock()
+
+	err := t.wtCommit(key, val, del)
+
+	// Hand any writes that queued up behind us to a continuation worker.
+	t.wtMu.Lock()
+	if q.pending != nil {
+		next := q.pending
+		q.pending = nil
+		t.wtMu.Unlock()
+		go t.wtDrain(key, q, next)
+	} else {
+		q.inflight = false
+		delete(t.wtQueues, key)
+		t.wtMu.Unlock()
+	}
+	return err
+}
+
+// wtDrain commits coalesced rounds until the queue empties.
+func (t *Tiered) wtDrain(key string, q *wtQueue, cur *wtPending) {
+	for {
+		err := t.wtCommit(key, cur.val, cur.del)
+		for _, ch := range cur.waiters {
+			ch <- err
+		}
+		t.wtMu.Lock()
+		if q.pending != nil {
+			cur = q.pending
+			q.pending = nil
+			t.wtMu.Unlock()
+			continue
+		}
+		q.inflight = false
+		delete(t.wtQueues, key)
+		t.wtMu.Unlock()
+		return
+	}
+}
+
+// wtCommit performs one synchronous storage write and, on success, applies
+// the result to the cache tier; on failure it invalidates the cache entry.
+func (t *Tiered) wtCommit(key string, val []byte, del bool) error {
+	var err error
+	if del {
+		err = t.opts.Storage.Delete(key)
+	} else {
+		err = t.opts.Storage.Put(key, val)
+	}
+	if err != nil {
+		t.invalidate(key)
+		return err
+	}
+	t.applyToCache(key, val, del)
+	t.maybeEvict()
+	return nil
+}

@@ -1,0 +1,295 @@
+// Package client is the Go client for TierBase's RESP protocol (the
+// client tier of paper §3). It speaks RESP2 over TCP, supports pipelining,
+// and offers typed helpers over the raw Do interface. A routed variant
+// consults a cluster routing table to reach the right shard process.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Nil is returned for absent keys (RESP nil bulk).
+var Nil = errors.New("client: nil reply")
+
+// Client is a single-connection RESP client; safe for concurrent use
+// (requests serialize on the connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a TierBase (or Redis) server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 16<<10),
+		w:    bufio.NewWriterSize(conn, 16<<10),
+	}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one command and reads its reply.
+// Reply types: string (simple/bulk), int64, []interface{}, Nil error.
+func (c *Client) Do(args ...string) (interface{}, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.writeCommand(args); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	return c.readReply()
+}
+
+// Pipeline sends multiple commands in one round trip and returns their
+// replies in order.
+func (c *Client) Pipeline(cmds [][]string) ([]interface{}, []error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	outs := make([]interface{}, len(cmds))
+	errs := make([]error, len(cmds))
+	for _, cmd := range cmds {
+		if err := c.writeCommand(cmd); err != nil {
+			for i := range errs {
+				errs[i] = err
+			}
+			return outs, errs
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return outs, errs
+	}
+	for i := range cmds {
+		outs[i], errs[i] = c.readReply()
+	}
+	return outs, errs
+}
+
+func (c *Client) writeCommand(args []string) error {
+	if _, err := fmt.Fprintf(c.w, "*%d\r\n", len(args)); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if _, err := fmt.Fprintf(c.w, "$%d\r\n%s\r\n", len(a), a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Client) readReply() (interface{}, error) {
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 3 {
+		return nil, errors.New("client: malformed reply")
+	}
+	body := string(line[1 : len(line)-2])
+	switch line[0] {
+	case '+':
+		return body, nil
+	case '-':
+		return nil, errors.New(body)
+	case ':':
+		return strconv.ParseInt(body, 10, 64)
+	case '$':
+		n, err := strconv.Atoi(body)
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, Nil
+		}
+		buf := make([]byte, n+2)
+		if _, err := readFull(c.r, buf); err != nil {
+			return nil, err
+		}
+		return string(buf[:n]), nil
+	case '*':
+		n, err := strconv.Atoi(body)
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, Nil
+		}
+		out := make([]interface{}, n)
+		for i := 0; i < n; i++ {
+			v, err := c.readReply()
+			if err != nil && err != Nil {
+				return nil, err
+			}
+			if err == Nil {
+				out[i] = nil
+			} else {
+				out[i] = v
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("client: unknown reply type %q", line[0])
+	}
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// --- typed helpers ---
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	v, err := c.Do("PING")
+	if err != nil {
+		return err
+	}
+	if v != "PONG" {
+		return fmt.Errorf("client: unexpected ping reply %v", v)
+	}
+	return nil
+}
+
+// Set stores key=val.
+func (c *Client) Set(key, val string) error {
+	_, err := c.Do("SET", key, val)
+	return err
+}
+
+// Get fetches key (Nil if absent).
+func (c *Client) Get(key string) (string, error) {
+	v, err := c.Do("GET", key)
+	if err != nil {
+		return "", err
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("client: unexpected GET reply %T", v)
+	}
+	return s, nil
+}
+
+// Del removes keys, returning how many existed.
+func (c *Client) Del(keys ...string) (int64, error) {
+	args := append([]string{"DEL"}, keys...)
+	v, err := c.Do(args...)
+	if err != nil {
+		return 0, err
+	}
+	return v.(int64), nil
+}
+
+// Incr increments a counter.
+func (c *Client) Incr(key string) (int64, error) {
+	v, err := c.Do("INCR", key)
+	if err != nil {
+		return 0, err
+	}
+	return v.(int64), nil
+}
+
+// CAS performs compare-and-set; returns whether the swap happened.
+func (c *Client) CAS(key, oldVal, newVal string) (bool, error) {
+	v, err := c.Do("CAS", key, oldVal, newVal)
+	if err != nil {
+		return false, err
+	}
+	return v.(int64) == 1, nil
+}
+
+// --- routed client ---
+
+// Router resolves a key to a server address (cluster.RoutingTable fits).
+type Router interface {
+	AddrFor(key string) string
+}
+
+// Routed is a cluster-aware client: one connection per node, commands
+// routed by key. It mirrors "TierBase clients ... retrieve cluster routing
+// information from the coordinator cluster for direct data access".
+type Routed struct {
+	router Router
+	mu     sync.Mutex
+	conns  map[string]*Client
+}
+
+// NewRouted builds a routed client over a Router.
+func NewRouted(router Router) *Routed {
+	return &Routed{router: router, conns: make(map[string]*Client)}
+}
+
+func (rc *Routed) clientFor(key string) (*Client, error) {
+	addr := rc.router.AddrFor(key)
+	if addr == "" {
+		return nil, errors.New("client: no node for key")
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if c, ok := rc.conns[addr]; ok {
+		return c, nil
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	rc.conns[addr] = c
+	return c, nil
+}
+
+// Set routes a SET by key.
+func (rc *Routed) Set(key, val string) error {
+	c, err := rc.clientFor(key)
+	if err != nil {
+		return err
+	}
+	return c.Set(key, val)
+}
+
+// Get routes a GET by key.
+func (rc *Routed) Get(key string) (string, error) {
+	c, err := rc.clientFor(key)
+	if err != nil {
+		return "", err
+	}
+	return c.Get(key)
+}
+
+// Close closes all node connections.
+func (rc *Routed) Close() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var first error
+	for _, c := range rc.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	rc.conns = map[string]*Client{}
+	return first
+}

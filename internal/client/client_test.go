@@ -1,0 +1,82 @@
+package client_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tierbase/internal/client"
+	"tierbase/internal/cluster"
+	"tierbase/internal/server"
+)
+
+func TestDialFailure(t *testing.T) {
+	if _, err := client.Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port should fail")
+	}
+}
+
+func TestRoutedClientAcrossNodes(t *testing.T) {
+	// Two server processes, slots split between them by the coordinator.
+	s1, err := server.Start(server.Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2, err := server.Start(server.Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	coord := cluster.NewCoordinator()
+	coord.Register(cluster.Node{ID: "n1", Addr: s1.Addr(), Role: cluster.RoleMaster})
+	coord.Register(cluster.Node{ID: "n2", Addr: s2.Addr(), Role: cluster.RoleMaster})
+	table := coord.Table()
+
+	rc := client.NewRouted(&table)
+	defer rc.Close()
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("routed%03d", i)
+		if err := rc.Set(k, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("routed%03d", i)
+		if v, err := rc.Get(k); err != nil || v != "v" {
+			t.Fatalf("get %s: %q %v", k, v, err)
+		}
+	}
+	// Both nodes must hold a share of the keys.
+	n1 := keysOn(s1)
+	n2 := keysOn(s2)
+	if n1 == 0 || n2 == 0 {
+		t.Fatalf("routing not spread: n1=%d n2=%d", n1, n2)
+	}
+	if n1+n2 != 100 {
+		t.Fatalf("key loss: %d+%d", n1, n2)
+	}
+}
+
+func keysOn(s *server.Server) int {
+	total := 0
+	for _, e := range s.Shards() {
+		total += e.Len()
+	}
+	return total
+}
+
+func TestRoutedNoNode(t *testing.T) {
+	rc := client.NewRouted(emptyRouter{})
+	defer rc.Close()
+	if err := rc.Set("k", "v"); err == nil {
+		t.Fatal("routing with no nodes should fail")
+	}
+	if _, err := rc.Get("k"); err == nil {
+		t.Fatal("routing with no nodes should fail")
+	}
+}
+
+type emptyRouter struct{}
+
+func (emptyRouter) AddrFor(string) string { return "" }

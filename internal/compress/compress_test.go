@@ -1,0 +1,323 @@
+package compress
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"tierbase/internal/workload"
+)
+
+func allCompressors(t *testing.T, train [][]byte) []Compressor {
+	t.Helper()
+	cs := []Compressor{Raw{}, NewDeflate(6, false), NewDeflate(6, true), NewPBC()}
+	for _, c := range cs {
+		if err := c.Train(train); err != nil {
+			t.Fatalf("%s train: %v", c.Name(), err)
+		}
+	}
+	return cs
+}
+
+func TestRoundTripAllCompressors(t *testing.T) {
+	samples := workload.Sample(workload.NewKV1(), 200)
+	for _, c := range allCompressors(t, samples) {
+		for i := int64(1000); i < 1100; i++ {
+			rec := workload.NewKV1().Record(i)
+			comp := c.Compress(rec)
+			got, err := c.Decompress(comp)
+			if err != nil {
+				t.Fatalf("%s: decompress: %v", c.Name(), err)
+			}
+			if !bytes.Equal(got, rec) {
+				t.Fatalf("%s: roundtrip mismatch:\n got %q\nwant %q", c.Name(), got, rec)
+			}
+		}
+	}
+}
+
+func TestRoundTripArbitraryBytes(t *testing.T) {
+	samples := workload.Sample(workload.NewCities(), 100)
+	cs := allCompressors(t, samples)
+	f := func(data []byte) bool {
+		for _, c := range cs {
+			got, err := c.Decompress(c.Compress(data))
+			if err != nil {
+				return false
+			}
+			if len(data) == 0 && len(got) == 0 {
+				continue
+			}
+			if !bytes.Equal(got, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPretrainedBeatsUntrained(t *testing.T) {
+	for _, ds := range []workload.Dataset{workload.NewKV1(), workload.NewKV2(), workload.NewCities()} {
+		train := workload.Sample(ds, 500)
+		eval := make([][]byte, 300)
+		for i := range eval {
+			eval[i] = ds.Record(int64(10000 + i))
+		}
+		plain := NewDeflate(6, false)
+		dict := NewDeflate(6, true)
+		dict.Train(train)
+		rPlain := MeasureRatio(plain, eval)
+		rDict := MeasureRatio(dict, eval)
+		if rDict >= rPlain {
+			t.Errorf("%s: dictionary did not help: dict %.4f vs plain %.4f", ds.Name(), rDict, rPlain)
+		}
+	}
+}
+
+func TestPBCBeatsDictOnMachineData(t *testing.T) {
+	// Paper Table 2: "PBC consistently achieves higher compression ratios
+	// than Zstd", especially on machine-generated KV datasets.
+	for _, ds := range []workload.Dataset{workload.NewKV1(), workload.NewKV2()} {
+		train := workload.Sample(ds, 500)
+		eval := make([][]byte, 300)
+		for i := range eval {
+			eval[i] = ds.Record(int64(20000 + i))
+		}
+		dict := NewDeflate(6, true)
+		dict.Train(train)
+		pbc := NewPBC()
+		pbc.Train(train)
+		rDict := MeasureRatio(dict, eval)
+		rPBC := MeasureRatio(pbc, eval)
+		if rPBC >= rDict {
+			t.Errorf("%s: PBC ratio %.4f not better than dict %.4f", ds.Name(), rPBC, rDict)
+		}
+	}
+}
+
+func TestPBCPatternsExtracted(t *testing.T) {
+	p := NewPBC()
+	samples := workload.Sample(workload.NewKV2(), 300)
+	p.Train(samples)
+	if p.PatternCount() == 0 {
+		t.Fatal("no patterns extracted")
+	}
+	// Machine-generated data should mostly match patterns.
+	unmatched := 0
+	for i := int64(5000); i < 5200; i++ {
+		if IsEscape(p.Compress(workload.NewKV2().Record(i))) {
+			unmatched++
+		}
+	}
+	if rate := float64(unmatched) / 200; rate > 0.2 {
+		t.Fatalf("unmatched rate %.3f too high", rate)
+	}
+}
+
+func TestPBCUntrainedEscapes(t *testing.T) {
+	p := NewPBC()
+	data := []byte("anything at all")
+	comp := p.Compress(data)
+	if !IsEscape(comp) {
+		t.Fatal("untrained PBC should escape-code")
+	}
+	got, err := p.Decompress(comp)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("escape roundtrip: %q %v", got, err)
+	}
+}
+
+func TestPBCNumericSlots(t *testing.T) {
+	p := NewPBC()
+	var samples [][]byte
+	for i := 0; i < 100; i++ {
+		samples = append(samples, []byte(fmt.Sprintf("id=%d;pad=%04d", i*7, i)))
+	}
+	p.Train(samples)
+	for _, s := range [][]byte{
+		[]byte("id=999999;pad=0042"),
+		[]byte("id=0;pad=0000"),
+		[]byte("id=123;pad=9999"),
+	} {
+		comp := p.Compress(s)
+		got, err := p.Decompress(comp)
+		if err != nil || !bytes.Equal(got, s) {
+			t.Fatalf("numeric roundtrip %q -> %q (%v)", s, got, err)
+		}
+	}
+}
+
+func TestPBCDecompressCorrupt(t *testing.T) {
+	p := NewPBC()
+	p.Train(workload.Sample(workload.NewKV1(), 100))
+	if _, err := p.Decompress(nil); err == nil {
+		t.Fatal("nil input should fail")
+	}
+	if _, err := p.Decompress([]byte{0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("bad pattern id should fail")
+	}
+}
+
+func TestDeflateDecompressCorrupt(t *testing.T) {
+	d := NewDeflate(6, false)
+	if _, err := d.Decompress([]byte{1, 2, 3, 4}); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}
+
+func TestDeflateRetrainInvalidatesPool(t *testing.T) {
+	d := NewDeflate(6, true)
+	s1 := workload.Sample(workload.NewKV1(), 100)
+	d.Train(s1)
+	rec := workload.NewKV1().Record(42)
+	c1 := d.Compress(rec)
+	// Retrain on different data; old pooled writers must not leak old dict.
+	d.Train(workload.Sample(workload.NewCities(), 100))
+	c2 := d.Compress(rec)
+	if got, err := d.Decompress(c2); err != nil || !bytes.Equal(got, rec) {
+		t.Fatalf("post-retrain roundtrip: %v", err)
+	}
+	_ = c1 // c1 is undecodable now (old dict) — that's expected semantics
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"raw", "deflate", "deflate-dict", "pbc", "zstd-b", "zstd-d", ""} {
+		if _, err := ByName(name, 0); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("lzma", 0); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestTrainDictionary(t *testing.T) {
+	samples := [][]byte{
+		[]byte("the quick brown fox jumps over"),
+		[]byte("the quick brown fox leaps over"),
+		[]byte("the quick brown fox runs away now"),
+	}
+	dict := TrainDictionary(samples, 1024)
+	if len(dict) == 0 {
+		t.Fatal("empty dictionary from repetitive samples")
+	}
+	if len(dict) > 1024 {
+		t.Fatalf("dictionary exceeds max: %d", len(dict))
+	}
+	if !bytes.Contains(dict, []byte("quick brown fox")) && !bytes.Contains(dict, []byte("the quick brown")) {
+		t.Logf("dict: %q", dict)
+		t.Fatal("dictionary missing frequent phrase")
+	}
+}
+
+func TestTrainDictionaryEmpty(t *testing.T) {
+	if d := TrainDictionary(nil, 100); len(d) != 0 {
+		t.Fatalf("nil samples produced dict of %d bytes", len(d))
+	}
+}
+
+func TestMonitorRetrainOnRatioDrift(t *testing.T) {
+	m := NewMonitor(0.3)
+	m.MinRecords = 10
+	for i := 0; i < 20; i++ {
+		m.Observe(100, 31, false) // 0.31 within slack of 0.3*1.15
+	}
+	if m.RetrainNeeded() {
+		t.Fatal("within slack should not trigger")
+	}
+	for i := 0; i < 200; i++ {
+		m.Observe(100, 90, false) // degraded ratio
+	}
+	if !m.RetrainNeeded() {
+		t.Fatalf("ratio drift not detected: ratio=%.3f", m.Ratio())
+	}
+	m.Reset(0.9)
+	if m.RetrainNeeded() || m.Records() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestMonitorRetrainOnUnmatched(t *testing.T) {
+	m := NewMonitor(0.5)
+	m.MinRecords = 10
+	for i := 0; i < 100; i++ {
+		m.Observe(100, 40, i%5 == 0) // 20% unmatched > 5% threshold
+	}
+	if !m.RetrainNeeded() {
+		t.Fatalf("unmatched drift not detected: rate=%.3f", m.UnmatchedRate())
+	}
+}
+
+func TestMonitorMinRecords(t *testing.T) {
+	m := NewMonitor(0.1)
+	m.Observe(100, 99, true)
+	if m.RetrainNeeded() {
+		t.Fatal("tiny sample should not trigger")
+	}
+}
+
+func TestRecommendPicksCompressive(t *testing.T) {
+	samples := workload.Sample(workload.NewKV2(), 400)
+	best, all := Recommend(samples, 0)
+	if len(all) != 4 {
+		t.Fatalf("expected 4 candidates, got %d", len(all))
+	}
+	if best.Name == "raw" {
+		t.Fatal("raw should not win on compressible data")
+	}
+	if best.Ratio >= 1 {
+		t.Fatalf("winner ratio %.3f", best.Ratio)
+	}
+}
+
+func TestRecommendHonorsSpeedBudget(t *testing.T) {
+	samples := workload.Sample(workload.NewKV1(), 200)
+	// Absurdly tight budget: only raw qualifies (or the fastest fallback).
+	best, _ := Recommend(samples, 1)
+	if best.Name != "raw" && best.CompressNsPerOp > 1000 {
+		t.Fatalf("budget ignored: %+v", best)
+	}
+}
+
+func TestRecommendEmptySample(t *testing.T) {
+	best, _ := Recommend(nil, 0)
+	if best.Name != "raw" {
+		t.Fatalf("empty sample should recommend raw, got %s", best.Name)
+	}
+}
+
+func TestMeasureRatioEmpty(t *testing.T) {
+	if r := MeasureRatio(Raw{}, nil); r != 1 {
+		t.Fatalf("ratio of nothing = %f", r)
+	}
+}
+
+func TestTokenizeClasses(t *testing.T) {
+	toks := tokenize([]byte("abc123-def"))
+	if len(toks) != 4 {
+		t.Fatalf("tokens: %d", len(toks))
+	}
+	if toks[0].class != classAlpha || toks[1].class != classDigit ||
+		toks[2].class != classDelim || toks[3].class != classAlpha {
+		t.Fatalf("classes wrong: %+v", toks)
+	}
+}
+
+func TestSimilarityMetric(t *testing.T) {
+	a := tokenize([]byte("status=ACTIVE"))
+	b := tokenize([]byte("status=PAUSED"))
+	c := tokenize([]byte("1,2,3"))
+	if s := similarity(a, b); s < 0.8 {
+		t.Fatalf("similar records scored %.2f", s)
+	}
+	if s := similarity(a, c); s != 0 {
+		t.Fatalf("dissimilar records scored %.2f", s)
+	}
+	if s := similarity(a, a); s != 1 {
+		t.Fatalf("self similarity %.2f", s)
+	}
+}

@@ -1,0 +1,71 @@
+package compress
+
+import (
+	"sort"
+)
+
+// TrainDictionary builds a preset dictionary from sample records for use
+// with DEFLATE's preset-dictionary mode, mirroring Zstd's pre-training
+// phase ("Zstd builds a dictionary by identifying frequent strings in the
+// data", paper §4.2).
+//
+// Method: count fixed-length shingles across samples, greedily select the
+// highest-coverage ones, then join them most-frequent-last (DEFLATE match
+// distances are cheapest near the end of the dictionary).
+func TrainDictionary(samples [][]byte, maxSize int) []byte {
+	if maxSize <= 0 {
+		maxSize = 4 << 10
+	}
+	const shingle = 16
+	counts := make(map[string]int)
+	for _, s := range samples {
+		if len(s) < shingle {
+			if len(s) > 0 {
+				counts[string(s)]++
+			}
+			continue
+		}
+		// Step by 4 to bound work while still catching frequent runs.
+		for i := 0; i+shingle <= len(s); i += 4 {
+			counts[string(s[i:i+shingle])]++
+		}
+	}
+	type sc struct {
+		s string
+		n int
+	}
+	cands := make([]sc, 0, len(counts))
+	for s, n := range counts {
+		if n >= 2 { // singletons carry no dictionary value
+			cands = append(cands, sc{s, n})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].n != cands[j].n {
+			return cands[i].n > cands[j].n
+		}
+		return cands[i].s < cands[j].s // deterministic tie-break
+	})
+	// Greedy selection with overlap suppression: skip shingles already
+	// contained in the dictionary built so far.
+	var picked []string
+	total := 0
+	seen := make(map[string]bool)
+	for _, c := range cands {
+		if total+len(c.s) > maxSize {
+			break
+		}
+		if seen[c.s] {
+			continue
+		}
+		seen[c.s] = true
+		picked = append(picked, c.s)
+		total += len(c.s)
+	}
+	// Most frequent goes last (closest match distance).
+	dict := make([]byte, 0, total)
+	for i := len(picked) - 1; i >= 0; i-- {
+		dict = append(dict, picked[i]...)
+	}
+	return dict
+}

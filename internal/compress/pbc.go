@@ -1,0 +1,473 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PBC is the Pattern-Based Compressor (paper §4.2, ref [59]): the offline
+// phase tokenizes sample records, clusters them hierarchically by token
+// structure with a similarity metric, and extracts per-cluster patterns —
+// templates of literal segments and variable slots. The online phase
+// matches each record against the pattern set and encodes only the slot
+// values (enum-indexed, numeric-packed, or raw); unmatched records are
+// escape-coded verbatim and counted (the monitor uses that signal to
+// trigger re-training).
+type PBC struct {
+	mu       sync.RWMutex
+	patterns []*pattern
+	byShape  map[string]int // shape key -> pattern index
+	residual *Deflate       // optional second-stage coder for long raw slots
+}
+
+// token classes
+type tokenClass uint8
+
+const (
+	classDelim tokenClass = iota // punctuation/whitespace run (kept literal)
+	classDigit                   // [0-9]+
+	classAlpha                   // [A-Za-z]+
+	classMixed                   // other non-delimiter runs
+)
+
+type token struct {
+	class tokenClass
+	text  []byte
+}
+
+// segment is one element of a pattern: a fixed literal or a variable slot.
+type segment struct {
+	literal []byte     // non-nil => literal segment
+	class   tokenClass // slot class when literal == nil
+	enum    map[string]int
+	enumLst [][]byte
+}
+
+type pattern struct {
+	segs []segment
+}
+
+// slot encoding modes
+const (
+	slotRaw     = 0 // varint len + bytes
+	slotEnum    = 1 // varint enum index
+	slotNum     = 2 // varint value (digits, no leading zeros)
+	slotNumPad  = 3 // varint digit-count + varint value (leading zeros)
+	slotRawComp = 4 // varint len + deflate-compressed bytes (long raw slots)
+)
+
+// escape pattern id: record stored verbatim.
+const pbcEscape = 0
+
+// maxEnumCard bounds enum tables per slot.
+const maxEnumCard = 200
+
+// NewPBC returns an untrained PBC compressor (everything escape-coded
+// until Train is called).
+func NewPBC() *PBC {
+	return &PBC{byShape: map[string]int{}, residual: NewDeflate(6, false)}
+}
+
+// Name implements Compressor.
+func (p *PBC) Name() string { return "pbc" }
+
+// --- tokenization ---
+
+func classify(b byte) tokenClass {
+	switch {
+	case b >= '0' && b <= '9':
+		return classDigit
+	case (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z'):
+		return classAlpha
+	default:
+		return classDelim
+	}
+}
+
+// tokenize splits src into runs of a single class; adjacent digit/alpha
+// runs stay separate so numeric slots are isolated. Mixed runs arise when
+// merging clusters, not during lexing.
+func tokenize(src []byte) []token {
+	var out []token
+	i := 0
+	for i < len(src) {
+		c := classify(src[i])
+		j := i + 1
+		for j < len(src) && classify(src[j]) == c {
+			j++
+		}
+		out = append(out, token{class: c, text: src[i:j]})
+		i = j
+	}
+	return out
+}
+
+// shapeKey summarizes token structure: delimiters literally, others by class.
+func shapeKey(toks []token) string {
+	var b bytes.Buffer
+	for _, t := range toks {
+		switch t.class {
+		case classDelim:
+			b.Write(t.text)
+		case classDigit:
+			b.WriteByte(0x01)
+		case classAlpha:
+			b.WriteByte(0x02)
+		default:
+			b.WriteByte(0x03)
+		}
+	}
+	return b.String()
+}
+
+// --- training: hierarchical clustering + pattern extraction ---
+
+type cluster struct {
+	toks   [][]token // member token sequences
+	protoN int       // token count (all members share it)
+}
+
+// similarity is the fraction of token positions where two equal-length
+// token sequences agree on class, weighted by literal agreement. This is
+// the clustering metric; sequences of different lengths score 0.
+func similarity(a, b []token) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	match := 0.0
+	for i := range a {
+		if a[i].class != b[i].class {
+			continue
+		}
+		if bytes.Equal(a[i].text, b[i].text) {
+			match += 1.0
+		} else {
+			match += 0.5
+		}
+	}
+	return match / float64(len(a))
+}
+
+// Train implements Compressor: cluster samples and extract patterns.
+func (p *PBC) Train(samples [][]byte) error {
+	// Level 1: exact-shape leaf clusters.
+	leaves := map[string]*cluster{}
+	var order []string
+	for _, s := range samples {
+		if len(s) == 0 {
+			continue
+		}
+		toks := tokenize(s)
+		key := shapeKey(toks)
+		cl, ok := leaves[key]
+		if !ok {
+			cl = &cluster{protoN: len(toks)}
+			leaves[key] = cl
+			order = append(order, key)
+		}
+		if len(cl.toks) < 64 { // cap retained members per cluster
+			cl.toks = append(cl.toks, toks)
+		}
+	}
+	sort.Strings(order) // determinism
+
+	// Level 2: agglomerative merge of leaf clusters whose representative
+	// sequences are similar (same token count, aligned classes). Merged
+	// clusters widen literal positions into slots.
+	const mergeThreshold = 0.85
+	var merged []*cluster
+	for _, key := range order {
+		cl := leaves[key]
+		placed := false
+		for _, m := range merged {
+			if m.protoN == cl.protoN && similarity(m.toks[0], cl.toks[0]) >= mergeThreshold {
+				m.toks = append(m.toks, cl.toks...)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			merged = append(merged, cl)
+		}
+	}
+
+	// Pattern extraction: a position is a literal iff every member agrees
+	// byte-for-byte; otherwise it becomes a slot (class = widest member
+	// class), with an enum table when cardinality is small.
+	patterns := make([]*pattern, 0, len(merged))
+	byShape := map[string]int{}
+	for _, m := range merged {
+		pat := &pattern{}
+		n := m.protoN
+		for pos := 0; pos < n; pos++ {
+			first := m.toks[0][pos]
+			allEqual := true
+			class := first.class
+			values := map[string]struct{}{}
+			for _, toks := range m.toks {
+				t := toks[pos]
+				if !bytes.Equal(t.text, first.text) {
+					allEqual = false
+				}
+				if t.class != class {
+					class = classMixed
+				}
+				if len(values) <= maxEnumCard {
+					values[string(t.text)] = struct{}{}
+				}
+			}
+			if allEqual {
+				pat.segs = append(pat.segs, segment{literal: append([]byte(nil), first.text...)})
+				continue
+			}
+			seg := segment{class: class}
+			// Enum table only when we saw a small, closed value set and
+			// the slot is non-numeric (numbers pack better as varints).
+			if class == classAlpha && len(values) <= maxEnumCard && len(m.toks) >= 2*len(values) {
+				seg.enum = map[string]int{}
+				keys := make([]string, 0, len(values))
+				for v := range values {
+					keys = append(keys, v)
+				}
+				sort.Strings(keys)
+				for i, v := range keys {
+					seg.enum[v] = i
+					seg.enumLst = append(seg.enumLst, []byte(v))
+				}
+			}
+			pat.segs = append(pat.segs, seg)
+		}
+		patterns = append(patterns, pat)
+		// Register every member shape so lookups hit the merged pattern.
+		for _, toks := range m.toks {
+			byShape[shapeKey(toks)] = len(patterns) - 1
+		}
+	}
+
+	p.mu.Lock()
+	p.patterns = patterns
+	p.byShape = byShape
+	p.mu.Unlock()
+	return nil
+}
+
+// PatternCount reports the number of trained patterns.
+func (p *PBC) PatternCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.patterns)
+}
+
+// --- compression ---
+
+// Compress implements Compressor.
+func (p *PBC) Compress(src []byte) []byte {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.patterns) > 0 && len(src) > 0 {
+		toks := tokenize(src)
+		if idx, ok := p.byShape[shapeKey(toks)]; ok {
+			if out, ok := p.encodeWith(idx, p.patterns[idx], toks); ok {
+				return out
+			}
+		} else {
+			// Hierarchical fallback: try same-length patterns (the record
+			// may match a merged pattern whose shape set didn't include
+			// this exact variant).
+			for idx, pat := range p.patterns {
+				if len(pat.segs) != len(toks) {
+					continue
+				}
+				if out, ok := p.encodeWith(idx, pat, toks); ok {
+					return out
+				}
+			}
+		}
+	}
+	// Escape: pattern id 0, verbatim payload.
+	out := make([]byte, 0, len(src)+1)
+	out = append(out, pbcEscape)
+	out = append(out, src...)
+	return out
+}
+
+func (p *PBC) encodeWith(idx int, pat *pattern, toks []token) ([]byte, bool) {
+	if len(toks) != len(pat.segs) {
+		return nil, false
+	}
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(idx+1))
+	out = append(out, tmp[:n]...)
+	for i, seg := range pat.segs {
+		t := toks[i]
+		if seg.literal != nil {
+			if !bytes.Equal(seg.literal, t.text) {
+				return nil, false
+			}
+			continue
+		}
+		out = p.encodeSlot(out, seg, t)
+	}
+	return out, true
+}
+
+func (p *PBC) encodeSlot(out []byte, seg segment, t token) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	// Enum hit: single index byte stream.
+	if seg.enum != nil {
+		if idx, ok := seg.enum[string(t.text)]; ok {
+			out = append(out, slotEnum)
+			n := binary.PutUvarint(tmp[:], uint64(idx))
+			return append(out, tmp[:n]...)
+		}
+	}
+	// Numeric packing for digit runs that fit uint64.
+	if t.class == classDigit && len(t.text) <= 19 {
+		var v uint64
+		ok := true
+		for _, b := range t.text {
+			if b < '0' || b > '9' {
+				ok = false
+				break
+			}
+			v = v*10 + uint64(b-'0')
+		}
+		if ok {
+			if len(t.text) > 1 && t.text[0] == '0' {
+				out = append(out, slotNumPad)
+				n := binary.PutUvarint(tmp[:], uint64(len(t.text)))
+				out = append(out, tmp[:n]...)
+				n = binary.PutUvarint(tmp[:], v)
+				return append(out, tmp[:n]...)
+			}
+			out = append(out, slotNum)
+			n := binary.PutUvarint(tmp[:], v)
+			return append(out, tmp[:n]...)
+		}
+	}
+	// Long raw slots get a second-stage string compression pass
+	// ("residual strings are then compressed further", §4.2).
+	if len(t.text) >= 64 {
+		comp := p.residual.Compress(t.text)
+		if len(comp) < len(t.text) {
+			out = append(out, slotRawComp)
+			n := binary.PutUvarint(tmp[:], uint64(len(comp)))
+			out = append(out, tmp[:n]...)
+			return append(out, comp...)
+		}
+	}
+	out = append(out, slotRaw)
+	n := binary.PutUvarint(tmp[:], uint64(len(t.text)))
+	out = append(out, tmp[:n]...)
+	return append(out, t.text...)
+}
+
+// --- decompression ---
+
+// Decompress implements Compressor.
+func (p *PBC) Decompress(src []byte) ([]byte, error) {
+	if len(src) == 0 {
+		return nil, ErrCorrupt
+	}
+	if src[0] == pbcEscape {
+		return append([]byte(nil), src[1:]...), nil
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	id, n := binary.Uvarint(src)
+	if n <= 0 || id == 0 || int(id) > len(p.patterns) {
+		return nil, fmt.Errorf("%w: bad pattern id", ErrCorrupt)
+	}
+	pat := p.patterns[id-1]
+	pos := n
+	var out []byte
+	for _, seg := range pat.segs {
+		if seg.literal != nil {
+			out = append(out, seg.literal...)
+			continue
+		}
+		if pos >= len(src) {
+			return nil, fmt.Errorf("%w: truncated slot", ErrCorrupt)
+		}
+		mode := src[pos]
+		pos++
+		switch mode {
+		case slotRaw:
+			l, n := binary.Uvarint(src[pos:])
+			if n <= 0 || pos+n+int(l) > len(src) {
+				return nil, fmt.Errorf("%w: bad raw slot", ErrCorrupt)
+			}
+			pos += n
+			out = append(out, src[pos:pos+int(l)]...)
+			pos += int(l)
+		case slotRawComp:
+			l, n := binary.Uvarint(src[pos:])
+			if n <= 0 || pos+n+int(l) > len(src) {
+				return nil, fmt.Errorf("%w: bad compressed slot", ErrCorrupt)
+			}
+			pos += n
+			dec, err := p.residual.Decompress(src[pos : pos+int(l)])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, dec...)
+			pos += int(l)
+		case slotEnum:
+			idx, n := binary.Uvarint(src[pos:])
+			if n <= 0 || seg.enumLst == nil || int(idx) >= len(seg.enumLst) {
+				return nil, fmt.Errorf("%w: bad enum slot", ErrCorrupt)
+			}
+			pos += n
+			out = append(out, seg.enumLst[idx]...)
+		case slotNum:
+			v, n := binary.Uvarint(src[pos:])
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: bad numeric slot", ErrCorrupt)
+			}
+			pos += n
+			out = appendUint(out, v)
+		case slotNumPad:
+			digits, n := binary.Uvarint(src[pos:])
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: bad padded slot", ErrCorrupt)
+			}
+			pos += n
+			v, n := binary.Uvarint(src[pos:])
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: bad padded slot value", ErrCorrupt)
+			}
+			pos += n
+			start := len(out)
+			out = appendUint(out, v)
+			for uint64(len(out)-start) < digits {
+				out = append(out[:start], append([]byte{'0'}, out[start:]...)...)
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown slot mode %d", ErrCorrupt, mode)
+		}
+	}
+	if pos != len(src) {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return out, nil
+}
+
+func appendUint(out []byte, v uint64) []byte {
+	var buf [20]byte
+	i := len(buf)
+	if v == 0 {
+		return append(out, '0')
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(out, buf[i:]...)
+}
+
+var _ Compressor = (*PBC)(nil)

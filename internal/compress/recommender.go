@@ -1,0 +1,100 @@
+package compress
+
+import (
+	"time"
+)
+
+// Recommendation is the recommender's verdict for one candidate.
+type Recommendation struct {
+	Name            string
+	Ratio           float64 // compressed/raw, lower is better
+	CompressNsPerOp float64
+	DecompNsPerOp   float64
+	Score           float64 // lower is better
+}
+
+// Recommend implements the Insight compressor recommender (paper §4.2):
+// it trains every candidate on the sample, measures ratio plus compress /
+// decompress speed, and "automatically suggests the optimal compressor
+// based on data types and performance requirements".
+//
+// maxCompressNs bounds acceptable per-record compression time (0 = no
+// bound); among acceptable candidates the best ratio wins. When every
+// candidate violates the bound, the fastest is returned.
+func Recommend(samples [][]byte, maxCompressNs float64) (best Recommendation, all []Recommendation) {
+	candidates := []Compressor{
+		Raw{},
+		NewDeflate(6, false),
+		NewDeflate(6, true),
+		NewPBC(),
+	}
+	if len(samples) == 0 {
+		return Recommendation{Name: "raw", Ratio: 1, Score: 1}, nil
+	}
+	// Train on the first half, evaluate on the second: guards against a
+	// candidate that memorizes the sample.
+	half := len(samples) / 2
+	if half == 0 {
+		half = len(samples)
+	}
+	train, eval := samples[:half], samples[half:]
+	if len(eval) == 0 {
+		eval = train
+	}
+
+	for _, c := range candidates {
+		if err := c.Train(train); err != nil {
+			continue
+		}
+		rec := measure(c, eval)
+		all = append(all, rec)
+	}
+	best = all[0]
+	chosen := false
+	for _, r := range all {
+		ok := maxCompressNs <= 0 || r.CompressNsPerOp <= maxCompressNs
+		if ok && (!chosen || r.Ratio < best.Ratio) {
+			best = r
+			chosen = true
+		}
+	}
+	if !chosen {
+		// Nothing met the speed budget: pick the fastest compressor.
+		for _, r := range all {
+			if r.CompressNsPerOp < best.CompressNsPerOp {
+				best = r
+			}
+		}
+	}
+	return best, all
+}
+
+func measure(c Compressor, eval [][]byte) Recommendation {
+	var rawB, compB int64
+	compressed := make([][]byte, len(eval))
+	start := time.Now()
+	for i, r := range eval {
+		out := c.Compress(r)
+		compressed[i] = out
+		rawB += int64(len(r))
+		compB += int64(len(out))
+	}
+	compDur := time.Since(start)
+	start = time.Now()
+	for _, out := range compressed {
+		c.Decompress(out) //nolint:errcheck — timing loop; corrupt data impossible here
+	}
+	decDur := time.Since(start)
+	n := float64(len(eval))
+	ratio := 1.0
+	if rawB > 0 {
+		ratio = float64(compB) / float64(rawB)
+	}
+	return Recommendation{
+		Name:            c.Name(),
+		Ratio:           ratio,
+		CompressNsPerOp: float64(compDur.Nanoseconds()) / n,
+		DecompNsPerOp:   float64(decDur.Nanoseconds()) / n,
+		Score:           ratio,
+	}
+}

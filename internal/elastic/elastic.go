@@ -1,0 +1,272 @@
+// Package elastic implements TierBase's elastic threading (paper §4.4):
+// a data node runs in single-worker mode by default (event-loop
+// efficiency, minimal locking), and when the workload on the instance
+// bursts, the controller "seamlessly transitions to multi-threaded mode by
+// dynamically adding threads within the container's pre-allocated CPU
+// resources"; when the burst subsides it drops back to one worker so the
+// idle CPU returns to other tenants of the container.
+package elastic
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tierbase/internal/metrics"
+)
+
+// Mode labels the current threading mode.
+type Mode int
+
+// Threading modes.
+const (
+	// Single is the default event-loop mode (one worker).
+	Single Mode = iota
+	// Boost is multi-threaded mode using idle container CPU.
+	Boost
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Boost {
+		return "boost"
+	}
+	return "single"
+}
+
+// PoolOptions configures a Pool.
+type PoolOptions struct {
+	// MaxWorkers is the container CPU budget (default 4).
+	MaxWorkers int
+	// QueueSize bounds the pending task queue (default 4096).
+	QueueSize int
+	// BoostQueueDepth triggers scale-up when the queue backlog exceeds it
+	// (default QueueSize/8).
+	BoostQueueDepth int
+	// EvalInterval is the controller period (default 10 ms).
+	EvalInterval time.Duration
+	// CooldownTicks is how many consecutive calm evaluations are needed
+	// before scaling back down (hysteresis; default 20).
+	CooldownTicks int
+	// Fixed pins the worker count (disables elasticity): 0 = elastic,
+	// n>0 = always n workers. Used for the -s and -m baseline modes.
+	Fixed int
+}
+
+func (o *PoolOptions) fill() {
+	if o.MaxWorkers <= 0 {
+		o.MaxWorkers = 4
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 4096
+	}
+	if o.BoostQueueDepth <= 0 {
+		o.BoostQueueDepth = o.QueueSize / 8
+		if o.BoostQueueDepth < 1 {
+			o.BoostQueueDepth = 1
+		}
+	}
+	if o.EvalInterval <= 0 {
+		o.EvalInterval = 10 * time.Millisecond
+	}
+	if o.CooldownTicks <= 0 {
+		o.CooldownTicks = 20
+	}
+}
+
+// ErrStopped is returned by Submit after Stop.
+var ErrStopped = errors.New("elastic: pool stopped")
+
+// Pool is an elastically sized worker pool processing submitted tasks.
+type Pool struct {
+	opts   PoolOptions
+	tasks  chan func()
+	quitCh chan struct{} // one receive per worker retires it
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+	ctlWg  sync.WaitGroup
+
+	workers  atomic.Int32
+	stopped  atomic.Bool
+	boosts   atomic.Int64 // scale-up events
+	shrinks  atomic.Int64 // scale-down events
+	executed atomic.Int64
+	rate     *metrics.WindowMeter
+	calm     int
+}
+
+// NewPool builds and starts a pool in single mode (or Fixed workers).
+func NewPool(opts PoolOptions) *Pool {
+	opts.fill()
+	p := &Pool{
+		opts:   opts,
+		tasks:  make(chan func(), opts.QueueSize),
+		quitCh: make(chan struct{}, opts.MaxWorkers),
+		stopCh: make(chan struct{}),
+		rate:   metrics.NewWindowMeter(10, 20*time.Millisecond),
+	}
+	start := 1
+	if opts.Fixed > 0 {
+		start = opts.Fixed
+		if start > opts.MaxWorkers {
+			start = opts.MaxWorkers
+		}
+	}
+	for i := 0; i < start; i++ {
+		p.spawnWorker()
+	}
+	if opts.Fixed == 0 {
+		p.ctlWg.Add(1)
+		go p.controlLoop()
+	}
+	return p
+}
+
+func (p *Pool) spawnWorker() {
+	p.workers.Add(1)
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			select {
+			case task, ok := <-p.tasks:
+				if !ok {
+					return
+				}
+				task()
+				p.executed.Add(1)
+			case <-p.quitCh:
+				return
+			case <-p.stopCh:
+				// Drain remaining tasks before exiting.
+				for {
+					select {
+					case task, ok := <-p.tasks:
+						if !ok {
+							return
+						}
+						task()
+						p.executed.Add(1)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+}
+
+// controlLoop evaluates load and adjusts the worker count with hysteresis.
+func (p *Pool) controlLoop() {
+	defer p.ctlWg.Done()
+	t := time.NewTicker(p.opts.EvalInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case <-t.C:
+		}
+		depth := len(p.tasks)
+		cur := int(p.workers.Load())
+		switch {
+		case depth >= p.opts.BoostQueueDepth && cur < p.opts.MaxWorkers:
+			// Burst detected: add workers aggressively (double).
+			add := cur
+			if cur+add > p.opts.MaxWorkers {
+				add = p.opts.MaxWorkers - cur
+			}
+			for i := 0; i < add; i++ {
+				p.spawnWorker()
+			}
+			p.boosts.Add(1)
+			p.calm = 0
+		case depth == 0 && cur > 1:
+			p.calm++
+			if p.calm >= p.opts.CooldownTicks {
+				// Calm long enough: retire all extra workers.
+				for i := cur; i > 1; i-- {
+					select {
+					case p.quitCh <- struct{}{}:
+						p.workers.Add(-1)
+					default:
+					}
+				}
+				p.shrinks.Add(1)
+				p.calm = 0
+			}
+		default:
+			p.calm = 0
+		}
+	}
+}
+
+// Submit enqueues a task, blocking when the queue is full (natural
+// backpressure that the controller observes as depth).
+func (p *Pool) Submit(task func()) error {
+	if p.stopped.Load() {
+		return ErrStopped
+	}
+	p.rate.Mark(1)
+	select {
+	case p.tasks <- task:
+		return nil
+	case <-p.stopCh:
+		return ErrStopped
+	}
+}
+
+// SubmitWait runs the task through the pool and waits for completion.
+func (p *Pool) SubmitWait(task func()) error {
+	done := make(chan struct{})
+	if err := p.Submit(func() {
+		task()
+		close(done)
+	}); err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// Workers returns the current worker count.
+func (p *Pool) Workers() int { return int(p.workers.Load()) }
+
+// Mode reports single vs boost.
+func (p *Pool) Mode() Mode {
+	if p.Workers() > 1 {
+		return Boost
+	}
+	return Single
+}
+
+// Stats summarizes controller activity.
+type Stats struct {
+	Workers  int
+	Boosts   int64
+	Shrinks  int64
+	Executed int64
+	Backlog  int
+}
+
+// Stats returns a snapshot.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Workers:  p.Workers(),
+		Boosts:   p.boosts.Load(),
+		Shrinks:  p.shrinks.Load(),
+		Executed: p.executed.Load(),
+		Backlog:  len(p.tasks),
+	}
+}
+
+// Stop drains pending tasks and stops all workers.
+func (p *Pool) Stop() {
+	if p.stopped.Swap(true) {
+		return
+	}
+	close(p.stopCh)
+	p.ctlWg.Wait()
+	p.wg.Wait()
+}

@@ -1,0 +1,633 @@
+// Package engine implements the cache-tier in-memory engine of TierBase
+// (paper §3): a multi-model key-value store with Redis-compatible data
+// types (strings, lists, sets, sorted sets, hashes/wide-columns), CAS
+// operations and TTLs. Values can transparently pass through a pre-trained
+// compressor (§4.2) and/or be offloaded to the simulated persistent-memory
+// arena (§4.3: keys and indexes stay in DRAM, large values move to PMem).
+//
+// The engine is safe for concurrent use; the server tier decides the
+// threading model (one engine per shard under elastic threading).
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tierbase/internal/compress"
+	"tierbase/internal/pmem"
+)
+
+// Kind enumerates value types.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNone Kind = iota
+	KindString
+	KindList
+	KindSet
+	KindZSet
+	KindHash
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindList:
+		return "list"
+	case KindSet:
+		return "set"
+	case KindZSet:
+		return "zset"
+	case KindHash:
+		return "hash"
+	default:
+		return "none"
+	}
+}
+
+// Engine errors.
+var (
+	ErrNotFound    = errors.New("engine: key not found")
+	ErrWrongType   = errors.New("engine: operation against wrong value type")
+	ErrCASMismatch = errors.New("engine: compare-and-set mismatch")
+	ErrNotInteger  = errors.New("engine: value is not an integer")
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Compressor transparently encodes string values (nil = raw).
+	Compressor compress.Compressor
+	// CompressMin is the minimum value size to compress (default 32 B).
+	CompressMin int
+	// Monitor observes compression outcomes for retrain decisions.
+	Monitor *compress.Monitor
+	// Arena offloads string values >= PMemMin bytes to persistent memory.
+	Arena *pmem.Arena
+	// PMemMin is the offload threshold (default 64 B).
+	PMemMin int
+	// Clock overrides time.Now for TTL tests.
+	Clock func() time.Time
+}
+
+func (o *Options) fill() {
+	if o.CompressMin <= 0 {
+		o.CompressMin = 32
+	}
+	if o.PMemMin <= 0 {
+		o.PMemMin = 64
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+}
+
+// storedVal is the physical representation of a string value.
+type storedVal struct {
+	inline     []byte   // DRAM-resident bytes (possibly compressed)
+	ref        pmem.Ref // PMem-resident bytes (possibly compressed); used when !ref.IsZero()
+	compressed bool
+	rawLen     int
+}
+
+// item is one keyed entry.
+type item struct {
+	kind     Kind
+	str      storedVal
+	list     [][]byte
+	set      map[string]struct{}
+	zset     *zset
+	hash     map[string][]byte
+	expireAt int64  // unixnano; 0 = no expiry
+	version  uint64 // bumped on every mutation; CAS token
+	memBytes int64  // approximate DRAM footprint
+}
+
+// Engine is the in-memory store.
+type Engine struct {
+	mu    sync.RWMutex
+	items map[string]*item
+	opts  Options
+
+	memUsed atomic.Int64 // DRAM bytes (keys + values kept inline)
+	hits    atomic.Int64
+	misses  atomic.Int64
+	expired atomic.Int64
+	version atomic.Uint64
+}
+
+// New creates an engine.
+func New(opts Options) *Engine {
+	opts.fill()
+	return &Engine{items: make(map[string]*item), opts: opts}
+}
+
+// now returns the configured clock's time in unixnanos.
+func (e *Engine) now() int64 { return e.opts.Clock().UnixNano() }
+
+// nextVersion allocates a monotone mutation version.
+func (e *Engine) nextVersion() uint64 { return e.version.Add(1) }
+
+// expiredLocked reports whether it has lapsed; caller holds at least RLock.
+func (it *item) expiredAt(now int64) bool {
+	return it.expireAt != 0 && now >= it.expireAt
+}
+
+// getItem returns the live item for key, honoring lazy expiration.
+// Caller must hold e.mu (either mode); expired items are treated as absent
+// (actual deletion happens in write paths or the sweeper).
+func (e *Engine) getItem(key string, now int64) (*item, bool) {
+	it, ok := e.items[key]
+	if !ok || it.expiredAt(now) {
+		return nil, false
+	}
+	return it, true
+}
+
+// deleteItemLocked removes an item and adjusts accounting. Caller holds Lock.
+func (e *Engine) deleteItemLocked(key string, it *item) {
+	if !it.str.ref.IsZero() && e.opts.Arena != nil {
+		e.opts.Arena.Free(it.str.ref)
+	}
+	e.memUsed.Add(-it.memBytes)
+	delete(e.items, key)
+}
+
+// --- value encode/decode (compression + PMem placement) ---
+
+// encodeValue prepares the physical representation of a string value.
+func (e *Engine) encodeValue(val []byte) (storedVal, bool) {
+	sv := storedVal{rawLen: len(val)}
+	data := val
+	unmatched := false
+	if c := e.opts.Compressor; c != nil && len(val) >= e.opts.CompressMin {
+		comp := c.Compress(val)
+		if e.opts.Monitor != nil {
+			unmatched = compress.IsEscape(comp) && c.Name() == "pbc"
+			e.opts.Monitor.Observe(len(val), len(comp), unmatched)
+		}
+		if len(comp) < len(val) {
+			data = comp
+			sv.compressed = true
+		}
+	}
+	if e.opts.Arena != nil && len(data) >= e.opts.PMemMin {
+		if ref, err := e.opts.Arena.Put(data); err == nil {
+			sv.ref = ref
+			return sv, unmatched
+		}
+		// Arena full: fall back to DRAM.
+	}
+	sv.inline = append([]byte(nil), data...)
+	return sv, unmatched
+}
+
+// decodeValue materializes the logical bytes of a stored value.
+func (e *Engine) decodeValue(sv storedVal) ([]byte, error) {
+	data := sv.inline
+	if !sv.ref.IsZero() {
+		var err error
+		data, err = e.opts.Arena.Get(sv.ref)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if sv.compressed {
+		return e.opts.Compressor.Decompress(data)
+	}
+	// Copy so callers can't mutate engine-owned memory.
+	return append([]byte(nil), data...), nil
+}
+
+// dramBytes is the DRAM cost of a stored value (PMem-resident bytes are
+// accounted by the arena, not here).
+func (sv storedVal) dramBytes() int64 {
+	return int64(len(sv.inline))
+}
+
+// --- string operations ---
+
+// Set stores a string value, clearing any TTL.
+func (e *Engine) Set(key string, val []byte) error {
+	sv, _ := e.encodeValue(val)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old, exists := e.items[key]
+	if exists {
+		e.deleteItemLocked(key, old)
+	}
+	it := &item{
+		kind:     KindString,
+		str:      sv,
+		version:  e.nextVersion(),
+		memBytes: int64(len(key)) + sv.dramBytes() + itemOverhead,
+	}
+	e.items[key] = it
+	e.memUsed.Add(it.memBytes)
+	return nil
+}
+
+// itemOverhead approximates per-item bookkeeping bytes (map entry, struct).
+const itemOverhead = 64
+
+// SetNX stores val only if key is absent; reports whether it stored.
+func (e *Engine) SetNX(key string, val []byte) (bool, error) {
+	e.mu.Lock()
+	if it, ok := e.getItem(key, e.now()); ok && it != nil {
+		e.mu.Unlock()
+		return false, nil
+	}
+	e.mu.Unlock()
+	// Racy window is fine: Set re-checks nothing but overwrite semantics
+	// of concurrent SetNX callers is last-writer-wins on the same absent
+	// key, matching Redis behavior under pipelining. For strictness we
+	// redo the check under the write lock:
+	sv, _ := e.encodeValue(val)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if it, ok := e.getItem(key, e.now()); ok && it != nil {
+		return false, nil
+	}
+	if old, exists := e.items[key]; exists { // expired remnant
+		e.deleteItemLocked(key, old)
+	}
+	it := &item{
+		kind:     KindString,
+		str:      sv,
+		version:  e.nextVersion(),
+		memBytes: int64(len(key)) + sv.dramBytes() + itemOverhead,
+	}
+	e.items[key] = it
+	e.memUsed.Add(it.memBytes)
+	return true, nil
+}
+
+// Get fetches a string value.
+func (e *Engine) Get(key string) ([]byte, error) {
+	e.mu.RLock()
+	it, ok := e.getItem(key, e.now())
+	if !ok {
+		e.mu.RUnlock()
+		e.misses.Add(1)
+		return nil, ErrNotFound
+	}
+	if it.kind != KindString {
+		e.mu.RUnlock()
+		return nil, ErrWrongType
+	}
+	sv := it.str
+	e.mu.RUnlock()
+	e.hits.Add(1)
+	return e.decodeValue(sv)
+}
+
+// GetWithVersion fetches a string value plus its CAS version token.
+func (e *Engine) GetWithVersion(key string) ([]byte, uint64, error) {
+	e.mu.RLock()
+	it, ok := e.getItem(key, e.now())
+	if !ok {
+		e.mu.RUnlock()
+		e.misses.Add(1)
+		return nil, 0, ErrNotFound
+	}
+	if it.kind != KindString {
+		e.mu.RUnlock()
+		return nil, 0, ErrWrongType
+	}
+	sv, ver := it.str, it.version
+	e.mu.RUnlock()
+	e.hits.Add(1)
+	val, err := e.decodeValue(sv)
+	return val, ver, err
+}
+
+// Del removes keys; returns how many existed.
+func (e *Engine) Del(keys ...string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	n := 0
+	for _, key := range keys {
+		if it, ok := e.items[key]; ok {
+			if !it.expiredAt(now) {
+				n++
+			}
+			e.deleteItemLocked(key, it)
+		}
+	}
+	return n
+}
+
+// Exists reports whether key is live.
+func (e *Engine) Exists(key string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.getItem(key, e.now())
+	return ok
+}
+
+// Type returns the kind of key (KindNone if absent).
+func (e *Engine) Type(key string) Kind {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	it, ok := e.getItem(key, e.now())
+	if !ok {
+		return KindNone
+	}
+	return it.kind
+}
+
+// CompareAndSet replaces key's value with newVal only if the current value
+// equals oldVal (the paper's CAS operation). oldVal nil means "key absent".
+func (e *Engine) CompareAndSet(key string, oldVal, newVal []byte) error {
+	// Pre-encode outside the lock; wasted work only on mismatch.
+	sv, _ := e.encodeValue(newVal)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	it, ok := e.getItem(key, e.now())
+	if !ok {
+		if oldVal != nil {
+			return ErrCASMismatch
+		}
+	} else {
+		if it.kind != KindString {
+			return ErrWrongType
+		}
+		cur, err := e.decodeValue(it.str)
+		if err != nil {
+			return err
+		}
+		if oldVal == nil || !bytesEqual(cur, oldVal) {
+			return ErrCASMismatch
+		}
+	}
+	if old, exists := e.items[key]; exists {
+		e.deleteItemLocked(key, old)
+	}
+	ni := &item{
+		kind:     KindString,
+		str:      sv,
+		version:  e.nextVersion(),
+		memBytes: int64(len(key)) + sv.dramBytes() + itemOverhead,
+	}
+	e.items[key] = ni
+	e.memUsed.Add(ni.memBytes)
+	return nil
+}
+
+// SetIfVersion replaces key's value only if its version token matches
+// (optimistic concurrency for read-modify-write).
+func (e *Engine) SetIfVersion(key string, val []byte, version uint64) error {
+	sv, _ := e.encodeValue(val)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	it, ok := e.getItem(key, e.now())
+	if !ok || it.version != version {
+		return ErrCASMismatch
+	}
+	e.deleteItemLocked(key, it)
+	ni := &item{
+		kind:     KindString,
+		str:      sv,
+		version:  e.nextVersion(),
+		memBytes: int64(len(key)) + sv.dramBytes() + itemOverhead,
+	}
+	e.items[key] = ni
+	e.memUsed.Add(ni.memBytes)
+	return nil
+}
+
+// IncrBy adds delta to the integer value at key (0 if absent).
+func (e *Engine) IncrBy(key string, delta int64) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	it, ok := e.getItem(key, e.now())
+	var cur int64
+	if ok {
+		if it.kind != KindString {
+			return 0, ErrWrongType
+		}
+		raw, err := e.decodeValue(it.str)
+		if err != nil {
+			return 0, err
+		}
+		cur, err = parseInt(raw)
+		if err != nil {
+			return 0, ErrNotInteger
+		}
+	}
+	cur += delta
+	buf := appendInt(nil, cur)
+	sv := storedVal{inline: buf, rawLen: len(buf)} // counters are never compressed/offloaded
+	if old, exists := e.items[key]; exists {
+		e.deleteItemLocked(key, old)
+	}
+	ni := &item{
+		kind:     KindString,
+		str:      sv,
+		version:  e.nextVersion(),
+		memBytes: int64(len(key)) + sv.dramBytes() + itemOverhead,
+	}
+	e.items[key] = ni
+	e.memUsed.Add(ni.memBytes)
+	return cur, nil
+}
+
+// --- TTL ---
+
+// Expire sets a TTL; reports whether the key existed.
+func (e *Engine) Expire(key string, d time.Duration) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	it, ok := e.getItem(key, e.now())
+	if !ok {
+		return false
+	}
+	it.expireAt = e.now() + int64(d)
+	return true
+}
+
+// Persist clears a TTL; reports whether the key existed.
+func (e *Engine) Persist(key string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	it, ok := e.getItem(key, e.now())
+	if !ok {
+		return false
+	}
+	it.expireAt = 0
+	return true
+}
+
+// TTL returns the remaining lifetime; (0, false) if absent or no TTL.
+func (e *Engine) TTL(key string) (time.Duration, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	it, ok := e.getItem(key, e.now())
+	if !ok || it.expireAt == 0 {
+		return 0, false
+	}
+	return time.Duration(it.expireAt - e.now()), true
+}
+
+// SweepExpired scans up to max keys and deletes lapsed ones, returning the
+// number removed (the active expiration cycle; lazy expiry handles access).
+func (e *Engine) SweepExpired(max int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	removed := 0
+	scanned := 0
+	for key, it := range e.items {
+		if scanned >= max {
+			break
+		}
+		scanned++
+		if it.expiredAt(now) {
+			e.deleteItemLocked(key, it)
+			removed++
+		}
+	}
+	e.expired.Add(int64(removed))
+	return removed
+}
+
+// --- introspection ---
+
+// Stats summarizes engine state.
+type Stats struct {
+	Keys     int
+	MemBytes int64 // DRAM only
+	PMemUsed int64
+	Hits     int64
+	Misses   int64
+	Expired  int64
+}
+
+// Stats returns a snapshot of counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	keys := len(e.items)
+	e.mu.RUnlock()
+	st := Stats{
+		Keys:     keys,
+		MemBytes: e.memUsed.Load(),
+		Hits:     e.hits.Load(),
+		Misses:   e.misses.Load(),
+		Expired:  e.expired.Load(),
+	}
+	if e.opts.Arena != nil {
+		st.PMemUsed = e.opts.Arena.Used()
+	}
+	return st
+}
+
+// MemUsed returns approximate DRAM bytes.
+func (e *Engine) MemUsed() int64 { return e.memUsed.Load() }
+
+// Len returns the number of keys (including not-yet-swept expired ones).
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.items)
+}
+
+// ForEachString visits every live string key (decoded); used for
+// replication snapshots and cost measurement. The callback must not call
+// back into the engine. Iteration order is unspecified.
+func (e *Engine) ForEachString(fn func(key string, val []byte) bool) error {
+	type kv struct {
+		k  string
+		sv storedVal
+	}
+	e.mu.RLock()
+	now := e.now()
+	snapshot := make([]kv, 0, len(e.items))
+	for k, it := range e.items {
+		if it.kind == KindString && !it.expiredAt(now) {
+			snapshot = append(snapshot, kv{k, it.str})
+		}
+	}
+	e.mu.RUnlock()
+	for _, p := range snapshot {
+		val, err := e.decodeValue(p.sv)
+		if err != nil {
+			return err
+		}
+		if !fn(p.k, val) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// FlushAll removes every key (FLUSHALL analog, used by tests/benches).
+func (e *Engine) FlushAll() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for key, it := range e.items {
+		e.deleteItemLocked(key, it)
+	}
+}
+
+// --- small helpers ---
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func parseInt(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, ErrNotInteger
+	}
+	neg := false
+	i := 0
+	if b[0] == '-' {
+		neg = true
+		i = 1
+		if len(b) == 1 {
+			return 0, ErrNotInteger
+		}
+	}
+	var v int64
+	for ; i < len(b); i++ {
+		if b[i] < '0' || b[i] > '9' {
+			return 0, ErrNotInteger
+		}
+		v = v*10 + int64(b[i]-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func appendInt(out []byte, v int64) []byte {
+	if v < 0 {
+		out = append(out, '-')
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	if v == 0 {
+		return append(out, '0')
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(out, buf[i:]...)
+}

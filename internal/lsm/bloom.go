@@ -1,0 +1,100 @@
+// Package lsm implements the storage tier of TierBase: a log-structured
+// merge-tree persistent key-value store (paper §3, "the storage tier
+// typically utilizes a LSM-tree structure stored on SSD or HDD to optimize
+// write performance and storage capacity"). It stands in for UCS, Ant
+// Group's internal "LSM-Tree with a shared disk architecture and remote
+// compaction"; TierBase's pluggable storage adapter (internal/cache's
+// Storage interface) lets any KV store take this role.
+//
+// Components: a skiplist memtable, WAL-backed durability, immutable
+// SSTables with block-structured layout + bloom filters + checksums, a
+// JSON manifest with atomic version edits, leveled and size-tiered
+// compaction, an LRU block cache, and heap-merged iterators.
+package lsm
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// bloomFilter is a standard Bloom filter with double hashing
+// (Kirsch-Mitzenmacher), k derived from bits-per-key.
+type bloomFilter struct {
+	bits []byte
+	k    uint32
+}
+
+// newBloom sizes a filter for n keys at bitsPerKey.
+func newBloom(n int, bitsPerKey int) *bloomFilter {
+	if bitsPerKey < 1 {
+		bitsPerKey = 10
+	}
+	nBits := n * bitsPerKey
+	if nBits < 64 {
+		nBits = 64
+	}
+	k := uint32(float64(bitsPerKey) * 0.69) // ln2 * bitsPerKey
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &bloomFilter{bits: make([]byte, (nBits+7)/8), k: k}
+}
+
+func bloomHash(key []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(key)
+	h1 := h.Sum64()
+	// Second independent-ish hash: rehash with a salt byte.
+	h2 := fnv.New64a()
+	h2.Write([]byte{0x9e})
+	h2.Write(key)
+	return h1, h2.Sum64() | 1 // ensure odd so strides cover the table
+}
+
+// Add inserts a key.
+func (b *bloomFilter) Add(key []byte) {
+	h1, h2 := bloomHash(key)
+	n := uint64(len(b.bits)) * 8
+	for i := uint32(0); i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % n
+		b.bits[pos/8] |= 1 << (pos % 8)
+	}
+}
+
+// MayContain reports whether key is possibly present (no false negatives).
+func (b *bloomFilter) MayContain(key []byte) bool {
+	if len(b.bits) == 0 {
+		return true
+	}
+	h1, h2 := bloomHash(key)
+	n := uint64(len(b.bits)) * 8
+	for i := uint32(0); i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % n
+		if b.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Marshal encodes the filter as [k uint32][bits...].
+func (b *bloomFilter) Marshal() []byte {
+	out := make([]byte, 4+len(b.bits))
+	binary.LittleEndian.PutUint32(out, b.k)
+	copy(out[4:], b.bits)
+	return out
+}
+
+// unmarshalBloom decodes a filter produced by Marshal.
+func unmarshalBloom(data []byte) *bloomFilter {
+	if len(data) < 4 {
+		return &bloomFilter{}
+	}
+	return &bloomFilter{
+		k:    binary.LittleEndian.Uint32(data),
+		bits: data[4:],
+	}
+}

@@ -1,0 +1,384 @@
+package lsm
+
+import (
+	"bytes"
+	"container/heap"
+	"os"
+	"sort"
+)
+
+// compactionLoop is the single background compactor goroutine ("remote
+// compaction" analog: merging happens off the write path). It drains
+// trigger signals and runs one compaction round per signal until the
+// channel is closed by Close.
+func (db *DB) compactionLoop() {
+	defer close(db.compactDone)
+	for range db.compactCh {
+		for db.compactOnce() {
+		}
+	}
+}
+
+// compactOnce picks and runs one compaction; reports whether work was done.
+// Compactions must never run concurrently (two racing merges could pick
+// overlapping inputs and resurrect deleted keys), so the whole round is
+// serialized: the background loop and CompactAll both funnel through here.
+func (db *DB) compactOnce() bool {
+	db.compactMu.Lock()
+	defer db.compactMu.Unlock()
+	switch db.opts.Compaction {
+	case SizeTiered:
+		return db.compactSizeTiered()
+	default:
+		return db.compactLeveled()
+	}
+}
+
+// levelLimit returns the byte budget for level l (l >= 1).
+func (db *DB) levelLimit(l int) int64 {
+	limit := db.opts.BaseLevelBytes
+	for i := 1; i < l; i++ {
+		limit *= int64(db.opts.LevelMultiplier)
+	}
+	return limit
+}
+
+// pickLeveled chooses inputs under db.mu; returns (inputs, outLevel, ok).
+func (db *DB) pickLeveled() (inputs []tableMeta, outLevel int, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, 0, false
+	}
+	// L0 -> L1 when too many overlapping runs accumulate.
+	if len(db.man.Levels[0]) >= db.opts.L0CompactionTrigger {
+		inputs = append(inputs, db.man.Levels[0]...)
+		lo, hi := keyRange(inputs)
+		for _, t := range db.man.Levels[1] {
+			if overlaps(t, lo, hi) {
+				inputs = append(inputs, t)
+			}
+		}
+		return inputs, 1, true
+	}
+	// Ln -> Ln+1 when a level exceeds its budget.
+	for l := 1; l < len(db.man.Levels)-1; l++ {
+		if db.man.totalBytes(l) <= db.levelLimit(l) || len(db.man.Levels[l]) == 0 {
+			continue
+		}
+		pick := db.man.Levels[l][0] // oldest-first rotation
+		inputs = append(inputs, pick)
+		for _, t := range db.man.Levels[l+1] {
+			if overlaps(t, pick.Smallest, pick.Largest) {
+				inputs = append(inputs, t)
+			}
+		}
+		return inputs, l + 1, true
+	}
+	return nil, 0, false
+}
+
+// compactLeveled runs one leveled compaction; returns true if work was done.
+func (db *DB) compactLeveled() bool {
+	inputs, outLevel, ok := db.pickLeveled()
+	if !ok {
+		return false
+	}
+	dropTombstones := outLevel == db.opts.MaxLevels-1
+	outputs, err := db.mergeTables(inputs, dropTombstones)
+	if err != nil {
+		// Abandon this round; inputs remain valid.
+		return false
+	}
+	return db.installCompaction(inputs, outputs, outLevel)
+}
+
+// compactSizeTiered merges the N smallest similar-sized runs (all in L0).
+func (db *DB) compactSizeTiered() bool {
+	const minThreshold = 4
+	db.mu.RLock()
+	if db.closed || len(db.man.Levels[0]) < minThreshold {
+		db.mu.RUnlock()
+		return false
+	}
+	tables := append([]tableMeta(nil), db.man.Levels[0]...)
+	db.mu.RUnlock()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Size < tables[j].Size })
+	inputs := tables[:minThreshold]
+	dropTombstones := len(inputs) == len(tables)
+	outputs, err := db.mergeTables(inputs, dropTombstones)
+	if err != nil {
+		return false
+	}
+	return db.installCompaction(inputs, outputs, 0)
+}
+
+// mergeTables merge-sorts the inputs into new tables split at
+// TargetFileBytes; runs without holding db.mu (inputs are immutable).
+func (db *DB) mergeTables(inputs []tableMeta, dropTombstones bool) ([]tableMeta, error) {
+	db.mu.RLock()
+	iters := make([]internalIter, 0, len(inputs))
+	for _, meta := range inputs {
+		r := db.readers[meta.Num]
+		if r == nil {
+			db.mu.RUnlock()
+			return nil, ErrDBClosed
+		}
+		iters = append(iters, r.iter())
+	}
+	db.mu.RUnlock()
+
+	merged := newMergeIter(iters)
+	var outputs []tableMeta
+	var tb *tableBuilder
+	var tbNum uint64
+	var tbBytes int64
+	finishCurrent := func() error {
+		if tb == nil {
+			return nil
+		}
+		meta, err := tb.finish(tbNum)
+		if err != nil {
+			return err
+		}
+		outputs = append(outputs, meta)
+		tb = nil
+		tbBytes = 0
+		return nil
+	}
+	abort := func() {
+		if tb != nil {
+			tb.abandon()
+		}
+		for _, m := range outputs {
+			os.Remove(tableFileName(db.opts.Dir, m.Num))
+		}
+	}
+	for merged.next() {
+		e := merged.entry()
+		if dropTombstones && e.kind == kindDelete {
+			continue
+		}
+		if tb == nil {
+			tbNum = db.allocFileNum()
+			var err error
+			tb, err = newTableBuilder(tableFileName(db.opts.Dir, tbNum), db.opts.BlockBytes, db.opts.BloomBitsPerKey)
+			if err != nil {
+				abort()
+				return nil, err
+			}
+		}
+		if err := tb.add(merged.key(), e); err != nil {
+			abort()
+			return nil, err
+		}
+		tbBytes += int64(len(merged.key()) + len(e.value) + 16)
+		if tbBytes >= db.opts.TargetFileBytes {
+			if err := finishCurrent(); err != nil {
+				abort()
+				return nil, err
+			}
+		}
+	}
+	if merged.err() != nil {
+		abort()
+		return nil, merged.err()
+	}
+	if err := finishCurrent(); err != nil {
+		abort()
+		return nil, err
+	}
+	return outputs, nil
+}
+
+// installCompaction swaps inputs for outputs in the manifest under db.mu.
+func (db *DB) installCompaction(inputs, outputs []tableMeta, outLevel int) bool {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		for _, m := range outputs {
+			os.Remove(tableFileName(db.opts.Dir, m.Num))
+		}
+		return false
+	}
+	newMan := db.man.clone()
+	inSet := make(map[uint64]bool, len(inputs))
+	for _, m := range inputs {
+		inSet[m.Num] = true
+	}
+	for l := range newMan.Levels {
+		kept := newMan.Levels[l][:0]
+		for _, t := range newMan.Levels[l] {
+			if !inSet[t.Num] {
+				kept = append(kept, t)
+			}
+		}
+		newMan.Levels[l] = kept
+	}
+	newMan.Levels[outLevel] = append(newMan.Levels[outLevel], outputs...)
+	if outLevel > 0 {
+		sort.Slice(newMan.Levels[outLevel], func(i, j int) bool {
+			return bytes.Compare(newMan.Levels[outLevel][i].Smallest, newMan.Levels[outLevel][j].Smallest) < 0
+		})
+	}
+	newMan.NextFile = db.nextFile.Load()
+	// Open new readers before committing.
+	newReaders := make([]*tableReader, 0, len(outputs))
+	for _, m := range outputs {
+		r, err := openTable(db.opts.Dir, m, db.cache)
+		if err != nil {
+			for _, nr := range newReaders {
+				nr.close()
+			}
+			db.mu.Unlock()
+			return false
+		}
+		newReaders = append(newReaders, r)
+	}
+	if err := newMan.save(db.opts.Dir); err != nil {
+		for _, nr := range newReaders {
+			nr.close()
+		}
+		db.mu.Unlock()
+		return false
+	}
+	db.man = newMan
+	for i, m := range outputs {
+		db.readers[m.Num] = newReaders[i]
+	}
+	for _, m := range inputs {
+		if r := db.readers[m.Num]; r != nil {
+			r.close()
+			delete(db.readers, m.Num)
+		}
+		if db.cache != nil {
+			db.cache.dropFile(m.Num)
+		}
+		os.Remove(tableFileName(db.opts.Dir, m.Num))
+	}
+	db.mu.Unlock()
+	db.statsMu.Lock()
+	db.compactions++
+	db.statsMu.Unlock()
+	return true
+}
+
+// CompactAll drains pending compactions synchronously (tests, benches).
+func (db *DB) CompactAll() {
+	for db.compactOnce() {
+	}
+}
+
+func keyRange(tables []tableMeta) (lo, hi []byte) {
+	for i, t := range tables {
+		if i == 0 {
+			lo, hi = t.Smallest, t.Largest
+			continue
+		}
+		if bytes.Compare(t.Smallest, lo) < 0 {
+			lo = t.Smallest
+		}
+		if bytes.Compare(t.Largest, hi) > 0 {
+			hi = t.Largest
+		}
+	}
+	return lo, hi
+}
+
+func overlaps(t tableMeta, lo, hi []byte) bool {
+	return bytes.Compare(t.Largest, lo) >= 0 && bytes.Compare(t.Smallest, hi) <= 0
+}
+
+// --- merge iterator, newest (highest seq) wins ---
+
+// internalIter is the common shape of slIterator and tableIterator.
+type internalIter interface {
+	next() bool
+	seekGE(key []byte) bool
+	key() []byte
+	entry() memEntry
+}
+
+var (
+	_ internalIter = (*slIterator)(nil)
+	_ internalIter = (*tableIterator)(nil)
+)
+
+type mergeSource struct {
+	it internalIter
+}
+
+type mergeHeap []*mergeSource
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	c := bytes.Compare(h[i].it.key(), h[j].it.key())
+	if c != 0 {
+		return c < 0
+	}
+	// Same key: higher sequence first so the newest version surfaces first.
+	return h[i].it.entry().seq > h[j].it.entry().seq
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*mergeSource)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mergeIter yields one entry per distinct key (the newest version),
+// in ascending key order, across multiple table iterators.
+type mergeIter struct {
+	h       mergeHeap
+	curKey  []byte
+	curEnt  memEntry
+	lastErr error
+}
+
+func newMergeIter(iters []internalIter) *mergeIter {
+	m := &mergeIter{}
+	for _, it := range iters {
+		if it.next() {
+			m.h = append(m.h, &mergeSource{it: it})
+		} else if t, ok := it.(*tableIterator); ok && t.err != nil {
+			m.lastErr = t.err
+		}
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+func (m *mergeIter) next() bool {
+	if m.lastErr != nil {
+		return false
+	}
+	for m.h.Len() > 0 {
+		src := m.h[0]
+		key := append([]byte(nil), src.it.key()...)
+		ent := src.it.entry()
+		ent.value = append([]byte(nil), ent.value...)
+		// Advance every source sitting on this key (duplicates: older versions).
+		for m.h.Len() > 0 && bytes.Equal(m.h[0].it.key(), key) {
+			s := m.h[0]
+			if s.it.next() {
+				heap.Fix(&m.h, 0)
+			} else {
+				if t, ok := s.it.(*tableIterator); ok && t.err != nil {
+					m.lastErr = t.err
+					return false
+				}
+				heap.Pop(&m.h)
+			}
+		}
+		m.curKey, m.curEnt = key, ent
+		return true
+	}
+	return false
+}
+
+func (m *mergeIter) key() []byte     { return m.curKey }
+func (m *mergeIter) entry() memEntry { return m.curEnt }
+func (m *mergeIter) err() error      { return m.lastErr }

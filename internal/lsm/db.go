@@ -1,0 +1,478 @@
+package lsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"tierbase/internal/wal"
+)
+
+// CompactionStyle selects the merge policy.
+type CompactionStyle int
+
+// Compaction styles.
+const (
+	// Leveled compaction (RocksDB/LevelDB style): non-overlapping runs per
+	// level, L0 overlapping. Better read amplification; the default, and
+	// the style attributed to the HBase-like baseline.
+	Leveled CompactionStyle = iota
+	// SizeTiered compaction (Cassandra style): similar-sized runs merged
+	// together, all runs overlapping. Better write amplification.
+	SizeTiered
+)
+
+// Options configures a DB.
+type Options struct {
+	Dir                 string
+	MemtableBytes       int64 // flush threshold; default 4 MiB
+	BlockBytes          int   // data block target; default 4 KiB
+	BloomBitsPerKey     int   // 0 = default 10; -1 disables bloom filters
+	BlockCacheBytes     int64 // default 8 MiB; 0 uses default, -1 disables
+	L0CompactionTrigger int   // default 4
+	BaseLevelBytes      int64 // L1 size limit; default 16 MiB
+	LevelMultiplier     int   // default 10
+	MaxLevels           int   // default 7
+	TargetFileBytes     int64 // compaction output split size; default 2 MiB
+	Compaction          CompactionStyle
+	DisableWAL          bool
+	WALSyncPolicy       wal.SyncPolicy
+	// WALFactory overrides WAL construction (e.g. PMem-backed WAL).
+	// If nil, a file-backed log in Dir/wal is used.
+	WALFactory func(dir string) (wal.Appender, error)
+}
+
+func (o *Options) fill() {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = 4 << 10
+	}
+	if o.BloomBitsPerKey == 0 {
+		o.BloomBitsPerKey = 10
+	}
+	if o.BlockCacheBytes == 0 {
+		o.BlockCacheBytes = 8 << 20
+	}
+	if o.L0CompactionTrigger <= 0 {
+		o.L0CompactionTrigger = 4
+	}
+	if o.BaseLevelBytes <= 0 {
+		o.BaseLevelBytes = 16 << 20
+	}
+	if o.LevelMultiplier <= 0 {
+		o.LevelMultiplier = 10
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 7
+	}
+	if o.TargetFileBytes <= 0 {
+		o.TargetFileBytes = 2 << 20
+	}
+}
+
+// DB errors.
+var (
+	ErrNotFound = errors.New("lsm: key not found")
+	ErrDBClosed = errors.New("lsm: db closed")
+)
+
+// DB is the LSM-tree key-value store.
+type DB struct {
+	opts Options
+
+	mu      sync.RWMutex
+	mem     *skiplist
+	wlog    wal.Appender
+	walDir  string
+	man     *manifest
+	readers map[uint64]*tableReader
+	cache   *blockCache
+	seq     uint64
+	closed  bool
+
+	// nextFile allocates table file numbers; shared by the foreground
+	// flush path and the background compactor, so it must be atomic.
+	nextFile atomic.Uint64
+
+	compactCh   chan struct{}
+	compactDone chan struct{}
+	compactMu   sync.Mutex // serializes compaction rounds
+
+	statsMu     sync.Mutex
+	flushes     int64
+	compactions int64
+	writeBytes  int64
+}
+
+// Open opens (creating if needed) a DB at opts.Dir and recovers state from
+// the manifest and WAL.
+func Open(opts Options) (*DB, error) {
+	opts.fill()
+	if opts.Dir == "" {
+		return nil, errors.New("lsm: Dir required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lsm: mkdir: %w", err)
+	}
+	man, err := loadManifest(opts.Dir, opts.MaxLevels)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		opts:        opts,
+		mem:         newSkiplist(),
+		man:         man,
+		readers:     make(map[uint64]*tableReader),
+		seq:         man.LastSeq,
+		compactCh:   make(chan struct{}, 1),
+		compactDone: make(chan struct{}),
+	}
+	db.nextFile.Store(man.NextFile)
+	if opts.BlockCacheBytes > 0 {
+		db.cache = newBlockCache(opts.BlockCacheBytes)
+	}
+	for _, lvl := range man.Levels {
+		for _, meta := range lvl {
+			r, err := openTable(opts.Dir, meta, db.cache)
+			if err != nil {
+				db.closeReadersLocked()
+				return nil, err
+			}
+			db.readers[meta.Num] = r
+		}
+	}
+	db.walDir = opts.Dir + "/wal"
+	if !opts.DisableWAL {
+		// Replay any records newer than the last flush.
+		if err := wal.Replay(db.walDir, func(p []byte) error {
+			seq, kind, key, val, err := decodeWALRecord(p)
+			if err != nil {
+				return err
+			}
+			db.mem.put(key, memEntry{seq: seq, kind: kind, value: val})
+			if seq > db.seq {
+				db.seq = seq
+			}
+			return nil
+		}); err != nil {
+			db.closeReadersLocked()
+			return nil, err
+		}
+		if opts.WALFactory != nil {
+			db.wlog, err = opts.WALFactory(db.walDir)
+		} else {
+			db.wlog, err = wal.Open(wal.Options{Dir: db.walDir, Policy: opts.WALSyncPolicy})
+		}
+		if err != nil {
+			db.closeReadersLocked()
+			return nil, err
+		}
+	}
+	go db.compactionLoop()
+	return db, nil
+}
+
+func (db *DB) closeReadersLocked() {
+	for _, r := range db.readers {
+		r.close()
+	}
+}
+
+// encodeWALRecord frames one write for the WAL.
+func encodeWALRecord(seq uint64, kind entryKind, key, val []byte) []byte {
+	buf := make([]byte, 0, binary.MaxVarintLen64*3+1+len(key)+len(val))
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], seq)
+	buf = append(buf, tmp[:n]...)
+	buf = append(buf, byte(kind))
+	n = binary.PutUvarint(tmp[:], uint64(len(key)))
+	buf = append(buf, tmp[:n]...)
+	buf = append(buf, key...)
+	n = binary.PutUvarint(tmp[:], uint64(len(val)))
+	buf = append(buf, tmp[:n]...)
+	buf = append(buf, val...)
+	return buf
+}
+
+func decodeWALRecord(p []byte) (seq uint64, kind entryKind, key, val []byte, err error) {
+	badRec := errors.New("lsm: bad wal record")
+	seq, n := binary.Uvarint(p)
+	if n <= 0 || n >= len(p) {
+		return 0, 0, nil, nil, badRec
+	}
+	p = p[n:]
+	kind = entryKind(p[0])
+	p = p[1:]
+	klen, n := binary.Uvarint(p)
+	if n <= 0 || int(klen) > len(p)-n {
+		return 0, 0, nil, nil, badRec
+	}
+	p = p[n:]
+	key = append([]byte(nil), p[:klen]...)
+	p = p[klen:]
+	vlen, n := binary.Uvarint(p)
+	if n <= 0 || int(vlen) > len(p)-n {
+		return 0, 0, nil, nil, badRec
+	}
+	p = p[n:]
+	val = append([]byte(nil), p[:vlen]...)
+	return seq, kind, key, val, nil
+}
+
+// allocFileNum returns a fresh table file number.
+func (db *DB) allocFileNum() uint64 { return db.nextFile.Add(1) - 1 }
+
+// Put stores key=value.
+func (db *DB) Put(key, value []byte) error {
+	return db.write(kindSet, key, value)
+}
+
+// Delete removes key (writes a tombstone).
+func (db *DB) Delete(key []byte) error {
+	return db.write(kindDelete, key, nil)
+}
+
+func (db *DB) write(kind entryKind, key, value []byte) error {
+	if len(key) == 0 {
+		return errors.New("lsm: empty key")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrDBClosed
+	}
+	db.seq++
+	seq := db.seq
+	if db.wlog != nil {
+		if err := db.wlog.Append(encodeWALRecord(seq, kind, key, value)); err != nil {
+			return err
+		}
+	}
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	db.mem.put(k, memEntry{seq: seq, kind: kind, value: v})
+	db.statsMu.Lock()
+	db.writeBytes += int64(len(key) + len(value))
+	db.statsMu.Unlock()
+	if db.mem.approximateSize() >= db.opts.MemtableBytes {
+		if err := db.flushMemtableLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get fetches the value for key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrDBClosed
+	}
+	if e, ok := db.mem.get(key); ok {
+		if e.kind == kindDelete {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), e.value...), nil
+	}
+	// L0: overlapping tables — consult all, keep the highest sequence.
+	var best memEntry
+	var found bool
+	for _, meta := range db.man.Levels[0] {
+		r := db.readers[meta.Num]
+		if r == nil {
+			continue
+		}
+		if bytes.Compare(key, meta.Smallest) < 0 || bytes.Compare(key, meta.Largest) > 0 {
+			continue
+		}
+		e, ok, err := r.get(key)
+		if err != nil {
+			return nil, err
+		}
+		if ok && (!found || e.seq > best.seq) {
+			best, found = e, true
+		}
+	}
+	if found {
+		if best.kind == kindDelete {
+			return nil, ErrNotFound
+		}
+		return best.value, nil
+	}
+	// L1+: non-overlapping — at most one candidate per level.
+	for l := 1; l < len(db.man.Levels); l++ {
+		for _, meta := range db.man.Levels[l] {
+			if bytes.Compare(key, meta.Smallest) < 0 || bytes.Compare(key, meta.Largest) > 0 {
+				continue
+			}
+			r := db.readers[meta.Num]
+			if r == nil {
+				continue
+			}
+			e, ok, err := r.get(key)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				if e.kind == kindDelete {
+					return nil, ErrNotFound
+				}
+				return e.value, nil
+			}
+			break // non-overlapping: no other table in this level can match
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Has reports whether key exists.
+func (db *DB) Has(key []byte) (bool, error) {
+	_, err := db.Get(key)
+	if err == ErrNotFound {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// flushMemtableLocked writes the memtable to a new L0 table. Caller holds mu.
+func (db *DB) flushMemtableLocked() error {
+	if db.mem.entries() == 0 {
+		return nil
+	}
+	num := db.allocFileNum()
+	tb, err := newTableBuilder(tableFileName(db.opts.Dir, num), db.opts.BlockBytes, db.opts.BloomBitsPerKey)
+	if err != nil {
+		return err
+	}
+	it := db.mem.iter()
+	for it.next() {
+		if err := tb.add(it.key(), it.entry()); err != nil {
+			tb.abandon()
+			return err
+		}
+	}
+	meta, err := tb.finish(num)
+	if err != nil {
+		return err
+	}
+	r, err := openTable(db.opts.Dir, meta, db.cache)
+	if err != nil {
+		return err
+	}
+	newMan := db.man.clone()
+	newMan.NextFile = db.nextFile.Load()
+	newMan.LastSeq = db.seq
+	newMan.Levels[0] = append(newMan.Levels[0], meta)
+	if err := newMan.save(db.opts.Dir); err != nil {
+		r.close()
+		return err
+	}
+	db.man = newMan
+	db.readers[num] = r
+	db.mem = newSkiplist()
+	if db.wlog != nil {
+		if l, ok := db.wlog.(*wal.Log); ok {
+			if err := l.Truncate(); err != nil {
+				return err
+			}
+		}
+	}
+	db.statsMu.Lock()
+	db.flushes++
+	db.statsMu.Unlock()
+	db.triggerCompaction()
+	return nil
+}
+
+// Flush forces the memtable to disk (used by checkpoints and tests).
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrDBClosed
+	}
+	return db.flushMemtableLocked()
+}
+
+func (db *DB) triggerCompaction() {
+	select {
+	case db.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+// Stats summarizes DB state for monitoring and cost measurement.
+type Stats struct {
+	MemtableBytes  int64
+	DiskBytes      int64
+	TableCount     int
+	LevelBytes     []int64
+	Flushes        int64
+	Compactions    int64
+	WriteBytes     int64
+	CacheHits      int64
+	CacheMisses    int64
+	CacheBytes     int64
+	SequenceNumber uint64
+}
+
+// Stats returns a snapshot of internal counters.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	st := Stats{
+		MemtableBytes:  db.mem.approximateSize(),
+		LevelBytes:     make([]int64, len(db.man.Levels)),
+		SequenceNumber: db.seq,
+	}
+	for l, lvl := range db.man.Levels {
+		for _, t := range lvl {
+			st.DiskBytes += t.Size
+			st.TableCount++
+			st.LevelBytes[l] += t.Size
+		}
+	}
+	cache := db.cache
+	db.mu.RUnlock()
+	db.statsMu.Lock()
+	st.Flushes = db.flushes
+	st.Compactions = db.compactions
+	st.WriteBytes = db.writeBytes
+	db.statsMu.Unlock()
+	if cache != nil {
+		st.CacheHits, st.CacheMisses, st.CacheBytes = cache.stats()
+	}
+	return st
+}
+
+// Close flushes the memtable and releases all resources.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	err := db.flushMemtableLocked()
+	db.closed = true
+	db.closeReadersLocked()
+	var werr error
+	if db.wlog != nil {
+		werr = db.wlog.Close()
+	}
+	db.mu.Unlock()
+	close(db.compactCh)
+	<-db.compactDone
+	if err != nil {
+		return err
+	}
+	return werr
+}

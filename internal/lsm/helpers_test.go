@@ -1,0 +1,6 @@
+package lsm
+
+import "os"
+
+func mkdirTemp(dir, pattern string) (string, error) { return os.MkdirTemp(dir, pattern) }
+func removeAll(path string)                         { os.RemoveAll(path) }

@@ -1,0 +1,84 @@
+package lsm
+
+import (
+	"bytes"
+)
+
+// KV is one key-value pair returned by Scan.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan returns up to limit live pairs with start <= key < end, in key
+// order. A nil end means unbounded; limit <= 0 means no limit. The scan
+// holds the DB read lock for its duration: it sees a consistent view and
+// is intended for bounded range reads (wide-column row scans, verification
+// sweeps), not full-database dumps under write load.
+func (db *DB) Scan(start, end []byte, limit int) ([]KV, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrDBClosed
+	}
+	iters := make([]internalIter, 0, 1+len(db.readers))
+	iters = append(iters, db.mem.iter())
+	for _, lvl := range db.man.Levels {
+		for _, meta := range lvl {
+			if r := db.readers[meta.Num]; r != nil {
+				iters = append(iters, r.iter())
+			}
+		}
+	}
+	if start != nil {
+		positioned := iters[:0]
+		for _, it := range iters {
+			if it.seekGE(start) {
+				positioned = append(positioned, &peekedIter{it: it, peeked: true})
+			}
+		}
+		iters = positioned
+	}
+	m := newMergeIter(iters)
+	var out []KV
+	for m.next() {
+		if end != nil && bytes.Compare(m.key(), end) >= 0 {
+			break
+		}
+		e := m.entry()
+		if e.kind == kindDelete {
+			continue
+		}
+		out = append(out, KV{
+			Key:   append([]byte(nil), m.key()...),
+			Value: append([]byte(nil), e.value...),
+		})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, m.err()
+}
+
+// peekedIter adapts an iterator that has already been positioned by seekGE:
+// the first next() reports the current position instead of advancing.
+type peekedIter struct {
+	it     internalIter
+	peeked bool
+}
+
+func (p *peekedIter) next() bool {
+	if p.peeked {
+		p.peeked = false
+		return true
+	}
+	return p.it.next()
+}
+
+func (p *peekedIter) seekGE(key []byte) bool {
+	p.peeked = false
+	return p.it.seekGE(key)
+}
+
+func (p *peekedIter) key() []byte     { return p.it.key() }
+func (p *peekedIter) entry() memEntry { return p.it.entry() }

@@ -1,0 +1,501 @@
+package lsm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SSTable layout:
+//
+//	data blocks   entry*, each: klen uvarint | vlen uvarint | seq uvarint |
+//	              kind byte | key | value
+//	index block   count uvarint, then per block:
+//	              klen uvarint | lastKey | off uvarint | len uvarint | crc fixed32
+//	bloom block   marshaled bloom filter over user keys
+//	footer        48 bytes fixed: indexOff, indexLen, bloomOff, bloomLen,
+//	              numEntries, magic (all little-endian uint64)
+//
+// Blocks are individually CRC-checked via the index. Tables are immutable
+// once built, which is what makes the shared-nothing read path lock-free.
+
+const (
+	footerSize = 48
+	tableMagic = 0x7462_5353_5461_626c // "tbSSTabl"
+)
+
+var (
+	errBadMagic   = errors.New("lsm: bad sstable magic")
+	errBadBlock   = errors.New("lsm: block checksum mismatch")
+	errBadFooter  = errors.New("lsm: truncated sstable footer")
+	crcTableCasta = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// tableMeta describes a finished table for the manifest.
+type tableMeta struct {
+	Num      uint64 `json:"num"`
+	Size     int64  `json:"size"`
+	Count    int64  `json:"count"`
+	Smallest []byte `json:"smallest"`
+	Largest  []byte `json:"largest"`
+}
+
+func tableFileName(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%06d.sst", num))
+}
+
+// --- builder ---
+
+type tableBuilder struct {
+	f         *os.File
+	w         *bufio.Writer
+	path      string
+	blockSize int
+	bloomBPK  int
+
+	blockBuf   bytes.Buffer
+	blockFirst bool
+	lastKey    []byte
+	indexEnts  []indexEntry
+	keysHashes [][]byte
+	off        uint64
+	count      int64
+	smallest   []byte
+	largest    []byte
+}
+
+type indexEntry struct {
+	lastKey []byte
+	off     uint64
+	length  uint32
+	crc     uint32
+}
+
+func newTableBuilder(path string, blockSize, bloomBitsPerKey int) (*tableBuilder, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: create table: %w", err)
+	}
+	if blockSize <= 0 {
+		blockSize = 4 << 10
+	}
+	return &tableBuilder{
+		f: f, w: bufio.NewWriterSize(f, 256<<10), path: path,
+		blockSize: blockSize, bloomBPK: bloomBitsPerKey, blockFirst: true,
+	}, nil
+}
+
+// add appends an entry; keys must arrive in strictly increasing order.
+func (b *tableBuilder) add(key []byte, e memEntry) error {
+	if b.largest != nil && bytes.Compare(key, b.largest) <= 0 {
+		return fmt.Errorf("lsm: keys out of order: %q after %q", key, b.largest)
+	}
+	if b.smallest == nil {
+		b.smallest = append([]byte(nil), key...)
+	}
+	b.largest = append(b.largest[:0], key...)
+
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(key)))
+	b.blockBuf.Write(tmp[:n])
+	n = binary.PutUvarint(tmp[:], uint64(len(e.value)))
+	b.blockBuf.Write(tmp[:n])
+	n = binary.PutUvarint(tmp[:], e.seq)
+	b.blockBuf.Write(tmp[:n])
+	b.blockBuf.WriteByte(byte(e.kind))
+	b.blockBuf.Write(key)
+	b.blockBuf.Write(e.value)
+
+	b.lastKey = append(b.lastKey[:0], key...)
+	b.keysHashes = append(b.keysHashes, append([]byte(nil), key...))
+	b.count++
+	if b.blockBuf.Len() >= b.blockSize {
+		return b.finishBlock()
+	}
+	return nil
+}
+
+func (b *tableBuilder) finishBlock() error {
+	if b.blockBuf.Len() == 0 {
+		return nil
+	}
+	data := b.blockBuf.Bytes()
+	crc := crc32.Checksum(data, crcTableCasta)
+	if _, err := b.w.Write(data); err != nil {
+		return fmt.Errorf("lsm: write block: %w", err)
+	}
+	b.indexEnts = append(b.indexEnts, indexEntry{
+		lastKey: append([]byte(nil), b.lastKey...),
+		off:     b.off,
+		length:  uint32(len(data)),
+		crc:     crc,
+	})
+	b.off += uint64(len(data))
+	b.blockBuf.Reset()
+	return nil
+}
+
+// finish writes index, bloom and footer; returns table metadata.
+func (b *tableBuilder) finish(num uint64) (tableMeta, error) {
+	if err := b.finishBlock(); err != nil {
+		return tableMeta{}, err
+	}
+	// index
+	var idx bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(b.indexEnts)))
+	idx.Write(tmp[:n])
+	for _, e := range b.indexEnts {
+		n = binary.PutUvarint(tmp[:], uint64(len(e.lastKey)))
+		idx.Write(tmp[:n])
+		idx.Write(e.lastKey)
+		n = binary.PutUvarint(tmp[:], e.off)
+		idx.Write(tmp[:n])
+		n = binary.PutUvarint(tmp[:], uint64(e.length))
+		idx.Write(tmp[:n])
+		var crcb [4]byte
+		binary.LittleEndian.PutUint32(crcb[:], e.crc)
+		idx.Write(crcb[:])
+	}
+	indexOff := b.off
+	if _, err := b.w.Write(idx.Bytes()); err != nil {
+		return tableMeta{}, fmt.Errorf("lsm: write index: %w", err)
+	}
+	b.off += uint64(idx.Len())
+
+	// bloom
+	bloom := newBloom(len(b.keysHashes), b.bloomBPK)
+	for _, k := range b.keysHashes {
+		bloom.Add(k)
+	}
+	bloomBytes := bloom.Marshal()
+	bloomOff := b.off
+	if _, err := b.w.Write(bloomBytes); err != nil {
+		return tableMeta{}, fmt.Errorf("lsm: write bloom: %w", err)
+	}
+	b.off += uint64(len(bloomBytes))
+
+	// footer
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:8], indexOff)
+	binary.LittleEndian.PutUint64(footer[8:16], uint64(idx.Len()))
+	binary.LittleEndian.PutUint64(footer[16:24], bloomOff)
+	binary.LittleEndian.PutUint64(footer[24:32], uint64(len(bloomBytes)))
+	binary.LittleEndian.PutUint64(footer[32:40], uint64(b.count))
+	binary.LittleEndian.PutUint64(footer[40:48], tableMagic)
+	if _, err := b.w.Write(footer[:]); err != nil {
+		return tableMeta{}, fmt.Errorf("lsm: write footer: %w", err)
+	}
+	if err := b.w.Flush(); err != nil {
+		return tableMeta{}, err
+	}
+	if err := b.f.Sync(); err != nil {
+		return tableMeta{}, err
+	}
+	if err := b.f.Close(); err != nil {
+		return tableMeta{}, err
+	}
+	return tableMeta{
+		Num:      num,
+		Size:     int64(b.off) + footerSize,
+		Count:    b.count,
+		Smallest: b.smallest,
+		Largest:  b.largest,
+	}, nil
+}
+
+func (b *tableBuilder) abandon() {
+	b.f.Close()
+	os.Remove(b.path)
+}
+
+// --- reader ---
+
+// tableReader serves reads from one immutable SSTable.
+type tableReader struct {
+	f     *os.File
+	meta  tableMeta
+	index []indexEntry
+	bloom *bloomFilter
+	cache *blockCache // shared, may be nil
+}
+
+func openTable(dir string, meta tableMeta, cache *blockCache) (*tableReader, error) {
+	f, err := os.Open(tableFileName(dir, meta.Num))
+	if err != nil {
+		return nil, fmt.Errorf("lsm: open table %d: %w", meta.Num, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < footerSize {
+		f.Close()
+		return nil, errBadFooter
+	}
+	var footer [footerSize]byte
+	if _, err := f.ReadAt(footer[:], st.Size()-footerSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: read footer: %w", err)
+	}
+	if binary.LittleEndian.Uint64(footer[40:48]) != tableMagic {
+		f.Close()
+		return nil, errBadMagic
+	}
+	indexOff := binary.LittleEndian.Uint64(footer[0:8])
+	indexLen := binary.LittleEndian.Uint64(footer[8:16])
+	bloomOff := binary.LittleEndian.Uint64(footer[16:24])
+	bloomLen := binary.LittleEndian.Uint64(footer[24:32])
+
+	idxBuf := make([]byte, indexLen)
+	if _, err := f.ReadAt(idxBuf, int64(indexOff)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: read index: %w", err)
+	}
+	index, err := parseIndex(idxBuf)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	bloomBuf := make([]byte, bloomLen)
+	if _, err := f.ReadAt(bloomBuf, int64(bloomOff)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: read bloom: %w", err)
+	}
+	return &tableReader{
+		f: f, meta: meta, index: index,
+		bloom: unmarshalBloom(bloomBuf), cache: cache,
+	}, nil
+}
+
+func parseIndex(buf []byte) ([]indexEntry, error) {
+	r := bytes.NewReader(buf)
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: parse index: %w", err)
+	}
+	out := make([]indexEntry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		klen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		key := make([]byte, klen)
+		if _, err := r.Read(key); err != nil {
+			return nil, err
+		}
+		off, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		length, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		var crcb [4]byte
+		if _, err := r.Read(crcb[:]); err != nil {
+			return nil, err
+		}
+		out = append(out, indexEntry{
+			lastKey: key, off: off, length: uint32(length),
+			crc: binary.LittleEndian.Uint32(crcb[:]),
+		})
+	}
+	return out, nil
+}
+
+// readBlock fetches (and verifies) the data block at index position i,
+// consulting the shared cache first.
+func (t *tableReader) readBlock(i int) ([]byte, error) {
+	e := t.index[i]
+	if t.cache != nil {
+		if blk, ok := t.cache.get(t.meta.Num, e.off); ok {
+			return blk, nil
+		}
+	}
+	blk := make([]byte, e.length)
+	if _, err := t.f.ReadAt(blk, int64(e.off)); err != nil {
+		return nil, fmt.Errorf("lsm: read block: %w", err)
+	}
+	if crc32.Checksum(blk, crcTableCasta) != e.crc {
+		return nil, errBadBlock
+	}
+	if t.cache != nil {
+		t.cache.put(t.meta.Num, e.off, blk)
+	}
+	return blk, nil
+}
+
+// blockFor returns the index position of the block that may contain key,
+// or -1 if key is past the table's range.
+func (t *tableReader) blockFor(key []byte) int {
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].lastKey, key) >= 0
+	})
+	if i == len(t.index) {
+		return -1
+	}
+	return i
+}
+
+// get looks up key; ok=false means not in this table.
+func (t *tableReader) get(key []byte) (memEntry, bool, error) {
+	if !t.bloom.MayContain(key) {
+		return memEntry{}, false, nil
+	}
+	bi := t.blockFor(key)
+	if bi < 0 {
+		return memEntry{}, false, nil
+	}
+	blk, err := t.readBlock(bi)
+	if err != nil {
+		return memEntry{}, false, err
+	}
+	it := blockIter{data: blk}
+	for it.next() {
+		c := bytes.Compare(it.ikey, key)
+		if c == 0 {
+			return memEntry{seq: it.seq, kind: it.kind, value: append([]byte(nil), it.val...)}, true, nil
+		}
+		if c > 0 {
+			break
+		}
+	}
+	if it.err != nil {
+		return memEntry{}, false, it.err
+	}
+	return memEntry{}, false, nil
+}
+
+func (t *tableReader) close() error { return t.f.Close() }
+
+// blockIter decodes entries from one data block.
+type blockIter struct {
+	data []byte
+	pos  int
+	ikey []byte
+	val  []byte
+	seq  uint64
+	kind entryKind
+	err  error
+}
+
+func (it *blockIter) next() bool {
+	if it.pos >= len(it.data) || it.err != nil {
+		return false
+	}
+	klen, n := binary.Uvarint(it.data[it.pos:])
+	if n <= 0 {
+		it.err = errBadBlock
+		return false
+	}
+	it.pos += n
+	vlen, n := binary.Uvarint(it.data[it.pos:])
+	if n <= 0 {
+		it.err = errBadBlock
+		return false
+	}
+	it.pos += n
+	seq, n := binary.Uvarint(it.data[it.pos:])
+	if n <= 0 {
+		it.err = errBadBlock
+		return false
+	}
+	it.pos += n
+	if it.pos >= len(it.data) {
+		it.err = errBadBlock
+		return false
+	}
+	kind := entryKind(it.data[it.pos])
+	it.pos++
+	if it.pos+int(klen)+int(vlen) > len(it.data) {
+		it.err = errBadBlock
+		return false
+	}
+	it.ikey = it.data[it.pos : it.pos+int(klen)]
+	it.pos += int(klen)
+	it.val = it.data[it.pos : it.pos+int(vlen)]
+	it.pos += int(vlen)
+	it.seq = seq
+	it.kind = kind
+	return true
+}
+
+// tableIterator walks all entries of a table in key order.
+type tableIterator struct {
+	t        *tableReader
+	blockIdx int
+	bi       blockIter
+	inited   bool
+	err      error
+}
+
+func (t *tableReader) iter() *tableIterator { return &tableIterator{t: t} }
+
+func (it *tableIterator) next() bool {
+	if it.err != nil {
+		return false
+	}
+	for {
+		if !it.inited {
+			if it.blockIdx >= len(it.t.index) {
+				return false
+			}
+			blk, err := it.t.readBlock(it.blockIdx)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.bi = blockIter{data: blk}
+			it.inited = true
+		}
+		if it.bi.next() {
+			return true
+		}
+		if it.bi.err != nil {
+			it.err = it.bi.err
+			return false
+		}
+		it.blockIdx++
+		it.inited = false
+	}
+}
+
+// seekGE positions at the first entry >= key. Returns true if positioned.
+func (it *tableIterator) seekGE(key []byte) bool {
+	bi := it.t.blockFor(key)
+	if bi < 0 {
+		it.blockIdx = len(it.t.index)
+		it.inited = false
+		return false
+	}
+	blk, err := it.t.readBlock(bi)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.blockIdx = bi
+	it.bi = blockIter{data: blk}
+	it.inited = true
+	for it.bi.next() {
+		if bytes.Compare(it.bi.ikey, key) >= 0 {
+			return true
+		}
+	}
+	// Key falls after this block's last key — advance to the next block.
+	it.blockIdx++
+	it.inited = false
+	return it.next()
+}
+
+func (it *tableIterator) key() []byte { return it.bi.ikey }
+func (it *tableIterator) entry() memEntry {
+	return memEntry{seq: it.bi.seq, kind: it.bi.kind, value: it.bi.val}
+}

@@ -1,0 +1,238 @@
+// Package replication implements TierBase's cache-tier replication layer
+// (paper §3: "TierBase supports both single-replica and multi-replica
+// modes, implementing various replication protocols to accommodate
+// different reliability requirements"; §4.1.2 relies on it to protect
+// dirty data under write-back).
+//
+// The master applies each mutation locally, appends it to a bounded
+// operation log, and streams it to attached replicas. Replicas that fall
+// behind the log window are re-seeded with a full snapshot (full sync)
+// before resuming the stream. The master can be configured to wait for k
+// replica acknowledgements before acking a write (semi-synchronous mode),
+// which is the durability knob write-back caching needs.
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tierbase/internal/engine"
+)
+
+// OpKind enumerates replicated operations.
+type OpKind uint8
+
+// Replicated operation kinds.
+const (
+	OpSet OpKind = iota
+	OpDel
+)
+
+// Op is one replicated mutation.
+type Op struct {
+	Seq  uint64
+	Kind OpKind
+	Key  string
+	Val  []byte
+}
+
+// Replica is a destination for the replication stream.
+type Replica struct {
+	eng  *engine.Engine
+	mu   sync.Mutex
+	last uint64 // last applied sequence
+}
+
+// NewReplica wraps an engine as a replication target.
+func NewReplica(eng *engine.Engine) *Replica { return &Replica{eng: eng} }
+
+// Engine exposes the underlying engine (reads, promotion).
+func (r *Replica) Engine() *engine.Engine { return r.eng }
+
+// LastApplied returns the replica's replication offset.
+func (r *Replica) LastApplied() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last
+}
+
+// apply applies one op; ops must arrive in sequence order.
+func (r *Replica) apply(op Op) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if op.Seq <= r.last {
+		return nil // duplicate delivery is idempotent
+	}
+	if op.Seq != r.last+1 {
+		return fmt.Errorf("replication: gap: have %d got %d", r.last, op.Seq)
+	}
+	switch op.Kind {
+	case OpSet:
+		r.eng.Set(op.Key, op.Val)
+	case OpDel:
+		r.eng.Del(op.Key)
+	}
+	r.last = op.Seq
+	return nil
+}
+
+// fullSync seeds the replica from a snapshot ending at seq.
+func (r *Replica) fullSync(snapshot map[string][]byte, seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.eng.FlushAll()
+	for k, v := range snapshot {
+		r.eng.Set(k, v)
+	}
+	r.last = seq
+}
+
+// Master replicates mutations applied through it to attached replicas.
+type Master struct {
+	eng *engine.Engine
+
+	mu       sync.Mutex
+	seq      uint64
+	log      []Op // window of recent ops; log[0].Seq == logStart
+	logStart uint64
+	logCap   int
+	replicas []*Replica
+
+	// AckReplicas is how many replicas must apply a write before Set/Del
+	// return (0 = fully asynchronous). With in-process replicas the apply
+	// is immediate; the knob models the protocol choice and is honored by
+	// the error path (a gap forces full sync before the ack).
+	AckReplicas int
+
+	fullSyncs int64
+}
+
+// NewMaster wraps an engine as a replication source. logCap bounds the
+// retained op window (older replicas need a full sync); default 4096.
+func NewMaster(eng *engine.Engine, logCap int) *Master {
+	if logCap <= 0 {
+		logCap = 4096
+	}
+	return &Master{eng: eng, logCap: logCap, logStart: 1}
+}
+
+// Engine exposes the master engine.
+func (m *Master) Engine() *engine.Engine { return m.eng }
+
+// Attach connects a replica, bringing it up to date via full sync.
+func (m *Master) Attach(r *Replica) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.syncReplicaLocked(r)
+	m.replicas = append(m.replicas, r)
+}
+
+// Detach removes a replica from the stream.
+func (m *Master) Detach(r *Replica) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, x := range m.replicas {
+		if x == r {
+			m.replicas = append(m.replicas[:i], m.replicas[i+1:]...)
+			return
+		}
+	}
+}
+
+// syncReplicaLocked brings a replica to the master's current state.
+func (m *Master) syncReplicaLocked(r *Replica) {
+	behind := r.LastApplied()
+	if behind+1 >= m.logStart && behind <= m.seq {
+		// Partial sync from the log window.
+		for _, op := range m.log {
+			if op.Seq > behind {
+				if err := r.apply(op); err != nil {
+					break // falls through to full sync below
+				}
+			}
+		}
+		if r.LastApplied() == m.seq {
+			return
+		}
+	}
+	// Full sync: snapshot the master engine.
+	snapshot := map[string][]byte{}
+	m.eng.ForEachString(func(k string, v []byte) bool {
+		snapshot[k] = v
+		return true
+	})
+	r.fullSync(snapshot, m.seq)
+	m.fullSyncs++
+}
+
+// FullSyncs reports how many full re-seeds have happened.
+func (m *Master) FullSyncs() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fullSyncs
+}
+
+// ErrNotEnoughAcks is returned in semi-sync mode when too few replicas
+// confirmed the write.
+var ErrNotEnoughAcks = errors.New("replication: not enough replica acks")
+
+// Set applies and replicates a SET.
+func (m *Master) Set(key string, val []byte) error {
+	return m.replicate(Op{Kind: OpSet, Key: key, Val: append([]byte(nil), val...)})
+}
+
+// Del applies and replicates a DEL.
+func (m *Master) Del(key string) error {
+	return m.replicate(Op{Kind: OpDel, Key: key})
+}
+
+func (m *Master) replicate(op Op) error {
+	m.mu.Lock()
+	m.seq++
+	op.Seq = m.seq
+	switch op.Kind {
+	case OpSet:
+		m.eng.Set(op.Key, op.Val)
+	case OpDel:
+		m.eng.Del(op.Key)
+	}
+	m.log = append(m.log, op)
+	if len(m.log) > m.logCap {
+		drop := len(m.log) - m.logCap
+		m.log = m.log[drop:]
+		m.logStart = m.log[0].Seq
+	}
+	acks := 0
+	for _, r := range m.replicas {
+		if err := r.apply(op); err != nil {
+			// Stream broken (gap): repair with a sync.
+			m.syncReplicaLocked(r)
+		}
+		if r.LastApplied() >= op.Seq {
+			acks++
+		}
+	}
+	need := m.AckReplicas
+	m.mu.Unlock()
+	if need > 0 && acks < need {
+		return ErrNotEnoughAcks
+	}
+	return nil
+}
+
+// Seq returns the master's replication offset.
+func (m *Master) Seq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seq
+}
+
+// Promote turns a replica into a fresh master (failover). The returned
+// master starts a new log window at the replica's applied offset.
+func Promote(r *Replica, logCap int) *Master {
+	m := NewMaster(r.eng, logCap)
+	m.seq = r.LastApplied()
+	m.logStart = m.seq + 1
+	return m
+}

@@ -1,0 +1,168 @@
+package replication
+
+import (
+	"fmt"
+	"testing"
+
+	"tierbase/internal/engine"
+)
+
+func TestBasicReplication(t *testing.T) {
+	m := NewMaster(engine.New(engine.Options{}), 0)
+	r := NewReplica(engine.New(engine.Options{}))
+	m.Attach(r)
+	m.Set("k", []byte("v"))
+	v, err := r.Engine().Get("k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("replica: %q %v", v, err)
+	}
+	m.Del("k")
+	if _, err := r.Engine().Get("k"); err != engine.ErrNotFound {
+		t.Fatalf("replica delete: %v", err)
+	}
+	if r.LastApplied() != m.Seq() {
+		t.Fatalf("offsets: %d vs %d", r.LastApplied(), m.Seq())
+	}
+}
+
+func TestAttachLateReplicaFullSync(t *testing.T) {
+	m := NewMaster(engine.New(engine.Options{}), 0)
+	for i := 0; i < 100; i++ {
+		m.Set(fmt.Sprintf("k%02d", i), []byte("v"))
+	}
+	r := NewReplica(engine.New(engine.Options{}))
+	m.Attach(r)
+	if r.Engine().Len() != 100 {
+		t.Fatalf("late replica has %d keys", r.Engine().Len())
+	}
+	if r.LastApplied() != m.Seq() {
+		t.Fatal("late replica offset behind")
+	}
+	// Stream continues after sync.
+	m.Set("new", []byte("n"))
+	if _, err := r.Engine().Get("new"); err != nil {
+		t.Fatal("stream broken after full sync")
+	}
+}
+
+func TestLogWindowPartialSync(t *testing.T) {
+	m := NewMaster(engine.New(engine.Options{}), 1000)
+	r := NewReplica(engine.New(engine.Options{}))
+	m.Attach(r)
+	m.Set("a", []byte("1"))
+	m.Detach(r)
+	// Master advances while replica is detached (within log window).
+	m.Set("b", []byte("2"))
+	m.Set("c", []byte("3"))
+	before := m.FullSyncs()
+	m.Attach(r)
+	if m.FullSyncs() != before {
+		t.Fatal("partial sync should not require full sync")
+	}
+	if _, err := r.Engine().Get("c"); err != nil {
+		t.Fatal("partial sync incomplete")
+	}
+}
+
+func TestFullSyncWhenLogRotated(t *testing.T) {
+	m := NewMaster(engine.New(engine.Options{}), 4) // tiny window
+	r := NewReplica(engine.New(engine.Options{}))
+	m.Attach(r)
+	m.Detach(r)
+	for i := 0; i < 50; i++ {
+		m.Set(fmt.Sprintf("k%02d", i), []byte("v"))
+	}
+	before := m.FullSyncs()
+	m.Attach(r)
+	if m.FullSyncs() != before+1 {
+		t.Fatal("rotated log must force full sync")
+	}
+	if r.Engine().Len() != 50 {
+		t.Fatalf("replica has %d keys after full sync", r.Engine().Len())
+	}
+}
+
+func TestSemiSyncAcks(t *testing.T) {
+	m := NewMaster(engine.New(engine.Options{}), 0)
+	m.AckReplicas = 1
+	// No replicas attached: semi-sync must fail.
+	if err := m.Set("k", []byte("v")); err != ErrNotEnoughAcks {
+		t.Fatalf("want ErrNotEnoughAcks, got %v", err)
+	}
+	r := NewReplica(engine.New(engine.Options{}))
+	m.Attach(r)
+	if err := m.Set("k", []byte("v")); err != nil {
+		t.Fatalf("with replica: %v", err)
+	}
+}
+
+func TestDuplicateApplyIdempotent(t *testing.T) {
+	r := NewReplica(engine.New(engine.Options{}))
+	op := Op{Seq: 1, Kind: OpSet, Key: "k", Val: []byte("v")}
+	if err := r.apply(op); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.apply(op); err != nil {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if r.LastApplied() != 1 {
+		t.Fatal("offset moved on duplicate")
+	}
+}
+
+func TestGapDetected(t *testing.T) {
+	r := NewReplica(engine.New(engine.Options{}))
+	r.apply(Op{Seq: 1, Kind: OpSet, Key: "a", Val: []byte("1")})
+	if err := r.apply(Op{Seq: 3, Kind: OpSet, Key: "c", Val: []byte("3")}); err == nil {
+		t.Fatal("gap not detected")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	m := NewMaster(engine.New(engine.Options{}), 0)
+	r := NewReplica(engine.New(engine.Options{}))
+	m.Attach(r)
+	for i := 0; i < 10; i++ {
+		m.Set(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	// Failover: replica becomes master, keeps data, accepts writes.
+	nm := Promote(r, 0)
+	if nm.Engine().Len() != 10 {
+		t.Fatalf("promoted master has %d keys", nm.Engine().Len())
+	}
+	if nm.Seq() != 10 {
+		t.Fatalf("promoted seq %d", nm.Seq())
+	}
+	if err := nm.Set("post-failover", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// A new replica can attach to the promoted master.
+	r2 := NewReplica(engine.New(engine.Options{}))
+	nm.Attach(r2)
+	if r2.Engine().Len() != 11 {
+		t.Fatalf("new replica keys %d", r2.Engine().Len())
+	}
+}
+
+func TestMultipleReplicasConverge(t *testing.T) {
+	m := NewMaster(engine.New(engine.Options{}), 0)
+	var reps []*Replica
+	for i := 0; i < 3; i++ {
+		r := NewReplica(engine.New(engine.Options{}))
+		m.Attach(r)
+		reps = append(reps, r)
+	}
+	for i := 0; i < 200; i++ {
+		if i%10 == 9 {
+			m.Del(fmt.Sprintf("k%03d", i-5))
+		} else {
+			m.Set(fmt.Sprintf("k%03d", i), []byte(fmt.Sprint(i)))
+		}
+	}
+	want := m.Engine().Len()
+	for i, r := range reps {
+		if r.Engine().Len() != want {
+			t.Fatalf("replica %d has %d keys, master %d", i, r.Engine().Len(), want)
+		}
+	}
+}

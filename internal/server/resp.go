@@ -1,0 +1,158 @@
+// Package server implements TierBase's wire protocol front end: a
+// Redis-compatible (RESP2) TCP server whose data nodes are engine shards
+// fronted by elastic worker pools (paper §3: "Initially Redis-compatible
+// ... TierBase clients, compatible with native Redis clients").
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// RESP2 protocol primitives.
+
+var errProtocol = errors.New("resp: protocol error")
+
+// readCommand parses one client command: either a RESP array of bulk
+// strings or an inline space-separated line.
+func readCommand(r *bufio.Reader) ([][]byte, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 {
+		return nil, errProtocol
+	}
+	if line[0] != '*' {
+		// Inline command.
+		var args [][]byte
+		start := -1
+		for i := 0; i <= len(line); i++ {
+			if i < len(line) && line[i] != ' ' {
+				if start < 0 {
+					start = i
+				}
+				continue
+			}
+			if start >= 0 {
+				args = append(args, line[start:i])
+				start = -1
+			}
+		}
+		if len(args) == 0 {
+			return nil, errProtocol
+		}
+		return args, nil
+	}
+	n, err := strconv.Atoi(string(line[1:]))
+	if err != nil || n < 0 || n > 1024*1024 {
+		return nil, errProtocol
+	}
+	args := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		hdr, err := readLine(r)
+		if err != nil {
+			return nil, err
+		}
+		if len(hdr) < 2 || hdr[0] != '$' {
+			return nil, errProtocol
+		}
+		blen, err := strconv.Atoi(string(hdr[1:]))
+		if err != nil || blen < 0 || blen > 512*1024*1024 {
+			return nil, errProtocol
+		}
+		buf := make([]byte, blen+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		if buf[blen] != '\r' || buf[blen+1] != '\n' {
+			return nil, errProtocol
+		}
+		args = append(args, buf[:blen])
+	}
+	return args, nil
+}
+
+// readLine reads one CRLF-terminated line (without the terminator).
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, errProtocol
+	}
+	return line[:len(line)-2], nil
+}
+
+// reply value constructors; each writes itself to a bufio.Writer.
+
+type reply interface{ write(w *bufio.Writer) error }
+
+type simpleReply string
+
+func (s simpleReply) write(w *bufio.Writer) error {
+	_, err := fmt.Fprintf(w, "+%s\r\n", string(s))
+	return err
+}
+
+type errReply string
+
+func (e errReply) write(w *bufio.Writer) error {
+	_, err := fmt.Fprintf(w, "-ERR %s\r\n", string(e))
+	return err
+}
+
+type intReply int64
+
+func (i intReply) write(w *bufio.Writer) error {
+	_, err := fmt.Fprintf(w, ":%d\r\n", int64(i))
+	return err
+}
+
+type bulkReply []byte
+
+func (b bulkReply) write(w *bufio.Writer) error {
+	if b == nil {
+		_, err := w.WriteString("$-1\r\n")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "$%d\r\n", len(b)); err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+type arrayReply []reply
+
+func (a arrayReply) write(w *bufio.Writer) error {
+	if a == nil {
+		_, err := w.WriteString("*-1\r\n")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "*%d\r\n", len(a)); err != nil {
+		return err
+	}
+	for _, el := range a {
+		if err := el.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bulkStrings builds an array reply of bulk strings.
+func bulkStrings(ss ...string) arrayReply {
+	out := make(arrayReply, len(ss))
+	for i, s := range ss {
+		out[i] = bulkReply([]byte(s))
+	}
+	return out
+}

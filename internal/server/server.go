@@ -1,0 +1,625 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tierbase/internal/cache"
+	"tierbase/internal/elastic"
+	"tierbase/internal/engine"
+	"tierbase/internal/metrics"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// Shards is the number of data nodes in this process (default 1).
+	// Keys are hash-partitioned across shards; each shard has its own
+	// engine and elastic worker pool, reproducing "one instance might
+	// switch to multi-threaded mode while others remain in single-threaded
+	// mode within the same container" (§4.4).
+	Shards int
+	// EngineOptions configures each shard's engine (compression, PMem...).
+	EngineOptions engine.Options
+	// TieredFactory, when set, builds the tiered store for each shard
+	// (write-through/write-back against a storage tier). When nil, shards
+	// run cache-only.
+	TieredFactory func(eng *engine.Engine) (*cache.Tiered, error)
+	// Pool configures each shard's elastic pool.
+	Pool elastic.PoolOptions
+}
+
+// Server is the TierBase RESP server.
+type Server struct {
+	opts   Options
+	ln     net.Listener
+	shards []*shard
+	wg     sync.WaitGroup
+	connWg sync.WaitGroup
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	// Latency is the server-side command latency histogram.
+	Latency *metrics.Histogram
+	// Throughput counts completed commands.
+	Throughput *metrics.Meter
+}
+
+type shard struct {
+	eng    *engine.Engine
+	tiered *cache.Tiered // nil = cache-only direct engine
+	pool   *elastic.Pool
+}
+
+// Start listens and serves until Close.
+func Start(opts Options) (*Server, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen: %w", err)
+	}
+	s := &Server{
+		opts:       opts,
+		ln:         ln,
+		conns:      make(map[net.Conn]struct{}),
+		Latency:    metrics.NewHistogram(),
+		Throughput: metrics.NewMeter(),
+	}
+	for i := 0; i < opts.Shards; i++ {
+		eng := engine.New(opts.EngineOptions)
+		sh := &shard{eng: eng, pool: elastic.NewPool(opts.Pool)}
+		if opts.TieredFactory != nil {
+			tr, err := opts.TieredFactory(eng)
+			if err != nil {
+				ln.Close()
+				return nil, err
+			}
+			sh.tiered = tr
+		}
+		s.shards = append(s.shards, sh)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) shardFor(key []byte) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	h := fnv.New32a()
+	h.Write(key)
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connWg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.connWg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReaderSize(conn, 16<<10)
+	w := bufio.NewWriterSize(conn, 16<<10)
+	for {
+		args, err := readCommand(r)
+		if err != nil {
+			return
+		}
+		start := time.Now()
+		rep := s.dispatch(args)
+		s.Latency.RecordDuration(time.Since(start))
+		s.Throughput.Mark(1)
+		if err := rep.write(w); err != nil {
+			return
+		}
+		// Flush when no more pipelined commands are buffered.
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// dispatch routes one command to its shard pool and waits for the reply.
+func (s *Server) dispatch(args [][]byte) reply {
+	if len(args) == 0 {
+		return errReply("empty command")
+	}
+	cmd := strings.ToUpper(string(args[0]))
+	switch cmd {
+	case "PING":
+		return simpleReply("PONG")
+	case "ECHO":
+		if len(args) != 2 {
+			return errReply("wrong number of arguments for 'echo'")
+		}
+		return bulkReply(args[1])
+	case "DBSIZE":
+		var n int64
+		for _, sh := range s.shards {
+			n += int64(sh.eng.Len())
+		}
+		return intReply(n)
+	case "FLUSHALL":
+		for _, sh := range s.shards {
+			sh.eng.FlushAll()
+		}
+		return simpleReply("OK")
+	case "INFO":
+		return bulkReply([]byte(s.info()))
+	}
+	if len(args) < 2 {
+		return errReply("wrong number of arguments")
+	}
+	key := args[1]
+	sh := s.shardFor(key)
+	var rep reply
+	err := sh.pool.SubmitWait(func() { rep = execute(sh, cmd, args) })
+	if err != nil {
+		return errReply("server shutting down")
+	}
+	return rep
+}
+
+func (s *Server) info() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Server\r\nshards:%d\r\n", len(s.shards))
+	var keys int
+	var mem int64
+	for i, sh := range s.shards {
+		st := sh.eng.Stats()
+		keys += st.Keys
+		mem += st.MemBytes
+		fmt.Fprintf(&b, "shard%d_workers:%d\r\nshard%d_mode:%s\r\n",
+			i, sh.pool.Workers(), i, sh.pool.Mode())
+	}
+	fmt.Fprintf(&b, "keys:%d\r\nmem_bytes:%d\r\n", keys, mem)
+	fmt.Fprintf(&b, "p99_ns:%d\r\n", s.Latency.P99())
+	return b.String()
+}
+
+// Shards exposes shard engines for measurement (benches).
+func (s *Server) Shards() []*engine.Engine {
+	out := make([]*engine.Engine, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.eng
+	}
+	return out
+}
+
+// Pools exposes shard pools (elastic threading observation).
+func (s *Server) Pools() []*elastic.Pool {
+	out := make([]*elastic.Pool, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.pool
+	}
+	return out
+}
+
+// Close stops accepting, closes connections, and shuts down shards.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	s.connWg.Wait()
+	for _, sh := range s.shards {
+		sh.pool.Stop()
+		if sh.tiered != nil {
+			sh.tiered.Close()
+		}
+	}
+	return err
+}
+
+// --- command execution on a shard ---
+
+// strStore abstracts string-command storage: tiered when configured,
+// direct engine otherwise.
+func (sh *shard) strGet(key string) ([]byte, error) {
+	if sh.tiered != nil {
+		return sh.tiered.Get(key)
+	}
+	return sh.eng.Get(key)
+}
+
+func (sh *shard) strSet(key string, val []byte) error {
+	if sh.tiered != nil {
+		return sh.tiered.Set(key, val)
+	}
+	return sh.eng.Set(key, val)
+}
+
+func (sh *shard) strDel(key string) error {
+	if sh.tiered != nil {
+		return sh.tiered.Delete(key)
+	}
+	sh.eng.Del(key)
+	return nil
+}
+
+func notFoundish(err error) bool {
+	return errors.Is(err, engine.ErrNotFound) || errors.Is(err, cache.ErrNotFound)
+}
+
+func execute(sh *shard, cmd string, args [][]byte) reply {
+	eng := sh.eng
+	key := string(args[1])
+	switch cmd {
+	case "SET":
+		if len(args) != 3 {
+			return errReply("wrong number of arguments for 'set'")
+		}
+		if err := sh.strSet(key, args[2]); err != nil {
+			return errReply(err.Error())
+		}
+		return simpleReply("OK")
+	case "GET":
+		v, err := sh.strGet(key)
+		if notFoundish(err) {
+			return bulkReply(nil)
+		}
+		if err != nil {
+			return errReply(err.Error())
+		}
+		return bulkReply(v)
+	case "DEL":
+		n := 0
+		for _, k := range args[1:] {
+			if eng.Exists(string(k)) {
+				n++
+			}
+			if err := sh.strDel(string(k)); err != nil {
+				return errReply(err.Error())
+			}
+		}
+		return intReply(int64(n))
+	case "EXISTS":
+		if eng.Exists(key) {
+			return intReply(1)
+		}
+		return intReply(0)
+	case "TYPE":
+		return simpleReply(eng.Type(key).String())
+	case "SETNX":
+		if len(args) != 3 {
+			return errReply("wrong number of arguments for 'setnx'")
+		}
+		ok, err := eng.SetNX(key, args[2])
+		if err != nil {
+			return errReply(err.Error())
+		}
+		if ok {
+			return intReply(1)
+		}
+		return intReply(0)
+	case "INCR", "DECR", "INCRBY", "DECRBY":
+		delta := int64(1)
+		if cmd == "INCRBY" || cmd == "DECRBY" {
+			if len(args) != 3 {
+				return errReply("wrong number of arguments")
+			}
+			d, err := strconv.ParseInt(string(args[2]), 10, 64)
+			if err != nil {
+				return errReply("value is not an integer or out of range")
+			}
+			delta = d
+		}
+		if cmd == "DECR" || cmd == "DECRBY" {
+			delta = -delta
+		}
+		v, err := eng.IncrBy(key, delta)
+		if err != nil {
+			return errReply(err.Error())
+		}
+		return intReply(v)
+	case "CAS":
+		// CAS key oldval newval — the paper's compare-and-set extension.
+		if len(args) != 4 {
+			return errReply("wrong number of arguments for 'cas'")
+		}
+		err := eng.CompareAndSet(key, args[2], args[3])
+		if err == engine.ErrCASMismatch {
+			return intReply(0)
+		}
+		if err != nil {
+			return errReply(err.Error())
+		}
+		return intReply(1)
+	case "EXPIRE":
+		if len(args) != 3 {
+			return errReply("wrong number of arguments for 'expire'")
+		}
+		secs, err := strconv.ParseInt(string(args[2]), 10, 64)
+		if err != nil {
+			return errReply("value is not an integer or out of range")
+		}
+		if eng.Expire(key, time.Duration(secs)*time.Second) {
+			return intReply(1)
+		}
+		return intReply(0)
+	case "TTL":
+		d, ok := eng.TTL(key)
+		if !ok {
+			if eng.Exists(key) {
+				return intReply(-1)
+			}
+			return intReply(-2)
+		}
+		return intReply(int64(d / time.Second))
+	case "PERSIST":
+		if eng.Persist(key) {
+			return intReply(1)
+		}
+		return intReply(0)
+	case "LPUSH", "RPUSH":
+		if len(args) < 3 {
+			return errReply("wrong number of arguments")
+		}
+		vals := args[2:]
+		var n int
+		var err error
+		if cmd == "LPUSH" {
+			n, err = eng.LPush(key, vals...)
+		} else {
+			n, err = eng.RPush(key, vals...)
+		}
+		if err != nil {
+			return errReply(err.Error())
+		}
+		return intReply(int64(n))
+	case "LPOP", "RPOP":
+		var v []byte
+		var err error
+		if cmd == "LPOP" {
+			v, err = eng.LPop(key)
+		} else {
+			v, err = eng.RPop(key)
+		}
+		if notFoundish(err) {
+			return bulkReply(nil)
+		}
+		if err != nil {
+			return errReply(err.Error())
+		}
+		return bulkReply(v)
+	case "LLEN":
+		n, err := eng.LLen(key)
+		if err != nil {
+			return errReply(err.Error())
+		}
+		return intReply(int64(n))
+	case "LRANGE":
+		if len(args) != 4 {
+			return errReply("wrong number of arguments for 'lrange'")
+		}
+		start, err1 := strconv.Atoi(string(args[2]))
+		stop, err2 := strconv.Atoi(string(args[3]))
+		if err1 != nil || err2 != nil {
+			return errReply("value is not an integer or out of range")
+		}
+		vals, err := eng.LRange(key, start, stop)
+		if err != nil {
+			return errReply(err.Error())
+		}
+		out := make(arrayReply, len(vals))
+		for i, v := range vals {
+			out[i] = bulkReply(v)
+		}
+		return out
+	case "SADD", "SREM":
+		if len(args) < 3 {
+			return errReply("wrong number of arguments")
+		}
+		members := make([]string, len(args)-2)
+		for i, a := range args[2:] {
+			members[i] = string(a)
+		}
+		var n int
+		var err error
+		if cmd == "SADD" {
+			n, err = eng.SAdd(key, members...)
+		} else {
+			n, err = eng.SRem(key, members...)
+		}
+		if err != nil {
+			return errReply(err.Error())
+		}
+		return intReply(int64(n))
+	case "SISMEMBER":
+		if len(args) != 3 {
+			return errReply("wrong number of arguments for 'sismember'")
+		}
+		ok, err := eng.SIsMember(key, string(args[2]))
+		if err != nil {
+			return errReply(err.Error())
+		}
+		if ok {
+			return intReply(1)
+		}
+		return intReply(0)
+	case "SCARD":
+		n, err := eng.SCard(key)
+		if err != nil {
+			return errReply(err.Error())
+		}
+		return intReply(int64(n))
+	case "SMEMBERS":
+		members, err := eng.SMembers(key)
+		if err != nil {
+			return errReply(err.Error())
+		}
+		return bulkStrings(members...)
+	case "ZADD":
+		if len(args) != 4 {
+			return errReply("wrong number of arguments for 'zadd'")
+		}
+		score, err := strconv.ParseFloat(string(args[2]), 64)
+		if err != nil {
+			return errReply("value is not a valid float")
+		}
+		isNew, err := eng.ZAdd(key, string(args[3]), score)
+		if err != nil {
+			return errReply(err.Error())
+		}
+		if isNew {
+			return intReply(1)
+		}
+		return intReply(0)
+	case "ZSCORE":
+		if len(args) != 3 {
+			return errReply("wrong number of arguments for 'zscore'")
+		}
+		sc, err := eng.ZScore(key, string(args[2]))
+		if notFoundish(err) {
+			return bulkReply(nil)
+		}
+		if err != nil {
+			return errReply(err.Error())
+		}
+		return bulkReply([]byte(strconv.FormatFloat(sc, 'g', -1, 64)))
+	case "ZREM":
+		if len(args) != 3 {
+			return errReply("wrong number of arguments for 'zrem'")
+		}
+		ok, err := eng.ZRem(key, string(args[2]))
+		if err != nil {
+			return errReply(err.Error())
+		}
+		if ok {
+			return intReply(1)
+		}
+		return intReply(0)
+	case "ZCARD":
+		n, err := eng.ZCard(key)
+		if err != nil {
+			return errReply(err.Error())
+		}
+		return intReply(int64(n))
+	case "ZRANGE":
+		if len(args) < 4 {
+			return errReply("wrong number of arguments for 'zrange'")
+		}
+		start, err1 := strconv.Atoi(string(args[2]))
+		stop, err2 := strconv.Atoi(string(args[3]))
+		if err1 != nil || err2 != nil {
+			return errReply("value is not an integer or out of range")
+		}
+		withScores := len(args) == 5 && strings.EqualFold(string(args[4]), "WITHSCORES")
+		members, err := eng.ZRange(key, start, stop)
+		if err != nil {
+			return errReply(err.Error())
+		}
+		var out arrayReply
+		for _, m := range members {
+			out = append(out, bulkReply([]byte(m.Member)))
+			if withScores {
+				out = append(out, bulkReply([]byte(strconv.FormatFloat(m.Score, 'g', -1, 64))))
+			}
+		}
+		if out == nil {
+			out = arrayReply{}
+		}
+		return out
+	case "HSET":
+		if len(args) != 4 {
+			return errReply("wrong number of arguments for 'hset'")
+		}
+		isNew, err := eng.HSet(key, string(args[2]), args[3])
+		if err != nil {
+			return errReply(err.Error())
+		}
+		if isNew {
+			return intReply(1)
+		}
+		return intReply(0)
+	case "HGET":
+		if len(args) != 3 {
+			return errReply("wrong number of arguments for 'hget'")
+		}
+		v, err := eng.HGet(key, string(args[2]))
+		if notFoundish(err) {
+			return bulkReply(nil)
+		}
+		if err != nil {
+			return errReply(err.Error())
+		}
+		return bulkReply(v)
+	case "HDEL":
+		if len(args) < 3 {
+			return errReply("wrong number of arguments for 'hdel'")
+		}
+		fields := make([]string, len(args)-2)
+		for i, a := range args[2:] {
+			fields[i] = string(a)
+		}
+		n, err := eng.HDel(key, fields...)
+		if err != nil {
+			return errReply(err.Error())
+		}
+		return intReply(int64(n))
+	case "HLEN":
+		n, err := eng.HLen(key)
+		if err != nil {
+			return errReply(err.Error())
+		}
+		return intReply(int64(n))
+	case "HGETALL":
+		fields, err := eng.HGetAll(key)
+		if err != nil {
+			return errReply(err.Error())
+		}
+		out := make(arrayReply, 0, len(fields)*2)
+		for _, f := range fields {
+			out = append(out, bulkReply([]byte(f.Field)), bulkReply(f.Value))
+		}
+		return out
+	default:
+		return errReply(fmt.Sprintf("unknown command '%s'", cmd))
+	}
+}

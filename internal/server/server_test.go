@@ -1,0 +1,385 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"tierbase/internal/cache"
+	"tierbase/internal/client"
+	"tierbase/internal/engine"
+)
+
+func startTestServer(t *testing.T, opts Options) (*Server, *client.Client) {
+	t.Helper()
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	s, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := client.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+func TestPingEcho(t *testing.T) {
+	_, c := startTestServer(t, Options{})
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Do("ECHO", "hello")
+	if err != nil || v != "hello" {
+		t.Fatalf("echo: %v %v", v, err)
+	}
+}
+
+func TestStringCommands(t *testing.T) {
+	_, c := startTestServer(t, Options{})
+	if err := c.Set("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("k")
+	if err != nil || v != "v" {
+		t.Fatalf("get: %q %v", v, err)
+	}
+	if _, err := c.Get("missing"); err != client.Nil {
+		t.Fatalf("missing: %v", err)
+	}
+	n, err := c.Del("k", "missing")
+	if err != nil || n != 1 {
+		t.Fatalf("del: %d %v", n, err)
+	}
+	// SETNX
+	v2, _ := c.Do("SETNX", "nx", "a")
+	if v2.(int64) != 1 {
+		t.Fatal("setnx first")
+	}
+	v2, _ = c.Do("SETNX", "nx", "b")
+	if v2.(int64) != 0 {
+		t.Fatal("setnx second")
+	}
+	// EXISTS / TYPE
+	v2, _ = c.Do("EXISTS", "nx")
+	if v2.(int64) != 1 {
+		t.Fatal("exists")
+	}
+	tp, _ := c.Do("TYPE", "nx")
+	if tp != "string" {
+		t.Fatalf("type %v", tp)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	_, c := startTestServer(t, Options{})
+	n, err := c.Incr("ctr")
+	if err != nil || n != 1 {
+		t.Fatalf("incr: %d %v", n, err)
+	}
+	v, _ := c.Do("INCRBY", "ctr", "10")
+	if v.(int64) != 11 {
+		t.Fatalf("incrby: %v", v)
+	}
+	v, _ = c.Do("DECR", "ctr")
+	if v.(int64) != 10 {
+		t.Fatalf("decr: %v", v)
+	}
+	v, _ = c.Do("DECRBY", "ctr", "5")
+	if v.(int64) != 5 {
+		t.Fatalf("decrby: %v", v)
+	}
+	if _, err := c.Do("INCRBY", "ctr", "junk"); err == nil {
+		t.Fatal("junk delta accepted")
+	}
+}
+
+func TestCASCommand(t *testing.T) {
+	_, c := startTestServer(t, Options{})
+	c.Set("k", "v1")
+	ok, err := c.CAS("k", "v1", "v2")
+	if err != nil || !ok {
+		t.Fatalf("cas: %v %v", ok, err)
+	}
+	ok, err = c.CAS("k", "v1", "v3")
+	if err != nil || ok {
+		t.Fatalf("stale cas: %v %v", ok, err)
+	}
+	v, _ := c.Get("k")
+	if v != "v2" {
+		t.Fatalf("value %q", v)
+	}
+}
+
+func TestTTLCommands(t *testing.T) {
+	_, c := startTestServer(t, Options{})
+	c.Set("k", "v")
+	v, _ := c.Do("EXPIRE", "k", "100")
+	if v.(int64) != 1 {
+		t.Fatal("expire")
+	}
+	ttl, _ := c.Do("TTL", "k")
+	if ttl.(int64) < 99 || ttl.(int64) > 100 {
+		t.Fatalf("ttl %v", ttl)
+	}
+	v, _ = c.Do("PERSIST", "k")
+	if v.(int64) != 1 {
+		t.Fatal("persist")
+	}
+	ttl, _ = c.Do("TTL", "k")
+	if ttl.(int64) != -1 {
+		t.Fatalf("ttl after persist %v", ttl)
+	}
+	ttl, _ = c.Do("TTL", "ghost")
+	if ttl.(int64) != -2 {
+		t.Fatalf("ttl of missing %v", ttl)
+	}
+}
+
+func TestListCommands(t *testing.T) {
+	_, c := startTestServer(t, Options{})
+	c.Do("RPUSH", "l", "a", "b", "c")
+	v, _ := c.Do("LLEN", "l")
+	if v.(int64) != 3 {
+		t.Fatalf("llen %v", v)
+	}
+	arr, err := c.Do("LRANGE", "l", "0", "-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := arr.([]interface{})
+	if len(vals) != 3 || vals[0] != "a" || vals[2] != "c" {
+		t.Fatalf("lrange %v", vals)
+	}
+	v, _ = c.Do("LPOP", "l")
+	if v != "a" {
+		t.Fatalf("lpop %v", v)
+	}
+	v, _ = c.Do("RPOP", "l")
+	if v != "c" {
+		t.Fatalf("rpop %v", v)
+	}
+}
+
+func TestSetCommands(t *testing.T) {
+	_, c := startTestServer(t, Options{})
+	v, _ := c.Do("SADD", "s", "x", "y", "x")
+	if v.(int64) != 2 {
+		t.Fatalf("sadd %v", v)
+	}
+	v, _ = c.Do("SISMEMBER", "s", "x")
+	if v.(int64) != 1 {
+		t.Fatal("sismember")
+	}
+	v, _ = c.Do("SCARD", "s")
+	if v.(int64) != 2 {
+		t.Fatal("scard")
+	}
+	arr, _ := c.Do("SMEMBERS", "s")
+	if len(arr.([]interface{})) != 2 {
+		t.Fatalf("smembers %v", arr)
+	}
+	v, _ = c.Do("SREM", "s", "x")
+	if v.(int64) != 1 {
+		t.Fatal("srem")
+	}
+}
+
+func TestZSetCommands(t *testing.T) {
+	_, c := startTestServer(t, Options{})
+	c.Do("ZADD", "z", "2", "beta")
+	c.Do("ZADD", "z", "1", "alpha")
+	v, _ := c.Do("ZSCORE", "z", "alpha")
+	if v != "1" {
+		t.Fatalf("zscore %v", v)
+	}
+	arr, _ := c.Do("ZRANGE", "z", "0", "-1", "WITHSCORES")
+	vals := arr.([]interface{})
+	if len(vals) != 4 || vals[0] != "alpha" || vals[1] != "1" {
+		t.Fatalf("zrange %v", vals)
+	}
+	v, _ = c.Do("ZCARD", "z")
+	if v.(int64) != 2 {
+		t.Fatal("zcard")
+	}
+	v, _ = c.Do("ZREM", "z", "alpha")
+	if v.(int64) != 1 {
+		t.Fatal("zrem")
+	}
+	if _, err := c.Do("ZSCORE", "z", "alpha"); err != client.Nil {
+		t.Fatalf("zscore removed: %v", err)
+	}
+}
+
+func TestHashCommands(t *testing.T) {
+	_, c := startTestServer(t, Options{})
+	v, _ := c.Do("HSET", "h", "f1", "v1")
+	if v.(int64) != 1 {
+		t.Fatal("hset new")
+	}
+	c.Do("HSET", "h", "f2", "v2")
+	v, _ = c.Do("HGET", "h", "f1")
+	if v != "v1" {
+		t.Fatalf("hget %v", v)
+	}
+	v, _ = c.Do("HLEN", "h")
+	if v.(int64) != 2 {
+		t.Fatal("hlen")
+	}
+	arr, _ := c.Do("HGETALL", "h")
+	if len(arr.([]interface{})) != 4 {
+		t.Fatalf("hgetall %v", arr)
+	}
+	v, _ = c.Do("HDEL", "h", "f1")
+	if v.(int64) != 1 {
+		t.Fatal("hdel")
+	}
+}
+
+func TestAdminCommands(t *testing.T) {
+	_, c := startTestServer(t, Options{Shards: 2})
+	c.Set("a", "1")
+	c.Set("b", "2")
+	v, _ := c.Do("DBSIZE")
+	if v.(int64) != 2 {
+		t.Fatalf("dbsize %v", v)
+	}
+	info, err := c.Do("INFO")
+	if err != nil || !strings.Contains(info.(string), "shards:2") {
+		t.Fatalf("info: %v %v", info, err)
+	}
+	c.Do("FLUSHALL")
+	v, _ = c.Do("DBSIZE")
+	if v.(int64) != 0 {
+		t.Fatal("flushall")
+	}
+}
+
+func TestUnknownAndMalformed(t *testing.T) {
+	_, c := startTestServer(t, Options{})
+	if _, err := c.Do("NOPE", "k"); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if _, err := c.Do("SET", "k"); err == nil {
+		t.Fatal("arity not checked")
+	}
+	if _, err := c.Do("GET"); err == nil {
+		t.Fatal("missing key accepted")
+	}
+}
+
+func TestPipelining(t *testing.T) {
+	_, c := startTestServer(t, Options{})
+	cmds := make([][]string, 100)
+	for i := range cmds {
+		cmds[i] = []string{"SET", fmt.Sprintf("p%03d", i), "v"}
+	}
+	outs, errs := c.Pipeline(cmds)
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatalf("pipeline %d: %v", i, errs[i])
+		}
+	}
+	v, _ := c.Do("DBSIZE")
+	if v.(int64) != 100 {
+		t.Fatalf("dbsize %v", v)
+	}
+}
+
+func TestMultipleShards(t *testing.T) {
+	s, c := startTestServer(t, Options{Shards: 4})
+	for i := 0; i < 200; i++ {
+		c.Set(fmt.Sprintf("k%03d", i), "v")
+	}
+	// Keys must be spread across shards.
+	populated := 0
+	for _, eng := range s.Shards() {
+		if eng.Len() > 0 {
+			populated++
+		}
+	}
+	if populated < 3 {
+		t.Fatalf("only %d shards populated", populated)
+	}
+	for i := 0; i < 200; i++ {
+		if v, err := c.Get(fmt.Sprintf("k%03d", i)); err != nil || v != "v" {
+			t.Fatalf("get %d: %q %v", i, v, err)
+		}
+	}
+}
+
+func TestServerWithTieredBackend(t *testing.T) {
+	stor := cache.NewMapStorage()
+	opts := Options{
+		TieredFactory: func(eng *engine.Engine) (*cache.Tiered, error) {
+			return cache.New(cache.Options{Policy: cache.WriteThrough, Engine: eng, Storage: stor})
+		},
+	}
+	_, c := startTestServer(t, opts)
+	if err := c.Set("durable", "yes"); err != nil {
+		t.Fatal(err)
+	}
+	// Write-through: already in storage.
+	v, err := stor.Get("durable")
+	if err != nil || string(v) != "yes" {
+		t.Fatalf("storage: %q %v", v, err)
+	}
+	// Read of a storage-only key goes through the miss path.
+	stor.Put("cold", []byte("brr"))
+	got, err := c.Get("cold")
+	if err != nil || got != "brr" {
+		t.Fatalf("cold get: %q %v", got, err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, _ := startTestServer(t, Options{Shards: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := client.Dial(s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("g%dk%d", g, i)
+				if err := c.Set(k, "v"); err != nil {
+					t.Errorf("set: %v", err)
+					return
+				}
+				if v, err := c.Get(k); err != nil || v != "v" {
+					t.Errorf("get: %q %v", v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Throughput.Count() < 1600 {
+		t.Fatalf("throughput counter %d", s.Throughput.Count())
+	}
+	if s.Latency.Count() == 0 {
+		t.Fatal("latency histogram empty")
+	}
+}
+
+func TestBinarySafeValues(t *testing.T) {
+	_, c := startTestServer(t, Options{})
+	weird := "has\r\nnewlines\x00and\x01bytes"
+	if err := c.Set("bin", weird); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("bin")
+	if err != nil || v != weird {
+		t.Fatalf("binary roundtrip: %q %v", v, err)
+	}
+}

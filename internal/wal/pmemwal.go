@@ -1,0 +1,176 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tierbase/internal/pmem"
+)
+
+// PMemLog implements the paper's WAL-PMem strategy (§4.3): every append is
+// synchronously persisted to a PMem ring buffer (overcoming the disk IOPS
+// bottleneck while keeping per-transaction durability), and a background
+// drainer batch-moves records to a conventional file-backed Log, keeping
+// the ring small.
+type PMemLog struct {
+	ring *pmem.Ring
+	back *Log // slower durable backing store; nil means ring-only
+
+	mu       sync.Mutex
+	closed   bool
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	drainErr error
+	appends  int64
+
+	// DrainBatch is the max records moved per drain cycle.
+	DrainBatch int
+	// DrainEvery is the drain interval.
+	DrainEvery time.Duration
+}
+
+// NewPMemLog builds a PMem-backed WAL. back may be nil to keep records only
+// in the ring (pure PMem persistence). The caller owns the ring's device.
+func NewPMemLog(ring *pmem.Ring, back *Log) *PMemLog {
+	l := &PMemLog{
+		ring:       ring,
+		back:       back,
+		stopCh:     make(chan struct{}),
+		doneCh:     make(chan struct{}),
+		DrainBatch: 256,
+		DrainEvery: 50 * time.Millisecond,
+	}
+	go l.drainLoop()
+	return l
+}
+
+// Append persists one record to PMem before returning (per-transaction
+// durability). If the ring is full it drains synchronously and retries.
+func (l *PMemLog) Append(payload []byte) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.drainErr != nil {
+		err := l.drainErr
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+
+	for {
+		_, err := l.ring.Append(payload)
+		if err == nil {
+			l.mu.Lock()
+			l.appends++
+			l.mu.Unlock()
+			return nil
+		}
+		if err != pmem.ErrRingFull {
+			return fmt.Errorf("wal: pmem append: %w", err)
+		}
+		// Backpressure: drain synchronously to make room.
+		if derr := l.drainOnce(); derr != nil {
+			return derr
+		}
+	}
+}
+
+// drainOnce moves up to DrainBatch records from the ring to the backing log.
+func (l *PMemLog) drainOnce() error {
+	batch, err := l.ring.ConsumeBatch(l.DrainBatch)
+	if err != nil {
+		return fmt.Errorf("wal: pmem drain: %w", err)
+	}
+	if l.back == nil || len(batch) == 0 {
+		return nil
+	}
+	for _, rec := range batch {
+		if err := l.back.Append(rec); err != nil {
+			return fmt.Errorf("wal: pmem drain backing append: %w", err)
+		}
+	}
+	return l.back.Sync()
+}
+
+func (l *PMemLog) drainLoop() {
+	defer close(l.doneCh)
+	t := time.NewTicker(l.DrainEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := l.drainOnce(); err != nil {
+				l.mu.Lock()
+				if l.drainErr == nil {
+					l.drainErr = err
+				}
+				l.mu.Unlock()
+				return
+			}
+		case <-l.stopCh:
+			return
+		}
+	}
+}
+
+// Sync is a no-op: every append is already durable in PMem.
+func (l *PMemLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.drainErr
+}
+
+// Appends reports the number of appended records.
+func (l *PMemLog) Appends() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends
+}
+
+// PendingBytes reports unmoved bytes still in the ring.
+func (l *PMemLog) PendingBytes() int64 { return l.ring.Len() }
+
+// Close stops the drainer, moves remaining records to the backing log, and
+// closes the backing log.
+func (l *PMemLog) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stopCh)
+	<-l.doneCh
+	for l.ring.Len() > 0 {
+		if err := l.drainOnce(); err != nil {
+			return err
+		}
+		if l.back == nil {
+			break
+		}
+	}
+	if l.back != nil {
+		return l.back.Close()
+	}
+	return nil
+}
+
+// Appender is the minimal WAL interface shared by Log and PMemLog; the
+// engine and cache tiers depend only on this.
+type Appender interface {
+	Append(payload []byte) error
+	Sync() error
+	Close() error
+}
+
+var (
+	_ Appender = (*Log)(nil)
+	_ Appender = (*PMemLog)(nil)
+)

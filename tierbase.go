@@ -1,0 +1,392 @@
+// Package tierbase is a workload-driven, cost-optimized key-value store —
+// a from-scratch reproduction of "TierBase: A Workload-Driven
+// Cost-Optimized Key-Value Store" (Shen et al., ICDE 2025).
+//
+// The package offers an embedded store with the paper's cost-saving
+// machinery: a tiered cache/storage architecture with write-through or
+// write-back synchronization, pre-trained compression (dictionary DEFLATE
+// as the Zstd analog, plus pattern-based compression), a simulated
+// persistent-memory tier, elastic threading, and the Space-Performance
+// Cost Model for configuration selection.
+//
+// Quick start:
+//
+//	store, err := tierbase.Open(tierbase.Options{})
+//	if err != nil { ... }
+//	defer store.Close()
+//	store.Set("greeting", []byte("hello"))
+//	v, _ := store.Get("greeting")
+//
+// A networked deployment (RESP protocol, Redis-compatible clients) is
+// available via cmd/tierbase-server; the experiment harness reproducing
+// every table and figure of the paper lives in cmd/tierbase-bench.
+package tierbase
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tierbase/internal/cache"
+	"tierbase/internal/compress"
+	"tierbase/internal/core"
+	"tierbase/internal/elastic"
+	"tierbase/internal/engine"
+	"tierbase/internal/lsm"
+	"tierbase/internal/pmem"
+	"tierbase/internal/wal"
+)
+
+// Policy selects cache/storage synchronization (paper §4.1).
+type Policy int
+
+// Policies.
+const (
+	// CacheOnly keeps all data in the cache tier (no storage tier).
+	CacheOnly Policy = iota
+	// WriteThrough synchronously persists each write to the storage tier.
+	WriteThrough
+	// WriteBack acks from the cache tier and batches writes to storage.
+	WriteBack
+)
+
+// Options configures a Store.
+type Options struct {
+	// Policy selects the tiering mode. WriteThrough and WriteBack
+	// require Dir for the storage tier.
+	Policy Policy
+	// Dir hosts the storage tier (LSM) and WAL for persistent modes.
+	Dir string
+	// CacheCapacityBytes bounds cache-tier DRAM (0 = unbounded). With a
+	// bound, cold entries evict to the storage tier (tiered modes).
+	CacheCapacityBytes int64
+	// Compression selects a value compressor: "", "pbc", "zstd-d"
+	// (pre-trained dictionary), "zstd-b" (no dictionary).
+	Compression string
+	// CompressionLevel applies to the deflate-based compressors (1-9).
+	CompressionLevel int
+	// TrainingSamples pre-train the compressor (paper §4.2). Required
+	// for "pbc" and "zstd-d" to be effective.
+	TrainingSamples [][]byte
+	// PMemBytes, when > 0, creates a simulated persistent-memory arena of
+	// that size; values >= 64 B are offloaded to it (paper §4.3).
+	PMemBytes int64
+	// PMemPath persists the PMem device at this file (optional; default
+	// volatile simulation).
+	PMemPath string
+	// Replicas adds synchronous cache-tier replicas (reliability; §4.1.2).
+	Replicas int
+	// ElasticThreading enables the single↔multi worker controller (§4.4);
+	// otherwise Threads fixes the worker count (default 1, the paper's
+	// default single-thread event-loop mode).
+	ElasticThreading bool
+	Threads          int
+	// MaxThreads caps elastic growth (default 4).
+	MaxThreads int
+	// StorageRTT injects a disaggregation round-trip latency on storage
+	// tier calls (models the remote hop; default 0).
+	StorageRTT time.Duration
+}
+
+// Store is an embedded TierBase instance.
+type Store struct {
+	opts   Options
+	eng    *engine.Engine
+	reps   []*engine.Engine
+	tiered *cache.Tiered
+	pool   *elastic.Pool
+	db     *lsm.DB
+	dev    *pmem.Device
+	comp   compress.Compressor
+	mon    *compress.Monitor
+}
+
+// Open builds a Store from options.
+func Open(opts Options) (*Store, error) {
+	s := &Store{opts: opts}
+
+	engOpts := engine.Options{}
+	if opts.Compression != "" {
+		c, err := compress.ByName(opts.Compression, opts.CompressionLevel)
+		if err != nil {
+			return nil, err
+		}
+		if len(opts.TrainingSamples) > 0 {
+			if err := c.Train(opts.TrainingSamples); err != nil {
+				return nil, err
+			}
+		}
+		s.comp = c
+		s.mon = compress.NewMonitor(0)
+		engOpts.Compressor = c
+		engOpts.CompressMin = 16
+		engOpts.Monitor = s.mon
+	}
+	if opts.PMemBytes > 0 {
+		if opts.PMemPath != "" {
+			dev, err := pmem.Open(opts.PMemPath, int(opts.PMemBytes), pmem.DefaultLatency)
+			if err != nil {
+				return nil, err
+			}
+			s.dev = dev
+		} else {
+			s.dev = pmem.OpenVolatile(int(opts.PMemBytes), pmem.Latency{})
+		}
+		engOpts.Arena = pmem.NewArena(s.dev, 0)
+	}
+	s.eng = engine.New(engOpts)
+	for i := 0; i < opts.Replicas; i++ {
+		s.reps = append(s.reps, engine.New(engOpts))
+	}
+
+	maxThreads := opts.MaxThreads
+	if maxThreads <= 0 {
+		maxThreads = 4
+	}
+	poolOpts := elastic.PoolOptions{MaxWorkers: maxThreads}
+	if !opts.ElasticThreading {
+		poolOpts.Fixed = opts.Threads
+		if poolOpts.Fixed <= 0 {
+			poolOpts.Fixed = 1
+		}
+	}
+	s.pool = elastic.NewPool(poolOpts)
+
+	cacheOpts := cache.Options{
+		Engine:             s.eng,
+		Replicas:           s.reps,
+		CacheCapacityBytes: opts.CacheCapacityBytes,
+	}
+	switch opts.Policy {
+	case CacheOnly:
+		cacheOpts.Policy = cache.CacheOnly
+	case WriteThrough, WriteBack:
+		if opts.Dir == "" {
+			s.pool.Stop()
+			return nil, errors.New("tierbase: Dir required for tiered policies")
+		}
+		db, err := lsm.Open(lsm.Options{Dir: opts.Dir, WALSyncPolicy: wal.SyncInterval})
+		if err != nil {
+			s.pool.Stop()
+			return nil, err
+		}
+		s.db = db
+		var stor cache.Storage = cache.NewLSMStorage(db)
+		if opts.StorageRTT > 0 {
+			stor = cache.NewRemote(stor, opts.StorageRTT)
+		}
+		cacheOpts.Storage = stor
+		if opts.Policy == WriteThrough {
+			cacheOpts.Policy = cache.WriteThrough
+		} else {
+			cacheOpts.Policy = cache.WriteBack
+		}
+	default:
+		s.pool.Stop()
+		return nil, fmt.Errorf("tierbase: unknown policy %d", opts.Policy)
+	}
+	tr, err := cache.New(cacheOpts)
+	if err != nil {
+		s.pool.Stop()
+		if s.db != nil {
+			s.db.Close()
+		}
+		return nil, err
+	}
+	s.tiered = tr
+	return s, nil
+}
+
+// Set stores key = val.
+func (s *Store) Set(key string, val []byte) error {
+	var err error
+	if perr := s.pool.SubmitWait(func() { err = s.tiered.Set(key, val) }); perr != nil {
+		return perr
+	}
+	return err
+}
+
+// Get fetches key; ErrNotFound when absent from both tiers.
+func (s *Store) Get(key string) ([]byte, error) {
+	var v []byte
+	var err error
+	if perr := s.pool.SubmitWait(func() { v, err = s.tiered.Get(key) }); perr != nil {
+		return nil, perr
+	}
+	if err == cache.ErrNotFound || err == engine.ErrNotFound {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+
+// Delete removes key from both tiers.
+func (s *Store) Delete(key string) error {
+	var err error
+	if perr := s.pool.SubmitWait(func() { err = s.tiered.Delete(key) }); perr != nil {
+		return perr
+	}
+	return err
+}
+
+// Update applies a read-modify-write; fn receives the current value (or
+// exists=false) and returns the replacement (nil = delete).
+func (s *Store) Update(key string, fn func(old []byte, exists bool) []byte) error {
+	var err error
+	if perr := s.pool.SubmitWait(func() { err = s.tiered.Update(key, fn) }); perr != nil {
+		return perr
+	}
+	return err
+}
+
+// CompareAndSet swaps key's value only if it currently equals oldVal
+// (nil oldVal = "absent"). Returns ErrCASMismatch on conflict.
+func (s *Store) CompareAndSet(key string, oldVal, newVal []byte) error {
+	var err error
+	if perr := s.pool.SubmitWait(func() { err = s.eng.CompareAndSet(key, oldVal, newVal) }); perr != nil {
+		return perr
+	}
+	if err == engine.ErrCASMismatch {
+		return ErrCASMismatch
+	}
+	return err
+}
+
+// IncrBy adds delta to an integer value.
+func (s *Store) IncrBy(key string, delta int64) (int64, error) {
+	var v int64
+	var err error
+	if perr := s.pool.SubmitWait(func() { v, err = s.eng.IncrBy(key, delta) }); perr != nil {
+		return 0, perr
+	}
+	return v, err
+}
+
+// Expire sets a TTL on key.
+func (s *Store) Expire(key string, d time.Duration) bool {
+	var ok bool
+	s.pool.SubmitWait(func() { ok = s.eng.Expire(key, d) })
+	return ok
+}
+
+// Engine exposes the cache-tier engine for data-structure commands
+// (lists, sets, sorted sets, hashes) and advanced operations.
+func (s *Store) Engine() *engine.Engine { return s.eng }
+
+// Errors.
+var (
+	// ErrNotFound reports an absent key.
+	ErrNotFound = errors.New("tierbase: key not found")
+	// ErrCASMismatch reports a failed compare-and-set.
+	ErrCASMismatch = errors.New("tierbase: compare-and-set mismatch")
+)
+
+// Stats summarizes store state for monitoring and cost measurement.
+type Stats struct {
+	Keys             int
+	CacheMemBytes    int64
+	PMemBytes        int64
+	StorageDiskBytes int64
+	Requests         int64
+	Hits             int64
+	Misses           int64
+	MissRatio        float64
+	DirtyEntries     int
+	Workers          int
+	CompressionRatio float64 // observed compressed/raw (1 = none)
+}
+
+// Stats returns a snapshot.
+func (s *Store) Stats() Stats {
+	est := s.eng.Stats()
+	cst := s.tiered.Stats()
+	st := Stats{
+		Keys:          est.Keys,
+		CacheMemBytes: est.MemBytes,
+		PMemBytes:     est.PMemUsed,
+		Requests:      cst.Requests,
+		Hits:          cst.Hits,
+		Misses:        cst.Misses,
+		MissRatio:     s.tiered.MissRatio(),
+		DirtyEntries:  cst.Dirty,
+		Workers:       s.pool.Workers(),
+	}
+	for _, r := range s.reps {
+		st.CacheMemBytes += r.MemUsed()
+	}
+	if s.db != nil {
+		st.StorageDiskBytes = s.db.Stats().DiskBytes
+	}
+	st.CompressionRatio = 1
+	if s.mon != nil && s.mon.Records() > 0 {
+		st.CompressionRatio = s.mon.Ratio()
+	}
+	return st
+}
+
+// FlushDirty forces write-back dirty data to the storage tier.
+func (s *Store) FlushDirty() error { return s.tiered.FlushDirty() }
+
+// Close flushes and releases all resources.
+func (s *Store) Close() error {
+	s.pool.Stop()
+	err := s.tiered.Close()
+	if s.db != nil {
+		if derr := s.db.Close(); err == nil {
+			err = derr
+		}
+	}
+	if s.dev != nil {
+		if perr := s.dev.Close(); err == nil {
+			err = perr
+		}
+	}
+	return err
+}
+
+// --- cost model re-exports (the paper's §2/§5 API) ---
+
+// Cost-model types, re-exported from the internal implementation so
+// downstream users can run the Space-Performance Cost Model directly.
+type (
+	// CostWorkload describes a workload's QPS and data volume.
+	CostWorkload = core.Workload
+	// CostInstance is a priced resource instance.
+	CostInstance = core.Instance
+	// CostMeasured is a configuration's measured capability.
+	CostMeasured = core.Measured
+	// CostEvaluation is a priced configuration.
+	CostEvaluation = core.Evaluation
+	// TieredCostInputs parameterizes the tiered cost model (Eq. 3).
+	TieredCostInputs = core.TieredInputs
+	// MissRatioCurve is MR = f(CR).
+	MissRatioCurve = core.MRC
+)
+
+// StandardContainer is the paper's 1-core/4-GB relative cost unit.
+var StandardContainer = core.StandardContainer
+
+// OptimalConfig picks the min-max-cost configuration (Theorem 2.1).
+func OptimalConfig(w CostWorkload, i CostInstance, configs []CostMeasured) (CostEvaluation, error) {
+	return core.OptimalConfig(w, i, configs)
+}
+
+// TieredCost evaluates Equation 3 for a cache ratio and miss ratio.
+func TieredCost(in TieredCostInputs, cr, mr float64) float64 {
+	return core.TieredCost(in, cr, mr)
+}
+
+// OptimalCacheRatio solves Theorem 5.1 on a miss-ratio curve.
+func OptimalCacheRatio(in TieredCostInputs, f MissRatioCurve) (cr, mr, cost float64) {
+	return core.OptimalCacheRatio(in, f)
+}
+
+// BreakEvenInterval is the adapted Five-Minute Rule (Equation 5), in
+// seconds.
+func BreakEvenInterval(cpqpsSlow, cpgbFast, avgRecordBytes float64) float64 {
+	return core.BreakEvenInterval(cpqpsSlow, cpgbFast, avgRecordBytes)
+}
+
+// BuildMRC estimates an empirical miss-ratio curve from a key trace.
+func BuildMRC(keyTrace []string) MissRatioCurve {
+	return core.BuildMRC(keyTrace).Curve(true)
+}
