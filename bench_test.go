@@ -60,6 +60,7 @@ func BenchmarkFig12CaseStudies(b *testing.B)          { runExperiment(b, "fig12"
 func BenchmarkFig13aCompressionTradeoff(b *testing.B) { runExperiment(b, "fig13a") }
 func BenchmarkFig13bCacheRatioTradeoff(b *testing.B)  { runExperiment(b, "fig13b") }
 func BenchmarkTable3BreakEven(b *testing.B)           { runExperiment(b, "tab3") }
+func BenchmarkShardScale(b *testing.B)                { runExperiment(b, "shardscale") }
 
 // --- ablations (DESIGN.md §5) ---
 

@@ -47,6 +47,17 @@ func main() {
 	fmt.Printf("visits = %d\n", n)
 	store.Expire("visits", time.Hour)
 
+	// Batch API: many keys in one pass through the lock-striped engine.
+	if err := store.MSet(map[string][]byte{
+		"profile:1": []byte("alice"),
+		"profile:2": []byte("bob"),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	users, _ := store.MGet("profile:1", "profile:2", "profile:3")
+	fmt.Printf("MGET profile:1=%q profile:2=%q profile:3 present=%v\n",
+		users["profile:1"], users["profile:2"], users["profile:3"] != nil)
+
 	// Advanced data structures via the engine.
 	eng := store.Engine()
 	eng.RPush("queue", []byte("job-1"), []byte("job-2"))

@@ -1,0 +1,3 @@
+module tierbase
+
+go 1.24

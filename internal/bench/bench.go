@@ -127,6 +127,7 @@ func Registry() []Experiment {
 		{"fig13a", "Compression-level space-performance trade-off", RunFig13a},
 		{"fig13b", "Cache-ratio space-performance trade-off (write-back NX)", RunFig13b},
 		{"tab3", "Break-even intervals between configurations", RunTable3},
+		{"shardscale", "Lock-striped engine scaling and batch (MGET/MSET) fast path", RunShardScale},
 	}
 }
 

@@ -1,0 +1,204 @@
+package cache
+
+import (
+	"tierbase/internal/engine"
+)
+
+// Batch operations on the tiered store: the cache-tier leg of the
+// MGET/MSET fast path. Cache hits resolve through the engine's lock-striped
+// MGet (one stripe lock per touched shard); the remaining misses make a
+// single Storage.BatchGet round trip — the optimization the paper credits
+// for lowering PC_miss — with singleflight dedup against concurrent
+// fetches of the same keys. Writes group into one Storage.BatchPut round
+// trip (write-through) or one dirty-map pass (write-back).
+
+// BatchGet fetches many keys, consulting the cache tier first and the
+// storage tier (one round trip) for the misses. The result maps key to
+// value; absent keys map to nil. Duplicate keys are served once.
+func (t *Tiered) BatchGet(keys []string) (map[string][]byte, error) {
+	if t.closed.Load() {
+		return nil, ErrClosed
+	}
+	t.reqs.Add(int64(len(keys)))
+	out := make(map[string][]byte, len(keys))
+
+	// Dedupe while preserving order.
+	uniq := keys
+	if len(keys) > 1 {
+		seen := make(map[string]struct{}, len(keys))
+		uniq = make([]string, 0, len(keys))
+		for _, k := range keys {
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			uniq = append(uniq, k)
+		}
+	}
+
+	// 1. Cache tier, one stripe lock per touched shard. Wrong-typed keys
+	// report nil (Redis MGET semantics) but are NOT misses: fetching them
+	// from storage would clobber a live list/set/hash with stale bytes.
+	vals, wrongType, err := t.eng.MGetDetail(uniq)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for i, k := range uniq {
+		if vals[i] != nil {
+			out[k] = vals[i]
+			t.hits.Add(1)
+			t.touch(k)
+			continue
+		}
+		out[k] = nil
+		if wrongType[i] {
+			continue
+		}
+		t.misses.Add(1)
+		missing = append(missing, k)
+	}
+	if len(missing) == 0 || t.opts.Policy == CacheOnly {
+		return out, nil
+	}
+
+	// 2. Write-back dirty state shadows storage (unflushed values and
+	// delete tombstones must win over what storage still holds).
+	if t.opts.Policy == WriteBack {
+		live := missing[:0]
+		t.dirtyMu.Lock()
+		for _, k := range missing {
+			if e, ok := t.dirty[k]; ok {
+				if e.val != nil {
+					out[k] = copyBytes(e.val)
+				}
+				continue // tombstone: stays nil
+			}
+			live = append(live, k)
+		}
+		t.dirtyMu.Unlock()
+		missing = live
+		if len(missing) == 0 {
+			return out, nil
+		}
+	}
+
+	// 3. Storage tier: join flights already in progress, lead the rest in
+	// a single BatchGet round trip (shared singleflight core with Get).
+	lead, join := t.splitFlights(missing)
+	var fetchErr error
+	if len(lead) > 0 {
+		fetch := make([]string, 0, len(lead))
+		for k := range lead {
+			fetch = append(fetch, k)
+		}
+		svals, err := t.opts.Storage.BatchGet(fetch)
+		t.publishFlights(lead, svals, err)
+		fetchErr = err
+		for k, f := range lead {
+			if f.err == nil {
+				out[k] = f.val
+			}
+		}
+	}
+	for k, f := range join {
+		v, err := t.awaitFlight(f)
+		switch {
+		case err == ErrNotFound:
+			// stays nil
+		case err != nil:
+			if fetchErr == nil {
+				fetchErr = err
+			}
+		default:
+			out[k] = v
+		}
+	}
+	if fetchErr != nil {
+		return nil, fetchErr
+	}
+	t.maybeEvict()
+	return out, nil
+}
+
+// BatchPut applies many writes according to the configured policy; a nil
+// value deletes the key (matching Storage.BatchPut semantics). Under
+// write-through the whole batch is one storage round trip; under
+// write-back it is one dirty-map pass with a single backpressure check.
+// The cache tier applies via the engine's striped MSet/BatchDel.
+//
+// Batches bypass the per-key write-through coalescing queues: concurrent
+// single-key Sets on the same keys may interleave with the batch, with
+// last-storage-writer-wins ordering (same guarantee Redis gives between a
+// pipelined MSET and competing SETs).
+func (t *Tiered) BatchPut(entries map[string][]byte) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	t.reqs.Add(int64(len(entries)))
+	switch t.opts.Policy {
+	case WriteThrough:
+		if err := t.opts.Storage.BatchPut(entries); err != nil {
+			// Mirror wtCommit's failure path for every key in the batch.
+			for k := range entries {
+				t.invalidate(k)
+			}
+			return err
+		}
+		t.applyBatchToCache(entries)
+	case WriteBack:
+		t.dirtyMu.Lock()
+		for len(t.dirty) >= t.opts.MaxDirty && !t.closed.Load() {
+			t.wakeFlusher()
+			t.dirtyCond.Wait()
+		}
+		if t.closed.Load() {
+			t.dirtyMu.Unlock()
+			return ErrClosed
+		}
+		for k, v := range entries {
+			t.dirtyGen++
+			stored := copyBytes(v)
+			if v != nil && stored == nil {
+				stored = []byte{} // empty value, not a tombstone
+			}
+			t.dirty[k] = &dirtyEntry{val: stored, gen: t.dirtyGen}
+		}
+		reached := len(t.dirty) >= t.opts.FlushBatch
+		t.dirtyMu.Unlock()
+		t.applyBatchToCache(entries)
+		if reached {
+			t.wakeFlusher()
+		}
+	default:
+		t.applyBatchToCache(entries)
+	}
+	return nil
+}
+
+// applyBatchToCache mutates the cache tier and replicas for a whole batch,
+// taking each engine stripe lock once, then runs capacity eviction.
+func (t *Tiered) applyBatchToCache(entries map[string][]byte) {
+	kvs := make([]engine.KV, 0, len(entries))
+	var dels []string
+	for k, v := range entries {
+		if v == nil {
+			dels = append(dels, k)
+		} else {
+			kvs = append(kvs, engine.KV{Key: k, Val: v})
+		}
+	}
+	t.eng.MSet(kvs)
+	t.eng.BatchDel(dels)
+	for _, r := range t.opts.Replicas {
+		r.MSet(kvs)
+		r.BatchDel(dels)
+	}
+	for _, kv := range kvs {
+		t.touch(kv.Key)
+	}
+	for _, k := range dels {
+		t.forget(k)
+	}
+	t.maybeEvict()
+}

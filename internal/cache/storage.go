@@ -9,6 +9,7 @@ package cache
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -122,11 +123,15 @@ func (r *Remote) pause() {
 	if r.RTT <= 0 {
 		return
 	}
-	// Busy-wait: time.Sleep floors at the kernel tick (>1 ms on coarse
+	// Spin-wait: time.Sleep floors at the kernel tick (>1 ms on coarse
 	// timers), which would inflate sub-millisecond RTTs by an order of
-	// magnitude and distort every miss-penalty measurement.
+	// magnitude and distort every miss-penalty measurement. Yield each
+	// iteration: a network round trip leaves the CPU free, so goroutines
+	// waiting to run (e.g. writers that should coalesce behind this one)
+	// must get the processor even at GOMAXPROCS=1.
 	deadline := time.Now().Add(r.RTT)
 	for time.Now().Before(deadline) {
+		runtime.Gosched()
 	}
 }
 

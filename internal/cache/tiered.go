@@ -96,8 +96,17 @@ type Tiered struct {
 	dirtyCond *sync.Cond
 	dirtyGen  uint64
 
+	// Singleflight state: at most one storage fetch per key is in flight;
+	// concurrent misses of the same key wait on the leader's result
+	// instead of issuing duplicate storage round trips.
+	flMu    sync.Mutex
+	flights map[string]*flight
+
 	// Deferred cache-fetch batcher.
 	fetchCh chan fetchReq
+
+	// flushWake nudges the write-back flusher when a batch is ready.
+	flushWake chan struct{}
 
 	stopCh chan struct{}
 	wg     sync.WaitGroup
@@ -112,6 +121,14 @@ type Tiered struct {
 	flushed   atomic.Int64
 	batches   atomic.Int64
 	fetched   atomic.Int64
+	flShared  atomic.Int64 // miss fetches served by another caller's flight
+}
+
+// flight is one in-progress storage fetch; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  []byte // valid after done closes; nil when absent
+	err  error  // ErrNotFound when absent; storage error otherwise
 }
 
 type dirtyEntry struct {
@@ -132,6 +149,19 @@ type fetchResp struct {
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("cache: closed")
 
+// copyBytes clones b, preserving nilness: nil stays nil (absent /
+// tombstone), empty stays empty non-nil (a present empty value). The
+// usual append([]byte(nil), b...) idiom collapses empty to nil, which in
+// write-back dirty state silently turns an empty value into a delete.
+func copyBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
 // New builds a Tiered store.
 func New(opts Options) (*Tiered, error) {
 	opts.fill()
@@ -148,11 +178,13 @@ func New(opts Options) (*Tiered, error) {
 		pos:      make(map[string]*list.Element),
 		wtQueues: make(map[string]*wtQueue),
 		dirty:    make(map[string]*dirtyEntry),
+		flights:  make(map[string]*flight),
 		stopCh:   make(chan struct{}),
 	}
 	t.dirtyCond = sync.NewCond(&t.dirtyMu)
 	if opts.Policy == WriteBack {
 		t.fetchCh = make(chan fetchReq, 1024)
+		t.flushWake = make(chan struct{}, 1)
 		t.wg.Add(2)
 		go t.flushLoop()
 		go t.fetchLoop()
@@ -263,25 +295,106 @@ func (t *Tiered) Get(key string) ([]byte, error) {
 			}
 			// Dirty value exists but was missing from cache (should not
 			// happen — dirty keys are eviction-exempt — but be safe).
-			return append([]byte(nil), e.val...), nil
+			return copyBytes(e.val), nil
 		}
 		t.dirtyMu.Unlock()
 	}
-	v, err := t.opts.Storage.Get(key)
-	if err == ErrNotFound {
-		return nil, ErrNotFound
-	}
+	v, err := t.fetchCoalesced(key)
 	if err != nil {
 		return nil, err
 	}
-	// Admit into the cache tier.
-	t.eng.Set(key, v)
-	for _, r := range t.opts.Replicas {
-		r.Set(key, v)
-	}
-	t.touch(key)
 	t.maybeEvict()
 	return v, nil
+}
+
+// --- singleflight core (shared by Get and BatchGet) ---
+
+// splitFlights partitions keys into flights this caller now leads
+// (registered under flMu) and flights already in progress to join.
+// Duplicate keys in the input collapse onto one flight.
+func (t *Tiered) splitFlights(keys []string) (lead, join map[string]*flight) {
+	lead = make(map[string]*flight, len(keys))
+	join = make(map[string]*flight)
+	t.flMu.Lock()
+	for _, k := range keys {
+		if _, ours := lead[k]; ours {
+			continue
+		}
+		if f, ok := t.flights[k]; ok {
+			join[k] = f
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		t.flights[k] = f
+		lead[k] = f
+	}
+	t.flMu.Unlock()
+	return lead, join
+}
+
+// publishFlights completes led flights from one storage fetch: vals maps
+// key to value (nil = absent → ErrNotFound), err poisons every flight.
+// Fetched values are admitted into the cache tier (and replicas) before
+// the flights close, so waiters observe a warm cache.
+func (t *Tiered) publishFlights(lead map[string]*flight, vals map[string][]byte, err error) {
+	for k, f := range lead {
+		switch {
+		case err != nil:
+			f.err = err
+		case vals[k] == nil:
+			f.err = ErrNotFound
+		default:
+			f.val = vals[k]
+			t.eng.Set(k, f.val)
+			for _, r := range t.opts.Replicas {
+				r.Set(k, f.val)
+			}
+			t.touch(k)
+		}
+	}
+	t.flMu.Lock()
+	for k := range lead {
+		delete(t.flights, k)
+	}
+	t.flMu.Unlock()
+	for _, f := range lead {
+		close(f.done)
+	}
+}
+
+// awaitFlight blocks on a flight led elsewhere and returns a private copy
+// of its result.
+func (t *Tiered) awaitFlight(f *flight) ([]byte, error) {
+	<-f.done
+	t.flShared.Add(1)
+	if f.err != nil {
+		return nil, f.err
+	}
+	return copyBytes(f.val), nil
+}
+
+// fetchCoalesced fetches key from the storage tier with singleflight
+// dedup: the first caller becomes the leader, issues the round trip and
+// admits the value into the cache tier; concurrent callers for the same
+// key wait on that flight instead of duplicating the storage read.
+func (t *Tiered) fetchCoalesced(key string) ([]byte, error) {
+	lead, join := t.splitFlights([]string{key})
+	if f, ok := join[key]; ok {
+		return t.awaitFlight(f)
+	}
+	f := lead[key]
+	v, err := t.opts.Storage.Get(key)
+	vals := map[string][]byte{}
+	if err == nil {
+		if v == nil {
+			v = []byte{} // present empty value, not absent
+		}
+		vals[key] = v
+	} else if err == ErrNotFound {
+		err = nil // publish as absent, not as a poisoned flight
+	}
+	t.publishFlights(lead, vals, err)
+	return f.val, f.err
 }
 
 // --- writes (dispatch by policy) ---
@@ -419,6 +532,7 @@ type Stats struct {
 	Flushed   int64 // write-back entries flushed
 	Batches   int64 // write-back flush round trips
 	Fetched   int64 // deferred cache-fetch keys
+	Shared    int64 // miss fetches coalesced onto another caller's flight
 	Dirty     int   // current dirty entries
 }
 
@@ -436,6 +550,7 @@ func (t *Tiered) Stats() Stats {
 		Flushed:   t.flushed.Load(),
 		Batches:   t.batches.Load(),
 		Fetched:   t.fetched.Load(),
+		Shared:    t.flShared.Load(),
 		Dirty:     dirty,
 	}
 }

@@ -18,6 +18,15 @@ import (
 //   - Deferred cache-fetching: misses during updates are batched through
 //     the fetch loop into BatchGet round trips.
 
+// wakeFlusher nudges the flush loop without blocking (the channel holds
+// one pending wake; an already-pending wake is enough).
+func (t *Tiered) wakeFlusher() {
+	select {
+	case t.flushWake <- struct{}{}:
+	default:
+	}
+}
+
 // writeBack applies one write (or delete) under the write-back policy.
 func (t *Tiered) writeBack(key string, val []byte, del bool) error {
 	// Backpressure: hold the writer while the dirty set is saturated
@@ -25,7 +34,7 @@ func (t *Tiered) writeBack(key string, val []byte, del bool) error {
 	// a predefined threshold").
 	t.dirtyMu.Lock()
 	for len(t.dirty) >= t.opts.MaxDirty && !t.closed.Load() {
-		t.dirtyCond.Signal() // nudge the flusher
+		t.wakeFlusher()
 		t.dirtyCond.Wait()
 	}
 	if t.closed.Load() {
@@ -35,7 +44,10 @@ func (t *Tiered) writeBack(key string, val []byte, del bool) error {
 	t.dirtyGen++
 	var stored []byte
 	if !del {
-		stored = append([]byte(nil), val...)
+		stored = copyBytes(val)
+		if stored == nil {
+			stored = []byte{} // empty value, not a tombstone
+		}
 	}
 	t.dirty[key] = &dirtyEntry{val: stored, gen: t.dirtyGen}
 	reached := len(t.dirty) >= t.opts.FlushBatch
@@ -44,43 +56,48 @@ func (t *Tiered) writeBack(key string, val []byte, del bool) error {
 	t.applyToCache(key, val, del)
 	t.maybeEvict()
 	if reached {
-		t.dirtyCond.Signal()
+		t.wakeFlusher()
 	}
 	return nil
 }
 
-// flushLoop is the background dirty-data propagator.
+// flushLoop is the background dirty-data propagator. Writers nudge it
+// through flushWake when a full batch accumulates (an earlier design
+// bridged the dirty cond into a channel with a helper goroutine, but that
+// bridge spins at 100% CPU whenever the dirty set stays above FlushBatch);
+// the ticker bounds staleness when traffic trickles in below batch size.
 func (t *Tiered) flushLoop() {
 	defer t.wg.Done()
 	ticker := time.NewTicker(t.opts.FlushInterval)
 	defer ticker.Stop()
-	wake := make(chan struct{}, 1)
-	// Bridge the cond signal into a channel so we can select with ticker.
-	go func() {
-		for {
-			t.dirtyMu.Lock()
-			for len(t.dirty) < t.opts.FlushBatch && !t.closed.Load() {
-				t.dirtyCond.Wait()
-			}
-			closed := t.closed.Load()
-			t.dirtyMu.Unlock()
-			if closed {
-				return
-			}
-			select {
-			case wake <- struct{}{}:
-			default:
-			}
-		}
-	}()
 	for {
 		select {
 		case <-t.stopCh:
 			return
 		case <-ticker.C:
-		case <-wake:
+		case <-t.flushWake:
 		}
-		t.flushDirty(t.opts.FlushBatch)
+		if err := t.flushDirty(t.opts.FlushBatch); err != nil {
+			continue // storage failing: retry on the next tick, don't spin
+		}
+		// Keep draining while a full batch remains so a burst doesn't
+		// wait out the ticker 64 keys at a time.
+		for {
+			t.dirtyMu.Lock()
+			pending := len(t.dirty)
+			t.dirtyMu.Unlock()
+			if pending < t.opts.FlushBatch {
+				break
+			}
+			select {
+			case <-t.stopCh:
+				return
+			default:
+			}
+			if err := t.flushDirty(t.opts.FlushBatch); err != nil {
+				break // back to the select; ticker provides the backoff
+			}
+		}
 	}
 }
 

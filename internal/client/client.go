@@ -195,6 +195,44 @@ func (c *Client) Get(key string) (string, error) {
 	return s, nil
 }
 
+// MGet fetches many keys in one MGET round trip; absent keys are omitted
+// from the result.
+func (c *Client) MGet(keys ...string) (map[string]string, error) {
+	if len(keys) == 0 {
+		return map[string]string{}, nil
+	}
+	args := append([]string{"MGET"}, keys...)
+	v, err := c.Do(args...)
+	if err != nil {
+		return nil, err
+	}
+	arr, ok := v.([]interface{})
+	if !ok || len(arr) != len(keys) {
+		return nil, fmt.Errorf("client: unexpected MGET reply %T", v)
+	}
+	out := make(map[string]string, len(keys))
+	for i, e := range arr {
+		if s, ok := e.(string); ok {
+			out[keys[i]] = s
+		}
+	}
+	return out, nil
+}
+
+// MSet stores all pairs in one MSET round trip.
+func (c *Client) MSet(pairs map[string]string) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	args := make([]string, 0, 1+2*len(pairs))
+	args = append(args, "MSET")
+	for k, v := range pairs {
+		args = append(args, k, v)
+	}
+	_, err := c.Do(args...)
+	return err
+}
+
 // Del removes keys, returning how many existed.
 func (c *Client) Del(keys ...string) (int64, error) {
 	args := append([]string{"DEL"}, keys...)
@@ -278,6 +316,107 @@ func (rc *Routed) Get(key string) (string, error) {
 		return "", err
 	}
 	return c.Get(key)
+}
+
+// batchRouter is the optional fast path a Router can provide for grouping
+// a whole batch in one call (cluster.RoutingTable implements it).
+type batchRouter interface {
+	GroupKeysByAddr(keys []string) map[string][]string
+}
+
+// groupByAddr buckets keys by owning node address.
+func (rc *Routed) groupByAddr(keys []string) map[string][]string {
+	if br, ok := rc.router.(batchRouter); ok {
+		return br.GroupKeysByAddr(keys)
+	}
+	groups := make(map[string][]string)
+	for _, k := range keys {
+		addr := rc.router.AddrFor(k)
+		groups[addr] = append(groups[addr], k)
+	}
+	return groups
+}
+
+// MGet fetches many keys across the cluster: keys group by owning node,
+// each node receives one MGET, and the node round trips run in parallel.
+// Absent keys are omitted from the result.
+func (rc *Routed) MGet(keys ...string) (map[string]string, error) {
+	groups := rc.groupByAddr(keys)
+	// Validate routing before spawning anything: returning mid-iteration
+	// would orphan per-node goroutines already in flight.
+	if _, hole := groups[""]; hole {
+		return nil, errors.New("client: no node for key")
+	}
+	out := make(map[string]string, len(keys))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for addr, nodeKeys := range groups {
+		wg.Add(1)
+		go func(addr string, nodeKeys []string) {
+			defer wg.Done()
+			c, err := rc.clientFor(nodeKeys[0])
+			var got map[string]string
+			if err == nil {
+				got, err = c.MGet(nodeKeys...)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			for k, v := range got {
+				out[k] = v
+			}
+		}(addr, nodeKeys)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// MSet stores many pairs across the cluster: pairs group by owning node,
+// one MSET per node, node round trips in parallel.
+func (rc *Routed) MSet(pairs map[string]string) error {
+	keys := make([]string, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	groups := rc.groupByAddr(keys)
+	if _, hole := groups[""]; hole {
+		return errors.New("client: no node for key")
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for addr, nodeKeys := range groups {
+		wg.Add(1)
+		go func(addr string, nodeKeys []string) {
+			defer wg.Done()
+			sub := make(map[string]string, len(nodeKeys))
+			for _, k := range nodeKeys {
+				sub[k] = pairs[k]
+			}
+			c, err := rc.clientFor(nodeKeys[0])
+			if err == nil {
+				err = c.MSet(sub)
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(addr, nodeKeys)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // Close closes all node connections.

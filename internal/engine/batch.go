@@ -1,0 +1,170 @@
+package engine
+
+// Batch operations: the engine-level fast path for MGET/MSET-style
+// traffic. Keys are grouped by lock stripe and each stripe lock is taken
+// exactly once per batch, so an N-key batch costs O(shards touched) lock
+// acquisitions instead of N — the in-memory analog of the paper's
+// one-round-trip BatchGet/BatchPut against the storage tier.
+
+// KV is one key/value pair for MSet.
+type KV struct {
+	Key string
+	Val []byte
+}
+
+// forEachShardGroup buckets positions of keys by stripe index (a stable
+// counting sort — three flat allocations, no per-bucket slices) and calls
+// visit once per touched shard with the input positions in input order.
+// keyAt adapts over []string and []KV.
+func (e *Engine) forEachShardGroup(n int, keyAt func(i int) string, visit func(s *shard, idxs []int)) {
+	nShards := len(e.shards)
+	counts := make([]int, nShards+1)
+	sidx := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		si := e.shardIndex(keyAt(i))
+		sidx[i] = si
+		counts[si+1]++
+	}
+	for s := 0; s < nShards; s++ {
+		counts[s+1] += counts[s]
+	}
+	order := make([]int, n)
+	fill := append([]int(nil), counts[:nShards]...)
+	for i := 0; i < n; i++ {
+		order[fill[sidx[i]]] = i
+		fill[sidx[i]]++
+	}
+	for s := 0; s < nShards; s++ {
+		if lo, hi := counts[s], counts[s+1]; lo < hi {
+			visit(e.shards[s], order[lo:hi])
+		}
+	}
+}
+
+// MGet fetches many string values. The result aligns with keys: absent,
+// expired and wrong-typed keys yield a nil entry (Redis MGET semantics);
+// present values are always non-nil, even when empty. Each touched stripe
+// is read-locked once.
+func (e *Engine) MGet(keys []string) ([][]byte, error) {
+	vals, _, err := e.MGetDetail(keys)
+	return vals, err
+}
+
+// MGetDetail is MGet plus a per-key wrong-type flag, for callers (the
+// tiered cache) that must distinguish "nil because absent" (a miss worth
+// a storage fetch) from "nil because the key holds a list/set/hash"
+// (which a storage fetch must NOT overwrite).
+func (e *Engine) MGetDetail(keys []string) ([][]byte, []bool, error) {
+	out := make([][]byte, len(keys))
+	wrongType := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return out, wrongType, nil
+	}
+	svs := make([]storedVal, len(keys))
+	found := make([]bool, len(keys))
+	now := e.now()
+
+	collect := func(s *shard, idxs []int) {
+		var hits, misses int64
+		s.mu.RLock()
+		for _, i := range idxs {
+			it, ok := s.getItem(keys[i], now)
+			if !ok {
+				misses++
+				continue
+			}
+			if it.kind != KindString {
+				wrongType[i] = true // nil entry, counts as neither
+				continue
+			}
+			svs[i] = it.str
+			found[i] = true
+			hits++
+		}
+		s.mu.RUnlock()
+		if hits > 0 {
+			s.hits.Add(hits)
+		}
+		if misses > 0 {
+			s.misses.Add(misses)
+		}
+	}
+
+	if len(keys) == 1 {
+		collect(e.shardFor(keys[0]), []int{0})
+	} else {
+		e.forEachShardGroup(len(keys), func(i int) string { return keys[i] }, collect)
+	}
+
+	// Decode outside all locks (decompression / PMem reads are the
+	// expensive part and must not serialize the stripe).
+	for i := range keys {
+		if !found[i] {
+			continue
+		}
+		v, err := e.decodeValue(svs[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		if v == nil {
+			v = []byte{}
+		}
+		out[i] = v
+	}
+	return out, wrongType, nil
+}
+
+// MSet stores many string values, clearing any TTLs (Redis MSET
+// semantics). Values are encoded (compressed / PMem-placed) outside the
+// locks, then each touched stripe is write-locked once. Duplicate keys
+// apply in input order: the last pair wins.
+func (e *Engine) MSet(pairs []KV) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	svs := make([]storedVal, len(pairs))
+	for i, p := range pairs {
+		svs[i], _ = e.encodeValue(p.Val)
+	}
+	apply := func(s *shard, idxs []int) {
+		s.mu.Lock()
+		for _, i := range idxs {
+			e.setLocked(s, pairs[i].Key, svs[i])
+		}
+		s.mu.Unlock()
+	}
+	if len(pairs) == 1 {
+		apply(e.shardFor(pairs[0].Key), []int{0})
+		return nil
+	}
+	e.forEachShardGroup(len(pairs), func(i int) string { return pairs[i].Key }, apply)
+	return nil
+}
+
+// BatchDel removes keys, returning how many were live. Each touched
+// stripe is write-locked once.
+func (e *Engine) BatchDel(keys []string) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	now := e.now()
+	n := 0
+	apply := func(s *shard, idxs []int) {
+		s.mu.Lock()
+		for _, i := range idxs {
+			if it, ok := s.items[keys[i]]; ok {
+				if !it.expiredAt(now) {
+					n++
+				}
+				e.deleteItemLocked(s, keys[i], it)
+			}
+		}
+		s.mu.Unlock()
+	}
+	if len(keys) == 1 {
+		apply(e.shardFor(keys[0]), []int{0})
+		return n
+	}
+	e.forEachShardGroup(len(keys), func(i int) string { return keys[i] }, apply)
+	return n
+}

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// Parallel mixed-workload benchmarks: the artifact behind the sharding
+// decision. Run with several GOMAXPROCS settings to see the single-mutex
+// engine flatline while the striped engine scales:
+//
+//	go test ./internal/engine -bench ParallelMixed -cpu 1,2,4,8
+//
+// The mix is 70% GET / 20% SET / 10% INCR over a zipf-ish hot keyspace —
+// the skewed read-heavy shape of the paper's production workloads.
+
+const benchKeySpace = 1 << 14
+
+func benchKeys() []string {
+	keys := make([]string, benchKeySpace)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%08d", i)
+	}
+	return keys
+}
+
+func benchmarkParallelMixed(b *testing.B, shards int) {
+	e := New(Options{Shards: shards})
+	keys := benchKeys()
+	val := make([]byte, 64)
+	for _, k := range keys {
+		e.Set(k, val)
+	}
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			// Skew: half the ops hit the hottest 1/16 of the keyspace.
+			idx := rng.Intn(benchKeySpace)
+			if rng.Intn(2) == 0 {
+				idx %= benchKeySpace / 16
+			}
+			k := keys[idx]
+			switch r := rng.Intn(10); {
+			case r < 7:
+				e.Get(k)
+			case r < 9:
+				e.Set(k, val)
+			default:
+				e.IncrBy("ctr"+k[len(k)-2:], 1)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineParallelMixed1Shard is the pre-refactor single-mutex
+// baseline (Shards: 1 reproduces it exactly).
+func BenchmarkEngineParallelMixed1Shard(b *testing.B) { benchmarkParallelMixed(b, 1) }
+
+// BenchmarkEngineParallelMixedSharded is the striped engine at the
+// default stripe count.
+func BenchmarkEngineParallelMixedSharded(b *testing.B) { benchmarkParallelMixed(b, DefaultShards) }
+
+// benchmarkBatch measures the batch fast path against the equivalent
+// single-op loop: one stripe lock per touched shard vs one per key.
+func benchmarkBatch(b *testing.B, batched bool, batchSize int) {
+	e := New(Options{})
+	keys := benchKeys()
+	val := make([]byte, 64)
+	for _, k := range keys {
+		e.Set(k, val)
+	}
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		batch := make([]string, batchSize)
+		for pb.Next() {
+			base := rng.Intn(benchKeySpace - batchSize)
+			for i := range batch {
+				batch[i] = keys[base+i]
+			}
+			if batched {
+				if _, err := e.MGet(batch); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				for _, k := range batch {
+					if _, err := e.Get(k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkEngineGetLoop16(b *testing.B)   { benchmarkBatch(b, false, 16) }
+func BenchmarkEngineMGetBatch16(b *testing.B) { benchmarkBatch(b, true, 16) }

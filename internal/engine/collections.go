@@ -10,13 +10,14 @@ import (
 // TierBase's deployment (values dominate memory in the string-heavy
 // production workloads the paper evaluates).
 
-// getOrCreate returns the item for key, creating it with kind if absent.
-// Returns ErrWrongType if it exists with a different kind. Caller holds Lock.
-func (e *Engine) getOrCreateLocked(key string, kind Kind) (*item, error) {
+// getOrCreateLocked returns the item for key in shard s, creating it with
+// kind if absent. Returns ErrWrongType if it exists with a different kind.
+// Caller holds s.mu write lock.
+func (e *Engine) getOrCreateLocked(s *shard, key string, kind Kind) (*item, error) {
 	now := e.now()
-	it, ok := e.items[key]
+	it, ok := s.items[key]
 	if ok && it.expiredAt(now) {
-		e.deleteItemLocked(key, it)
+		e.deleteItemLocked(s, key, it)
 		ok = false
 	}
 	if !ok {
@@ -29,8 +30,8 @@ func (e *Engine) getOrCreateLocked(key string, kind Kind) (*item, error) {
 		case KindHash:
 			it.hash = make(map[string][]byte)
 		}
-		e.items[key] = it
-		e.memUsed.Add(it.memBytes)
+		s.items[key] = it
+		s.memUsed.Add(it.memBytes)
 		return it, nil
 	}
 	if it.kind != kind {
@@ -39,9 +40,10 @@ func (e *Engine) getOrCreateLocked(key string, kind Kind) (*item, error) {
 	return it, nil
 }
 
-// getTyped returns the live item if it has the wanted kind.
-func (e *Engine) getTyped(key string, kind Kind) (*item, error) {
-	it, ok := e.getItem(key, e.now())
+// getTyped returns the live item in shard s if it has the wanted kind.
+// Caller holds s.mu (either mode).
+func (e *Engine) getTyped(s *shard, key string, kind Kind) (*item, error) {
+	it, ok := s.getItem(key, e.now())
 	if !ok {
 		return nil, ErrNotFound
 	}
@@ -51,53 +53,57 @@ func (e *Engine) getTyped(key string, kind Kind) (*item, error) {
 	return it, nil
 }
 
-// adjustMem updates both the item and engine accounting. Caller holds Lock.
-func (e *Engine) adjustMem(it *item, delta int64) {
+// adjustMem updates both the item and shard accounting. Caller holds s.mu
+// write lock.
+func (e *Engine) adjustMem(s *shard, it *item, delta int64) {
 	it.memBytes += delta
-	e.memUsed.Add(delta)
+	s.memUsed.Add(delta)
 }
 
 // --- lists ---
 
 // LPush prepends values; returns the new length.
 func (e *Engine) LPush(key string, vals ...[]byte) (int, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	it, err := e.getOrCreateLocked(key, KindList)
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, err := e.getOrCreateLocked(s, key, KindList)
 	if err != nil {
 		return 0, err
 	}
 	for _, v := range vals {
 		cp := append([]byte(nil), v...)
 		it.list = append([][]byte{cp}, it.list...)
-		e.adjustMem(it, int64(len(cp))+24)
+		e.adjustMem(s, it, int64(len(cp))+24)
 	}
-	it.version = e.nextVersion()
+	it.version = s.nextVersion()
 	return len(it.list), nil
 }
 
 // RPush appends values; returns the new length.
 func (e *Engine) RPush(key string, vals ...[]byte) (int, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	it, err := e.getOrCreateLocked(key, KindList)
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, err := e.getOrCreateLocked(s, key, KindList)
 	if err != nil {
 		return 0, err
 	}
 	for _, v := range vals {
 		cp := append([]byte(nil), v...)
 		it.list = append(it.list, cp)
-		e.adjustMem(it, int64(len(cp))+24)
+		e.adjustMem(s, it, int64(len(cp))+24)
 	}
-	it.version = e.nextVersion()
+	it.version = s.nextVersion()
 	return len(it.list), nil
 }
 
 // LPop removes and returns the head.
 func (e *Engine) LPop(key string) ([]byte, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	it, err := e.getTyped(key, KindList)
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, err := e.getTyped(s, key, KindList)
 	if err != nil {
 		return nil, err
 	}
@@ -106,19 +112,20 @@ func (e *Engine) LPop(key string) ([]byte, error) {
 	}
 	v := it.list[0]
 	it.list = it.list[1:]
-	e.adjustMem(it, -int64(len(v))-24)
-	it.version = e.nextVersion()
+	e.adjustMem(s, it, -int64(len(v))-24)
+	it.version = s.nextVersion()
 	if len(it.list) == 0 {
-		e.deleteItemLocked(key, it)
+		e.deleteItemLocked(s, key, it)
 	}
 	return v, nil
 }
 
 // RPop removes and returns the tail.
 func (e *Engine) RPop(key string) ([]byte, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	it, err := e.getTyped(key, KindList)
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, err := e.getTyped(s, key, KindList)
 	if err != nil {
 		return nil, err
 	}
@@ -127,19 +134,20 @@ func (e *Engine) RPop(key string) ([]byte, error) {
 	}
 	v := it.list[len(it.list)-1]
 	it.list = it.list[:len(it.list)-1]
-	e.adjustMem(it, -int64(len(v))-24)
-	it.version = e.nextVersion()
+	e.adjustMem(s, it, -int64(len(v))-24)
+	it.version = s.nextVersion()
 	if len(it.list) == 0 {
-		e.deleteItemLocked(key, it)
+		e.deleteItemLocked(s, key, it)
 	}
 	return v, nil
 }
 
 // LLen returns the list length (0 if absent).
 func (e *Engine) LLen(key string) (int, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	it, err := e.getTyped(key, KindList)
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, err := e.getTyped(s, key, KindList)
 	if err == ErrNotFound {
 		return 0, nil
 	}
@@ -151,9 +159,10 @@ func (e *Engine) LLen(key string) (int, error) {
 
 // LRange returns elements [start, stop] with Redis negative-index rules.
 func (e *Engine) LRange(key string, start, stop int) ([][]byte, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	it, err := e.getTyped(key, KindList)
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, err := e.getTyped(s, key, KindList)
 	if err == ErrNotFound {
 		return nil, nil
 	}
@@ -187,9 +196,10 @@ func (e *Engine) LRange(key string, start, stop int) ([][]byte, error) {
 
 // SAdd inserts members; returns how many were new.
 func (e *Engine) SAdd(key string, members ...string) (int, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	it, err := e.getOrCreateLocked(key, KindSet)
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, err := e.getOrCreateLocked(s, key, KindSet)
 	if err != nil {
 		return 0, err
 	}
@@ -197,19 +207,20 @@ func (e *Engine) SAdd(key string, members ...string) (int, error) {
 	for _, m := range members {
 		if _, ok := it.set[m]; !ok {
 			it.set[m] = struct{}{}
-			e.adjustMem(it, int64(len(m))+16)
+			e.adjustMem(s, it, int64(len(m))+16)
 			added++
 		}
 	}
-	it.version = e.nextVersion()
+	it.version = s.nextVersion()
 	return added, nil
 }
 
 // SRem removes members; returns how many were present.
 func (e *Engine) SRem(key string, members ...string) (int, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	it, err := e.getTyped(key, KindSet)
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, err := e.getTyped(s, key, KindSet)
 	if err == ErrNotFound {
 		return 0, nil
 	}
@@ -220,22 +231,23 @@ func (e *Engine) SRem(key string, members ...string) (int, error) {
 	for _, m := range members {
 		if _, ok := it.set[m]; ok {
 			delete(it.set, m)
-			e.adjustMem(it, -int64(len(m))-16)
+			e.adjustMem(s, it, -int64(len(m))-16)
 			removed++
 		}
 	}
-	it.version = e.nextVersion()
+	it.version = s.nextVersion()
 	if len(it.set) == 0 {
-		e.deleteItemLocked(key, it)
+		e.deleteItemLocked(s, key, it)
 	}
 	return removed, nil
 }
 
 // SIsMember reports membership.
 func (e *Engine) SIsMember(key, member string) (bool, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	it, err := e.getTyped(key, KindSet)
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, err := e.getTyped(s, key, KindSet)
 	if err == ErrNotFound {
 		return false, nil
 	}
@@ -248,9 +260,10 @@ func (e *Engine) SIsMember(key, member string) (bool, error) {
 
 // SCard returns the set size (0 if absent).
 func (e *Engine) SCard(key string) (int, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	it, err := e.getTyped(key, KindSet)
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, err := e.getTyped(s, key, KindSet)
 	if err == ErrNotFound {
 		return 0, nil
 	}
@@ -262,9 +275,10 @@ func (e *Engine) SCard(key string) (int, error) {
 
 // SMembers returns all members, sorted for determinism.
 func (e *Engine) SMembers(key string) ([]string, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	it, err := e.getTyped(key, KindSet)
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, err := e.getTyped(s, key, KindSet)
 	if err == ErrNotFound {
 		return nil, nil
 	}
@@ -333,81 +347,86 @@ func (z *zset) remove(member string, score float64) {
 
 // ZAdd inserts or updates a member; returns whether it was new.
 func (e *Engine) ZAdd(key, member string, score float64) (bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	it, err := e.getOrCreateLocked(key, KindZSet)
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, err := e.getOrCreateLocked(s, key, KindZSet)
 	if err != nil {
 		return false, err
 	}
 	isNew := it.zset.insert(member, score)
 	if isNew {
-		e.adjustMem(it, int64(len(member))+32)
+		e.adjustMem(s, it, int64(len(member))+32)
 	}
-	it.version = e.nextVersion()
+	it.version = s.nextVersion()
 	return isNew, nil
 }
 
 // ZIncrBy adds delta to a member's score (creating it at delta).
 func (e *Engine) ZIncrBy(key, member string, delta float64) (float64, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	it, err := e.getOrCreateLocked(key, KindZSet)
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, err := e.getOrCreateLocked(s, key, KindZSet)
 	if err != nil {
 		return 0, err
 	}
 	cur := it.zset.scores[member]
 	if _, ok := it.zset.scores[member]; !ok {
-		e.adjustMem(it, int64(len(member))+32)
+		e.adjustMem(s, it, int64(len(member))+32)
 	}
 	it.zset.insert(member, cur+delta)
-	it.version = e.nextVersion()
+	it.version = s.nextVersion()
 	return cur + delta, nil
 }
 
 // ZScore returns a member's score.
 func (e *Engine) ZScore(key, member string) (float64, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	it, err := e.getTyped(key, KindZSet)
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, err := e.getTyped(s, key, KindZSet)
 	if err != nil {
 		return 0, err
 	}
-	s, ok := it.zset.scores[member]
+	sc, ok := it.zset.scores[member]
 	if !ok {
 		return 0, ErrNotFound
 	}
-	return s, nil
+	return sc, nil
 }
 
 // ZRem removes a member; reports whether it was present.
 func (e *Engine) ZRem(key, member string) (bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	it, err := e.getTyped(key, KindZSet)
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, err := e.getTyped(s, key, KindZSet)
 	if err == ErrNotFound {
 		return false, nil
 	}
 	if err != nil {
 		return false, err
 	}
-	s, ok := it.zset.scores[member]
+	sc, ok := it.zset.scores[member]
 	if !ok {
 		return false, nil
 	}
-	it.zset.remove(member, s)
-	e.adjustMem(it, -int64(len(member))-32)
-	it.version = e.nextVersion()
+	it.zset.remove(member, sc)
+	e.adjustMem(s, it, -int64(len(member))-32)
+	it.version = s.nextVersion()
 	if len(it.zset.scores) == 0 {
-		e.deleteItemLocked(key, it)
+		e.deleteItemLocked(s, key, it)
 	}
 	return true, nil
 }
 
 // ZCard returns the member count (0 if absent).
 func (e *Engine) ZCard(key string) (int, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	it, err := e.getTyped(key, KindZSet)
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, err := e.getTyped(s, key, KindZSet)
 	if err == ErrNotFound {
 		return 0, nil
 	}
@@ -425,9 +444,10 @@ type ZMember struct {
 
 // ZRange returns members by rank [start, stop], Redis negative-index rules.
 func (e *Engine) ZRange(key string, start, stop int) ([]ZMember, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	it, err := e.getTyped(key, KindZSet)
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, err := e.getTyped(s, key, KindZSet)
 	if err == ErrNotFound {
 		return nil, nil
 	}
@@ -459,9 +479,10 @@ func (e *Engine) ZRange(key string, start, stop int) ([]ZMember, error) {
 
 // ZRangeByScore returns members with min <= score <= max, ascending.
 func (e *Engine) ZRangeByScore(key string, min, max float64) ([]ZMember, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	it, err := e.getTyped(key, KindZSet)
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, err := e.getTyped(s, key, KindZSet)
 	if err == ErrNotFound {
 		return nil, nil
 	}
@@ -480,9 +501,10 @@ func (e *Engine) ZRangeByScore(key string, min, max float64) ([]ZMember, error) 
 
 // HSet stores a field; reports whether the field was new.
 func (e *Engine) HSet(key, field string, val []byte) (bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	it, err := e.getOrCreateLocked(key, KindHash)
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, err := e.getOrCreateLocked(s, key, KindHash)
 	if err != nil {
 		return false, err
 	}
@@ -490,19 +512,20 @@ func (e *Engine) HSet(key, field string, val []byte) (bool, error) {
 	cp := append([]byte(nil), val...)
 	it.hash[field] = cp
 	if existed {
-		e.adjustMem(it, int64(len(cp)-len(old)))
+		e.adjustMem(s, it, int64(len(cp)-len(old)))
 	} else {
-		e.adjustMem(it, int64(len(field)+len(cp))+32)
+		e.adjustMem(s, it, int64(len(field)+len(cp))+32)
 	}
-	it.version = e.nextVersion()
+	it.version = s.nextVersion()
 	return !existed, nil
 }
 
 // HGet fetches a field.
 func (e *Engine) HGet(key, field string) ([]byte, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	it, err := e.getTyped(key, KindHash)
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, err := e.getTyped(s, key, KindHash)
 	if err != nil {
 		return nil, err
 	}
@@ -515,9 +538,10 @@ func (e *Engine) HGet(key, field string) ([]byte, error) {
 
 // HDel removes fields; returns how many existed.
 func (e *Engine) HDel(key string, fields ...string) (int, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	it, err := e.getTyped(key, KindHash)
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, err := e.getTyped(s, key, KindHash)
 	if err == ErrNotFound {
 		return 0, nil
 	}
@@ -528,22 +552,23 @@ func (e *Engine) HDel(key string, fields ...string) (int, error) {
 	for _, f := range fields {
 		if v, ok := it.hash[f]; ok {
 			delete(it.hash, f)
-			e.adjustMem(it, -int64(len(f)+len(v))-32)
+			e.adjustMem(s, it, -int64(len(f)+len(v))-32)
 			n++
 		}
 	}
-	it.version = e.nextVersion()
+	it.version = s.nextVersion()
 	if len(it.hash) == 0 {
-		e.deleteItemLocked(key, it)
+		e.deleteItemLocked(s, key, it)
 	}
 	return n, nil
 }
 
 // HLen returns the field count (0 if absent).
 func (e *Engine) HLen(key string) (int, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	it, err := e.getTyped(key, KindHash)
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, err := e.getTyped(s, key, KindHash)
 	if err == ErrNotFound {
 		return 0, nil
 	}
@@ -561,9 +586,10 @@ type HashField struct {
 
 // HGetAll returns every field of the hash, sorted by field name.
 func (e *Engine) HGetAll(key string) ([]HashField, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	it, err := e.getTyped(key, KindHash)
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, err := e.getTyped(s, key, KindHash)
 	if err == ErrNotFound {
 		return nil, nil
 	}

@@ -5,8 +5,13 @@
 // compressor (§4.2) and/or be offloaded to the simulated persistent-memory
 // arena (§4.3: keys and indexes stay in DRAM, large values move to PMem).
 //
-// The engine is safe for concurrent use; the server tier decides the
-// threading model (one engine per shard under elastic threading).
+// The engine is safe for concurrent use and internally lock-striped: keys
+// hash (FNV-1a) onto a power-of-two number of shards, each with its own
+// RWMutex, map and stat counters, so operations on different shards never
+// contend. Batch operations (MGet/MSet/BatchDel) group keys by shard and
+// take each stripe lock exactly once. The server tier still decides the
+// threading model (one engine per data node under elastic threading); the
+// striping removes the single-mutex bottleneck within one engine.
 package engine
 
 import (
@@ -58,6 +63,9 @@ var (
 	ErrNotInteger  = errors.New("engine: value is not an integer")
 )
 
+// DefaultShards is the default number of lock stripes.
+const DefaultShards = 16
+
 // Options configures an Engine.
 type Options struct {
 	// Compressor transparently encodes string values (nil = raw).
@@ -72,6 +80,10 @@ type Options struct {
 	PMemMin int
 	// Clock overrides time.Now for TTL tests.
 	Clock func() time.Time
+	// Shards is the number of lock stripes, rounded up to a power of two
+	// (default DefaultShards). 1 reproduces the old single-mutex engine
+	// (useful as a contention baseline in benchmarks).
+	Shards int
 }
 
 func (o *Options) fill() {
@@ -84,6 +96,19 @@ func (o *Options) fill() {
 	if o.Clock == nil {
 		o.Clock = time.Now
 	}
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
+	}
+	o.Shards = ceilPow2(o.Shards)
+}
+
+// ceilPow2 rounds n up to the next power of two (capped at 1<<16).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n && p < 1<<16 {
+		p <<= 1
+	}
+	return p
 }
 
 // storedVal is the physical representation of a string value.
@@ -107,54 +132,101 @@ type item struct {
 	memBytes int64  // approximate DRAM footprint
 }
 
-// Engine is the in-memory store.
-type Engine struct {
+// shard is one lock stripe: an independent map plus its own counters, so
+// hot shards never contend with cold ones (not on the lock, not on the
+// stat cachelines).
+type shard struct {
 	mu    sync.RWMutex
 	items map[string]*item
-	opts  Options
 
 	memUsed atomic.Int64 // DRAM bytes (keys + values kept inline)
 	hits    atomic.Int64
 	misses  atomic.Int64
 	expired atomic.Int64
 	version atomic.Uint64
+
+	// Pad the struct past a cacheline: shards are individually
+	// heap-allocated, and the pad pushes them into a size class large
+	// enough that two shards' counters never land on one line.
+	_ [40]byte
+}
+
+// Engine is the in-memory store.
+type Engine struct {
+	shards []*shard
+	mask   uint32
+	opts   Options
+
+	// sweepCursor rotates SweepExpired's starting shard so short sweeps
+	// still cover the whole keyspace over successive calls.
+	sweepCursor atomic.Uint32
 }
 
 // New creates an engine.
 func New(opts Options) *Engine {
 	opts.fill()
-	return &Engine{items: make(map[string]*item), opts: opts}
+	e := &Engine{
+		shards: make([]*shard, opts.Shards),
+		mask:   uint32(opts.Shards - 1),
+		opts:   opts,
+	}
+	for i := range e.shards {
+		e.shards[i] = &shard{items: make(map[string]*item)}
+	}
+	return e
 }
+
+// NumShards reports the number of lock stripes.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// fnv1a is an inlined, allocation-free FNV-1a over the key bytes.
+func fnv1a(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// shardIndex maps a key to its stripe index.
+func (e *Engine) shardIndex(key string) uint32 { return fnv1a(key) & e.mask }
+
+// shardFor returns the stripe owning key.
+func (e *Engine) shardFor(key string) *shard { return e.shards[e.shardIndex(key)] }
 
 // now returns the configured clock's time in unixnanos.
 func (e *Engine) now() int64 { return e.opts.Clock().UnixNano() }
 
-// nextVersion allocates a monotone mutation version.
-func (e *Engine) nextVersion() uint64 { return e.version.Add(1) }
+// nextVersion allocates a monotone mutation version within a shard.
+// Versions only need to distinguish successive states of one key, and a
+// key never changes shard, so per-shard counters avoid a global hotspot.
+func (s *shard) nextVersion() uint64 { return s.version.Add(1) }
 
-// expiredLocked reports whether it has lapsed; caller holds at least RLock.
+// expiredAt reports whether the item's TTL has lapsed.
 func (it *item) expiredAt(now int64) bool {
 	return it.expireAt != 0 && now >= it.expireAt
 }
 
 // getItem returns the live item for key, honoring lazy expiration.
-// Caller must hold e.mu (either mode); expired items are treated as absent
+// Caller must hold s.mu (either mode); expired items are treated as absent
 // (actual deletion happens in write paths or the sweeper).
-func (e *Engine) getItem(key string, now int64) (*item, bool) {
-	it, ok := e.items[key]
+func (s *shard) getItem(key string, now int64) (*item, bool) {
+	it, ok := s.items[key]
 	if !ok || it.expiredAt(now) {
 		return nil, false
 	}
 	return it, true
 }
 
-// deleteItemLocked removes an item and adjusts accounting. Caller holds Lock.
-func (e *Engine) deleteItemLocked(key string, it *item) {
+// deleteItemLocked removes an item and adjusts accounting. Caller holds
+// s.mu write lock.
+func (e *Engine) deleteItemLocked(s *shard, key string, it *item) {
 	if !it.str.ref.IsZero() && e.opts.Arena != nil {
 		e.opts.Arena.Free(it.str.ref)
 	}
-	e.memUsed.Add(-it.memBytes)
-	delete(e.items, key)
+	s.memUsed.Add(-it.memBytes)
+	delete(s.items, key)
 }
 
 // --- value encode/decode (compression + PMem placement) ---
@@ -199,8 +271,12 @@ func (e *Engine) decodeValue(sv storedVal) ([]byte, error) {
 	if sv.compressed {
 		return e.opts.Compressor.Decompress(data)
 	}
-	// Copy so callers can't mutate engine-owned memory.
-	return append([]byte(nil), data...), nil
+	// Copy so callers can't mutate engine-owned memory. The copy is
+	// always non-nil: a present empty value must stay distinguishable
+	// from an absent key (nil).
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
 }
 
 // dramBytes is the DRAM cost of a stored value (PMem-resident bytes are
@@ -209,132 +285,123 @@ func (sv storedVal) dramBytes() int64 {
 	return int64(len(sv.inline))
 }
 
+// itemOverhead approximates per-item bookkeeping bytes (map entry, struct).
+const itemOverhead = 64
+
+// newStringItem builds a string item with accounting; caller inserts it.
+func newStringItem(key string, sv storedVal, version uint64) *item {
+	return &item{
+		kind:     KindString,
+		str:      sv,
+		version:  version,
+		memBytes: int64(len(key)) + sv.dramBytes() + itemOverhead,
+	}
+}
+
+// setLocked replaces any existing entry for key with a string item.
+// Caller holds s.mu write lock.
+func (e *Engine) setLocked(s *shard, key string, sv storedVal) {
+	if old, exists := s.items[key]; exists {
+		e.deleteItemLocked(s, key, old)
+	}
+	it := newStringItem(key, sv, s.nextVersion())
+	s.items[key] = it
+	s.memUsed.Add(it.memBytes)
+}
+
 // --- string operations ---
 
 // Set stores a string value, clearing any TTL.
 func (e *Engine) Set(key string, val []byte) error {
 	sv, _ := e.encodeValue(val)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	old, exists := e.items[key]
-	if exists {
-		e.deleteItemLocked(key, old)
-	}
-	it := &item{
-		kind:     KindString,
-		str:      sv,
-		version:  e.nextVersion(),
-		memBytes: int64(len(key)) + sv.dramBytes() + itemOverhead,
-	}
-	e.items[key] = it
-	e.memUsed.Add(it.memBytes)
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.setLocked(s, key, sv)
 	return nil
 }
 
-// itemOverhead approximates per-item bookkeeping bytes (map entry, struct).
-const itemOverhead = 64
-
 // SetNX stores val only if key is absent; reports whether it stored.
 func (e *Engine) SetNX(key string, val []byte) (bool, error) {
-	e.mu.Lock()
-	if it, ok := e.getItem(key, e.now()); ok && it != nil {
-		e.mu.Unlock()
+	s := e.shardFor(key)
+	s.mu.RLock()
+	_, live := s.getItem(key, e.now())
+	s.mu.RUnlock()
+	if live {
 		return false, nil
 	}
-	e.mu.Unlock()
-	// Racy window is fine: Set re-checks nothing but overwrite semantics
-	// of concurrent SetNX callers is last-writer-wins on the same absent
-	// key, matching Redis behavior under pipelining. For strictness we
-	// redo the check under the write lock:
+	// Encode outside the lock; wasted work only when a concurrent SetNX
+	// wins the race below, which the write-locked re-check detects.
 	sv, _ := e.encodeValue(val)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if it, ok := e.getItem(key, e.now()); ok && it != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, live := s.getItem(key, e.now()); live {
 		return false, nil
 	}
-	if old, exists := e.items[key]; exists { // expired remnant
-		e.deleteItemLocked(key, old)
-	}
-	it := &item{
-		kind:     KindString,
-		str:      sv,
-		version:  e.nextVersion(),
-		memBytes: int64(len(key)) + sv.dramBytes() + itemOverhead,
-	}
-	e.items[key] = it
-	e.memUsed.Add(it.memBytes)
+	e.setLocked(s, key, sv)
 	return true, nil
 }
 
 // Get fetches a string value.
 func (e *Engine) Get(key string) ([]byte, error) {
-	e.mu.RLock()
-	it, ok := e.getItem(key, e.now())
+	s := e.shardFor(key)
+	s.mu.RLock()
+	it, ok := s.getItem(key, e.now())
 	if !ok {
-		e.mu.RUnlock()
-		e.misses.Add(1)
+		s.mu.RUnlock()
+		s.misses.Add(1)
 		return nil, ErrNotFound
 	}
 	if it.kind != KindString {
-		e.mu.RUnlock()
+		s.mu.RUnlock()
 		return nil, ErrWrongType
 	}
 	sv := it.str
-	e.mu.RUnlock()
-	e.hits.Add(1)
+	s.mu.RUnlock()
+	s.hits.Add(1)
 	return e.decodeValue(sv)
 }
 
 // GetWithVersion fetches a string value plus its CAS version token.
 func (e *Engine) GetWithVersion(key string) ([]byte, uint64, error) {
-	e.mu.RLock()
-	it, ok := e.getItem(key, e.now())
+	s := e.shardFor(key)
+	s.mu.RLock()
+	it, ok := s.getItem(key, e.now())
 	if !ok {
-		e.mu.RUnlock()
-		e.misses.Add(1)
+		s.mu.RUnlock()
+		s.misses.Add(1)
 		return nil, 0, ErrNotFound
 	}
 	if it.kind != KindString {
-		e.mu.RUnlock()
+		s.mu.RUnlock()
 		return nil, 0, ErrWrongType
 	}
 	sv, ver := it.str, it.version
-	e.mu.RUnlock()
-	e.hits.Add(1)
+	s.mu.RUnlock()
+	s.hits.Add(1)
 	val, err := e.decodeValue(sv)
 	return val, ver, err
 }
 
-// Del removes keys; returns how many existed.
-func (e *Engine) Del(keys ...string) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	now := e.now()
-	n := 0
-	for _, key := range keys {
-		if it, ok := e.items[key]; ok {
-			if !it.expiredAt(now) {
-				n++
-			}
-			e.deleteItemLocked(key, it)
-		}
-	}
-	return n
-}
+// Del removes keys; returns how many existed. Multi-key deletes group by
+// shard and take each stripe lock once (see BatchDel).
+func (e *Engine) Del(keys ...string) int { return e.BatchDel(keys) }
 
 // Exists reports whether key is live.
 func (e *Engine) Exists(key string) bool {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	_, ok := e.getItem(key, e.now())
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.getItem(key, e.now())
 	return ok
 }
 
 // Type returns the kind of key (KindNone if absent).
 func (e *Engine) Type(key string) Kind {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	it, ok := e.getItem(key, e.now())
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, ok := s.getItem(key, e.now())
 	if !ok {
 		return KindNone
 	}
@@ -346,9 +413,10 @@ func (e *Engine) Type(key string) Kind {
 func (e *Engine) CompareAndSet(key string, oldVal, newVal []byte) error {
 	// Pre-encode outside the lock; wasted work only on mismatch.
 	sv, _ := e.encodeValue(newVal)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	it, ok := e.getItem(key, e.now())
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, ok := s.getItem(key, e.now())
 	if !ok {
 		if oldVal != nil {
 			return ErrCASMismatch
@@ -365,17 +433,7 @@ func (e *Engine) CompareAndSet(key string, oldVal, newVal []byte) error {
 			return ErrCASMismatch
 		}
 	}
-	if old, exists := e.items[key]; exists {
-		e.deleteItemLocked(key, old)
-	}
-	ni := &item{
-		kind:     KindString,
-		str:      sv,
-		version:  e.nextVersion(),
-		memBytes: int64(len(key)) + sv.dramBytes() + itemOverhead,
-	}
-	e.items[key] = ni
-	e.memUsed.Add(ni.memBytes)
+	e.setLocked(s, key, sv)
 	return nil
 }
 
@@ -383,29 +441,23 @@ func (e *Engine) CompareAndSet(key string, oldVal, newVal []byte) error {
 // (optimistic concurrency for read-modify-write).
 func (e *Engine) SetIfVersion(key string, val []byte, version uint64) error {
 	sv, _ := e.encodeValue(val)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	it, ok := e.getItem(key, e.now())
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, ok := s.getItem(key, e.now())
 	if !ok || it.version != version {
 		return ErrCASMismatch
 	}
-	e.deleteItemLocked(key, it)
-	ni := &item{
-		kind:     KindString,
-		str:      sv,
-		version:  e.nextVersion(),
-		memBytes: int64(len(key)) + sv.dramBytes() + itemOverhead,
-	}
-	e.items[key] = ni
-	e.memUsed.Add(ni.memBytes)
+	e.setLocked(s, key, sv)
 	return nil
 }
 
 // IncrBy adds delta to the integer value at key (0 if absent).
 func (e *Engine) IncrBy(key string, delta int64) (int64, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	it, ok := e.getItem(key, e.now())
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, ok := s.getItem(key, e.now())
 	var cur int64
 	if ok {
 		if it.kind != KindString {
@@ -423,17 +475,7 @@ func (e *Engine) IncrBy(key string, delta int64) (int64, error) {
 	cur += delta
 	buf := appendInt(nil, cur)
 	sv := storedVal{inline: buf, rawLen: len(buf)} // counters are never compressed/offloaded
-	if old, exists := e.items[key]; exists {
-		e.deleteItemLocked(key, old)
-	}
-	ni := &item{
-		kind:     KindString,
-		str:      sv,
-		version:  e.nextVersion(),
-		memBytes: int64(len(key)) + sv.dramBytes() + itemOverhead,
-	}
-	e.items[key] = ni
-	e.memUsed.Add(ni.memBytes)
+	e.setLocked(s, key, sv)
 	return cur, nil
 }
 
@@ -441,9 +483,10 @@ func (e *Engine) IncrBy(key string, delta int64) (int64, error) {
 
 // Expire sets a TTL; reports whether the key existed.
 func (e *Engine) Expire(key string, d time.Duration) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	it, ok := e.getItem(key, e.now())
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, ok := s.getItem(key, e.now())
 	if !ok {
 		return false
 	}
@@ -453,9 +496,10 @@ func (e *Engine) Expire(key string, d time.Duration) bool {
 
 // Persist clears a TTL; reports whether the key existed.
 func (e *Engine) Persist(key string) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	it, ok := e.getItem(key, e.now())
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, ok := s.getItem(key, e.now())
 	if !ok {
 		return false
 	}
@@ -465,9 +509,10 @@ func (e *Engine) Persist(key string) bool {
 
 // TTL returns the remaining lifetime; (0, false) if absent or no TTL.
 func (e *Engine) TTL(key string) (time.Duration, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	it, ok := e.getItem(key, e.now())
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, ok := s.getItem(key, e.now())
 	if !ok || it.expireAt == 0 {
 		return 0, false
 	}
@@ -476,23 +521,39 @@ func (e *Engine) TTL(key string) (time.Duration, bool) {
 
 // SweepExpired scans up to max keys and deletes lapsed ones, returning the
 // number removed (the active expiration cycle; lazy expiry handles access).
+// The sweep is per-shard incremental: each stripe is scanned under its own
+// write lock, so an expiry cycle never stalls readers of other shards, and
+// the rotating start cursor lets small budgets cover the whole keyspace
+// across successive calls.
 func (e *Engine) SweepExpired(max int) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	if max <= 0 {
+		return 0
+	}
 	now := e.now()
+	start := e.sweepCursor.Add(1)
+	n := uint32(len(e.shards))
 	removed := 0
 	scanned := 0
-	for key, it := range e.items {
-		if scanned >= max {
-			break
+	for i := uint32(0); i < n && scanned < max; i++ {
+		s := e.shards[(start+i)&e.mask]
+		shardRemoved := 0
+		s.mu.Lock()
+		for key, it := range s.items {
+			if scanned >= max {
+				break
+			}
+			scanned++
+			if it.expiredAt(now) {
+				e.deleteItemLocked(s, key, it)
+				shardRemoved++
+			}
 		}
-		scanned++
-		if it.expiredAt(now) {
-			e.deleteItemLocked(key, it)
-			removed++
+		s.mu.Unlock()
+		if shardRemoved > 0 {
+			s.expired.Add(int64(shardRemoved))
+			removed += shardRemoved
 		}
 	}
-	e.expired.Add(int64(removed))
 	return removed
 }
 
@@ -508,17 +569,17 @@ type Stats struct {
 	Expired  int64
 }
 
-// Stats returns a snapshot of counters.
+// Stats returns a snapshot of counters, folded across shards.
 func (e *Engine) Stats() Stats {
-	e.mu.RLock()
-	keys := len(e.items)
-	e.mu.RUnlock()
-	st := Stats{
-		Keys:     keys,
-		MemBytes: e.memUsed.Load(),
-		Hits:     e.hits.Load(),
-		Misses:   e.misses.Load(),
-		Expired:  e.expired.Load(),
+	var st Stats
+	for _, s := range e.shards {
+		s.mu.RLock()
+		st.Keys += len(s.items)
+		s.mu.RUnlock()
+		st.MemBytes += s.memUsed.Load()
+		st.Hits += s.hits.Load()
+		st.Misses += s.misses.Load()
+		st.Expired += s.expired.Load()
 	}
 	if e.opts.Arena != nil {
 		st.PMemUsed = e.opts.Arena.Used()
@@ -526,51 +587,69 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
-// MemUsed returns approximate DRAM bytes.
-func (e *Engine) MemUsed() int64 { return e.memUsed.Load() }
+// MemUsed returns approximate DRAM bytes (summed across shards).
+func (e *Engine) MemUsed() int64 {
+	var total int64
+	for _, s := range e.shards {
+		total += s.memUsed.Load()
+	}
+	return total
+}
 
 // Len returns the number of keys (including not-yet-swept expired ones).
 func (e *Engine) Len() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.items)
+	n := 0
+	for _, s := range e.shards {
+		s.mu.RLock()
+		n += len(s.items)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // ForEachString visits every live string key (decoded); used for
 // replication snapshots and cost measurement. The callback must not call
-// back into the engine. Iteration order is unspecified.
+// back into the engine. Iteration order is unspecified. The snapshot is
+// taken shard by shard, so it is consistent within a shard but not across
+// shards (same guarantee a Redis SCAN cursor gives).
 func (e *Engine) ForEachString(fn func(key string, val []byte) bool) error {
 	type kv struct {
 		k  string
 		sv storedVal
 	}
-	e.mu.RLock()
-	now := e.now()
-	snapshot := make([]kv, 0, len(e.items))
-	for k, it := range e.items {
-		if it.kind == KindString && !it.expiredAt(now) {
-			snapshot = append(snapshot, kv{k, it.str})
+	for _, s := range e.shards {
+		s.mu.RLock()
+		now := e.now()
+		snapshot := make([]kv, 0, len(s.items))
+		for k, it := range s.items {
+			if it.kind == KindString && !it.expiredAt(now) {
+				snapshot = append(snapshot, kv{k, it.str})
+			}
 		}
-	}
-	e.mu.RUnlock()
-	for _, p := range snapshot {
-		val, err := e.decodeValue(p.sv)
-		if err != nil {
-			return err
-		}
-		if !fn(p.k, val) {
-			return nil
+		s.mu.RUnlock()
+		for _, p := range snapshot {
+			val, err := e.decodeValue(p.sv)
+			if err != nil {
+				return err
+			}
+			if !fn(p.k, val) {
+				return nil
+			}
 		}
 	}
 	return nil
 }
 
 // FlushAll removes every key (FLUSHALL analog, used by tests/benches).
+// Each shard is cleared under its own lock; readers of other shards
+// proceed while one stripe flushes.
 func (e *Engine) FlushAll() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for key, it := range e.items {
-		e.deleteItemLocked(key, it)
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for key, it := range s.items {
+			e.deleteItemLocked(s, key, it)
+		}
+		s.mu.Unlock()
 	}
 }
 

@@ -97,13 +97,111 @@ func Start(opts Options) (*Server, error) {
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-func (s *Server) shardFor(key []byte) *shard {
+func (s *Server) shardIndex(key []byte) int {
 	if len(s.shards) == 1 {
-		return s.shards[0]
+		return 0
 	}
 	h := fnv.New32a()
 	h.Write(key)
-	return s.shards[h.Sum32()%uint32(len(s.shards))]
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+func (s *Server) shardFor(key []byte) *shard {
+	return s.shards[s.shardIndex(key)]
+}
+
+// mget serves MGET: keys group by shard, each shard runs one batch get on
+// its own pool (in parallel across shards), replies reassemble in request
+// order — the multi-key fan-out the paper's client batching relies on.
+func (s *Server) mget(keyArgs [][]byte) reply {
+	keys := make([]string, len(keyArgs))
+	groups := make(map[int][]int)
+	for i, k := range keyArgs {
+		keys[i] = string(k)
+		si := s.shardIndex(k)
+		groups[si] = append(groups[si], i)
+	}
+	vals := make([][]byte, len(keys))
+	errs := make([]error, 0, len(groups))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for si, idxs := range groups {
+		sh := s.shards[si]
+		wg.Add(1)
+		go func(sh *shard, idxs []int) {
+			defer wg.Done()
+			sub := make([]string, len(idxs))
+			for j, i := range idxs {
+				sub[j] = keys[i]
+			}
+			var got map[string][]byte
+			var err error
+			perr := sh.pool.SubmitWait(func() { got, err = sh.strMGet(sub) })
+			mu.Lock()
+			defer mu.Unlock()
+			if perr != nil {
+				errs = append(errs, perr)
+				return
+			}
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			for _, i := range idxs {
+				vals[i] = got[keys[i]]
+			}
+		}(sh, idxs)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errReply(errs[0].Error())
+	}
+	out := make(arrayReply, len(vals))
+	for i, v := range vals {
+		out[i] = bulkReply(v)
+	}
+	return out
+}
+
+// mset serves MSET: pairs group by shard, each shard applies one batch put
+// on its own pool, in parallel across shards.
+func (s *Server) mset(kvArgs [][]byte) reply {
+	groups := make(map[int]map[string][]byte)
+	for i := 0; i+1 < len(kvArgs); i += 2 {
+		si := s.shardIndex(kvArgs[i])
+		if groups[si] == nil {
+			groups[si] = make(map[string][]byte)
+		}
+		// Copy out of the read buffer; keep empty values non-nil (nil
+		// means delete in BatchPut, and MSET k "" must store "").
+		val := make([]byte, len(kvArgs[i+1]))
+		copy(val, kvArgs[i+1])
+		groups[si][string(kvArgs[i])] = val
+	}
+	errs := make([]error, 0, len(groups))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for si, entries := range groups {
+		sh := s.shards[si]
+		wg.Add(1)
+		go func(sh *shard, entries map[string][]byte) {
+			defer wg.Done()
+			var err error
+			perr := sh.pool.SubmitWait(func() { err = sh.strMSet(entries) })
+			mu.Lock()
+			defer mu.Unlock()
+			if perr != nil {
+				errs = append(errs, perr)
+			} else if err != nil {
+				errs = append(errs, err)
+			}
+		}(sh, entries)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errReply(errs[0].Error())
+	}
+	return simpleReply("OK")
 }
 
 func (s *Server) acceptLoop() {
@@ -184,6 +282,16 @@ func (s *Server) dispatch(args [][]byte) reply {
 		return simpleReply("OK")
 	case "INFO":
 		return bulkReply([]byte(s.info()))
+	case "MGET":
+		if len(args) < 2 {
+			return errReply("wrong number of arguments for 'mget'")
+		}
+		return s.mget(args[1:])
+	case "MSET":
+		if len(args) < 3 || len(args)%2 != 1 {
+			return errReply("wrong number of arguments for 'mset'")
+		}
+		return s.mset(args[1:])
 	}
 	if len(args) < 2 {
 		return errReply("wrong number of arguments")
@@ -281,6 +389,34 @@ func (sh *shard) strDel(key string) error {
 	}
 	sh.eng.Del(key)
 	return nil
+}
+
+// strMGet serves a batch read on this shard; absent keys map to nil.
+func (sh *shard) strMGet(keys []string) (map[string][]byte, error) {
+	if sh.tiered != nil {
+		return sh.tiered.BatchGet(keys)
+	}
+	vals, err := sh.eng.MGet(keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(keys))
+	for i, k := range keys {
+		out[k] = vals[i]
+	}
+	return out, nil
+}
+
+// strMSet serves a batch write on this shard.
+func (sh *shard) strMSet(entries map[string][]byte) error {
+	if sh.tiered != nil {
+		return sh.tiered.BatchPut(entries)
+	}
+	kvs := make([]engine.KV, 0, len(entries))
+	for k, v := range entries {
+		kvs = append(kvs, engine.KV{Key: k, Val: v})
+	}
+	return sh.eng.MSet(kvs)
 }
 
 func notFoundish(err error) bool {

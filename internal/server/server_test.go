@@ -383,3 +383,114 @@ func TestBinarySafeValues(t *testing.T) {
 		t.Fatalf("binary roundtrip: %q %v", v, err)
 	}
 }
+
+func TestMGetMSet(t *testing.T) {
+	_, c := startTestServer(t, Options{Shards: 4})
+	// MSET across shards.
+	if v, err := c.Do("MSET", "a", "1", "b", "2", "c", "3"); err != nil || v != "OK" {
+		t.Fatalf("mset: %v %v", v, err)
+	}
+	// MGET mixes present, absent and wrong-typed keys.
+	c.Do("LPUSH", "list", "x")
+	v, err := c.Do("MGET", "a", "missing", "b", "list", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, ok := v.([]interface{})
+	if !ok || len(arr) != 5 {
+		t.Fatalf("mget reply: %#v", v)
+	}
+	want := []interface{}{"1", nil, "2", nil, "3"}
+	for i := range want {
+		if arr[i] != want[i] {
+			t.Fatalf("mget[%d] = %#v, want %#v", i, arr[i], want[i])
+		}
+	}
+	// Arity errors.
+	if _, err := c.Do("MSET", "odd", "1", "stray"); err == nil {
+		t.Fatal("odd MSET arity should error")
+	}
+	if _, err := c.Do("MGET"); err == nil {
+		t.Fatal("empty MGET should error")
+	}
+}
+
+func TestMGetMSetTiered(t *testing.T) {
+	stor := cache.NewMapStorage()
+	stor.Put("cold", []byte("from-storage"))
+	_, c := startTestServer(t, Options{
+		Shards: 2,
+		TieredFactory: func(eng *engine.Engine) (*cache.Tiered, error) {
+			return cache.New(cache.Options{Policy: cache.WriteThrough, Engine: eng, Storage: stor})
+		},
+	})
+	if _, err := c.Do("MSET", "x", "1", "y", "2"); err != nil {
+		t.Fatal(err)
+	}
+	// Writes must reach the storage tier through BatchPut.
+	if v, err := stor.Get("x"); err != nil || string(v) != "1" {
+		t.Fatalf("storage x: %q %v", v, err)
+	}
+	// MGET must pull storage-resident keys the cache has never seen.
+	got, err := c.MGet("x", "cold", "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["x"] != "1" || got["cold"] != "from-storage" {
+		t.Fatalf("mget: %v", got)
+	}
+	if _, ok := got["nope"]; ok {
+		t.Fatal("absent key should be omitted")
+	}
+}
+
+func TestMGetMSetManyShardsConcurrent(t *testing.T) {
+	s, c := startTestServer(t, Options{Shards: 4})
+	pairs := map[string]string{}
+	args := []string{}
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("bulk%03d", i)
+		pairs[k] = fmt.Sprintf("v%03d", i)
+		args = append(args, k)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cc, err := client.Dial(s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cc.Close()
+			for i := 0; i < 10; i++ {
+				if err := cc.MSet(pairs); err != nil {
+					t.Errorf("mset: %v", err)
+					return
+				}
+				got, err := cc.MGet(args...)
+				if err != nil {
+					t.Errorf("mget: %v", err)
+					return
+				}
+				if len(got) != len(pairs) {
+					t.Errorf("mget returned %d/%d keys", len(got), len(pairs))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Keys must have spread over multiple shard engines.
+	nonEmpty := 0
+	for _, eng := range s.Shards() {
+		if eng.Len() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("batch keys landed on %d/4 shards", nonEmpty)
+	}
+	_ = c
+}

@@ -9,6 +9,11 @@
 // persistent-memory tier, elastic threading, and the Space-Performance
 // Cost Model for configuration selection.
 //
+// The cache-tier engine is lock-striped: keys hash onto power-of-two
+// shards with independent locks, so concurrent operations on different
+// keys proceed in parallel, and the batch API takes each stripe lock once
+// per batch instead of once per key.
+//
 // Quick start:
 //
 //	store, err := tierbase.Open(tierbase.Options{})
@@ -17,9 +22,20 @@
 //	store.Set("greeting", []byte("hello"))
 //	v, _ := store.Get("greeting")
 //
-// A networked deployment (RESP protocol, Redis-compatible clients) is
-// available via cmd/tierbase-server; the experiment harness reproducing
-// every table and figure of the paper lives in cmd/tierbase-bench.
+// Batch API — many keys, one pass through the striped engine (and, in
+// tiered modes, one storage-tier round trip for the misses):
+//
+//	store.MSet(map[string][]byte{
+//		"user:1": []byte("alice"),
+//		"user:2": []byte("bob"),
+//	})
+//	vals, _ := store.MGet("user:1", "user:2", "user:3")
+//	// vals["user:1"] == []byte("alice"); absent keys map to nil.
+//
+// A networked deployment (RESP protocol, Redis-compatible clients,
+// including MGET/MSET) is available via cmd/tierbase-server; the
+// experiment harness reproducing every table and figure of the paper
+// lives in cmd/tierbase-bench.
 package tierbase
 
 import (
@@ -86,6 +102,9 @@ type Options struct {
 	// StorageRTT injects a disaggregation round-trip latency on storage
 	// tier calls (models the remote hop; default 0).
 	StorageRTT time.Duration
+	// Shards is the number of cache-engine lock stripes (rounded up to a
+	// power of two; default engine.DefaultShards). 1 disables striping.
+	Shards int
 }
 
 // Store is an embedded TierBase instance.
@@ -105,7 +124,7 @@ type Store struct {
 func Open(opts Options) (*Store, error) {
 	s := &Store{opts: opts}
 
-	engOpts := engine.Options{}
+	engOpts := engine.Options{Shards: opts.Shards}
 	if opts.Compression != "" {
 		c, err := compress.ByName(opts.Compression, opts.CompressionLevel)
 		if err != nil {
@@ -223,6 +242,29 @@ func (s *Store) Get(key string) ([]byte, error) {
 func (s *Store) Delete(key string) error {
 	var err error
 	if perr := s.pool.SubmitWait(func() { err = s.tiered.Delete(key) }); perr != nil {
+		return perr
+	}
+	return err
+}
+
+// MGet fetches many keys at once: one striped pass over the cache tier
+// plus, in tiered modes, a single storage round trip for the misses.
+// Absent keys map to nil in the result.
+func (s *Store) MGet(keys ...string) (map[string][]byte, error) {
+	var out map[string][]byte
+	var err error
+	if perr := s.pool.SubmitWait(func() { out, err = s.tiered.BatchGet(keys) }); perr != nil {
+		return nil, perr
+	}
+	return out, err
+}
+
+// MSet stores many pairs at once (nil value = delete): one striped pass
+// over the cache tier plus, in tiered modes, a single storage round trip
+// (write-through) or one dirty-batch admission (write-back).
+func (s *Store) MSet(entries map[string][]byte) error {
+	var err error
+	if perr := s.pool.SubmitWait(func() { err = s.tiered.BatchPut(entries) }); perr != nil {
 		return perr
 	}
 	return err
