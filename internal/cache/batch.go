@@ -12,6 +12,24 @@ import (
 // fetches of the same keys. Writes group into one Storage.BatchPut round
 // trip (write-through) or one dirty-map pass (write-back).
 
+// dedupeKeys drops duplicate keys while preserving first-occurrence
+// order; a duplicate-free input is returned as-is.
+func dedupeKeys(keys []string) []string {
+	if len(keys) <= 1 {
+		return keys
+	}
+	seen := make(map[string]struct{}, len(keys))
+	uniq := make([]string, 0, len(keys))
+	for _, k := range keys {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		uniq = append(uniq, k)
+	}
+	return uniq
+}
+
 // BatchGet fetches many keys, consulting the cache tier first and the
 // storage tier (one round trip) for the misses. The result maps key to
 // value; absent keys map to nil. Duplicate keys are served once.
@@ -21,20 +39,7 @@ func (t *Tiered) BatchGet(keys []string) (map[string][]byte, error) {
 	}
 	t.reqs.Add(int64(len(keys)))
 	out := make(map[string][]byte, len(keys))
-
-	// Dedupe while preserving order.
-	uniq := keys
-	if len(keys) > 1 {
-		seen := make(map[string]struct{}, len(keys))
-		uniq = make([]string, 0, len(keys))
-		for _, k := range keys {
-			if _, dup := seen[k]; dup {
-				continue
-			}
-			seen[k] = struct{}{}
-			uniq = append(uniq, k)
-		}
-	}
+	uniq := dedupeKeys(keys)
 
 	// 1. Cache tier, one stripe lock per touched shard. Wrong-typed keys
 	// report nil (Redis MGET semantics) but are NOT misses: fetching them
@@ -44,11 +49,12 @@ func (t *Tiered) BatchGet(keys []string) (map[string][]byte, error) {
 		return nil, err
 	}
 	var missing []string
+	hit := make([]string, 0, len(uniq))
 	for i, k := range uniq {
 		if vals[i] != nil {
 			out[k] = vals[i]
 			t.hits.Add(1)
-			t.touch(k)
+			hit = append(hit, k)
 			continue
 		}
 		out[k] = nil
@@ -58,6 +64,7 @@ func (t *Tiered) BatchGet(keys []string) (map[string][]byte, error) {
 		t.misses.Add(1)
 		missing = append(missing, k)
 	}
+	t.touchBatch(hit) // one LRU stripe lock per touched stripe
 	if len(missing) == 0 || t.opts.Policy == CacheOnly {
 		return out, nil
 	}
@@ -87,6 +94,7 @@ func (t *Tiered) BatchGet(keys []string) (map[string][]byte, error) {
 	// a single BatchGet round trip (shared singleflight core with Get).
 	lead, join := t.splitFlights(missing)
 	var fetchErr error
+	var admitted []string
 	if len(lead) > 0 {
 		fetch := make([]string, 0, len(lead))
 		for k := range lead {
@@ -98,6 +106,7 @@ func (t *Tiered) BatchGet(keys []string) (map[string][]byte, error) {
 		for k, f := range lead {
 			if f.err == nil {
 				out[k] = f.val
+				admitted = append(admitted, k)
 			}
 		}
 	}
@@ -117,7 +126,7 @@ func (t *Tiered) BatchGet(keys []string) (map[string][]byte, error) {
 	if fetchErr != nil {
 		return nil, fetchErr
 	}
-	t.maybeEvict()
+	t.maybeEvictKeys(admitted)
 	return out, nil
 }
 
@@ -176,16 +185,136 @@ func (t *Tiered) BatchPut(entries map[string][]byte) error {
 	return nil
 }
 
+// BatchDelete removes keys through every tier in one pass, returning how
+// many existed — the RESP DEL reply. A key counts when it was live in the
+// cache tier, held as an unflushed dirty value, or (for keys the cache no
+// longer knew) present in the storage tier; that last group costs one
+// extra Storage.BatchGet round trip, which is what makes the count
+// correct for keys that were evicted to storage. Duplicate keys count at
+// most once (Redis DEL semantics).
+//
+// Like BatchPut, multi-key deletes bypass the write-through per-key
+// queues (last-storage-writer-wins against concurrent single-key Sets); a
+// single-key write-through delete still routes through its queue.
+func (t *Tiered) BatchDelete(keys []string) (int, error) {
+	if t.closed.Load() {
+		return 0, ErrClosed
+	}
+	t.reqs.Add(int64(len(keys)))
+	uniq := dedupeKeys(keys)
+	if len(uniq) == 0 {
+		return 0, nil
+	}
+
+	if t.opts.Policy == CacheOnly {
+		n := 0
+		for _, live := range t.eng.BatchDelDetail(uniq) {
+			if live {
+				n++
+			}
+		}
+		for _, r := range t.opts.Replicas {
+			r.BatchDel(uniq)
+		}
+		t.forgetBatch(uniq)
+		return n, nil
+	}
+
+	// Tiered policies: establish per-key existence before mutating. Keys
+	// the cache holds count immediately; the rest consult write-back dirty
+	// state and, as a last resort, one storage BatchGet round trip.
+	n := 0
+	var unknown []string
+	for i, live := range t.eng.BatchExists(uniq) {
+		if live {
+			n++
+		} else {
+			unknown = append(unknown, uniq[i])
+		}
+	}
+	if t.opts.Policy == WriteBack && len(unknown) > 0 {
+		live := unknown[:0]
+		t.dirtyMu.Lock()
+		for _, k := range unknown {
+			if e, ok := t.dirty[k]; ok {
+				if e.val != nil {
+					n++ // unflushed dirty value: the key existed
+				}
+				continue // tombstone: already deleted, nothing to count
+			}
+			live = append(live, k)
+		}
+		t.dirtyMu.Unlock()
+		unknown = live
+	}
+	if len(unknown) > 0 {
+		svals, err := t.opts.Storage.BatchGet(unknown)
+		if err != nil {
+			return 0, err // nothing deleted yet; surface the failure
+		}
+		n += len(svals) // BatchGet returns present keys only
+	}
+
+	switch t.opts.Policy {
+	case WriteThrough:
+		if len(uniq) == 1 {
+			// Preserve per-key write ordering for the single-key case.
+			if err := t.writeThrough(uniq[0], nil, true); err != nil {
+				return 0, err
+			}
+			return n, nil
+		}
+		if err := t.opts.Storage.BatchDelete(uniq); err != nil {
+			// Mirror wtCommit's failure path for every key in the batch.
+			for _, k := range uniq {
+				t.invalidate(k)
+			}
+			return 0, err
+		}
+	case WriteBack:
+		t.dirtyMu.Lock()
+		for len(t.dirty) >= t.opts.MaxDirty && !t.closed.Load() {
+			t.wakeFlusher()
+			t.dirtyCond.Wait()
+		}
+		if t.closed.Load() {
+			t.dirtyMu.Unlock()
+			return 0, ErrClosed
+		}
+		for _, k := range uniq {
+			t.dirtyGen++
+			t.dirty[k] = &dirtyEntry{gen: t.dirtyGen} // nil val = tombstone
+		}
+		reached := len(t.dirty) >= t.opts.FlushBatch
+		t.dirtyMu.Unlock()
+		defer func() {
+			if reached {
+				t.wakeFlusher()
+			}
+		}()
+	}
+
+	t.eng.BatchDel(uniq)
+	for _, r := range t.opts.Replicas {
+		r.BatchDel(uniq)
+	}
+	t.forgetBatch(uniq)
+	return n, nil
+}
+
 // applyBatchToCache mutates the cache tier and replicas for a whole batch,
-// taking each engine stripe lock once, then runs capacity eviction.
+// taking each engine stripe lock once (and each LRU stripe lock once),
+// then runs capacity eviction on the touched stripes only.
 func (t *Tiered) applyBatchToCache(entries map[string][]byte) {
 	kvs := make([]engine.KV, 0, len(entries))
+	sets := make([]string, 0, len(entries))
 	var dels []string
 	for k, v := range entries {
 		if v == nil {
 			dels = append(dels, k)
 		} else {
 			kvs = append(kvs, engine.KV{Key: k, Val: v})
+			sets = append(sets, k)
 		}
 	}
 	t.eng.MSet(kvs)
@@ -194,11 +323,6 @@ func (t *Tiered) applyBatchToCache(entries map[string][]byte) {
 		r.MSet(kvs)
 		r.BatchDel(dels)
 	}
-	for _, kv := range kvs {
-		t.touch(kv.Key)
-	}
-	for _, k := range dels {
-		t.forget(k)
-	}
-	t.maybeEvict()
+	t.touchBatchEvicting(sets)
+	t.forgetBatch(dels)
 }

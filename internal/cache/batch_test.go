@@ -110,14 +110,14 @@ func TestBatchPutWriteThrough(t *testing.T) {
 		t.Fatalf("rpc stats %+v", remote.Stats())
 	}
 	for k, want := range map[string]string{"a": "1", "b": "2"} {
-		if v, err := stor.Get(k); err != nil || string(v) != want {
-			t.Fatalf("storage %s: %q %v", k, v, err)
+		if v, ok, err := stor.Get(k); err != nil || !ok || string(v) != want {
+			t.Fatalf("storage %s: %q %v %v", k, v, ok, err)
 		}
 		if v, err := tr.Get(k); err != nil || string(v) != want {
 			t.Fatalf("cache %s: %q %v", k, v, err)
 		}
 	}
-	if _, err := stor.Get("del-me"); err != ErrNotFound {
+	if _, ok, _ := stor.Get("del-me"); ok {
 		t.Fatal("nil value must delete from storage")
 	}
 	if _, err := tr.Get("del-me"); err != ErrNotFound {
@@ -161,7 +161,7 @@ func TestBatchPutWriteBackFlushes(t *testing.T) {
 	if stor.Len() != 20 {
 		t.Fatalf("storage has %d keys, want 20", stor.Len())
 	}
-	if v, _ := stor.Get("k7"); string(v) != "v7" {
+	if v, _, _ := stor.Get("k7"); string(v) != "v7" {
 		t.Fatalf("storage value %q", v)
 	}
 }

@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tierbase/internal/engine"
+)
+
+// Cache-tier benchmarks: the batch fast path with LRU bookkeeping active
+// (CacheCapacityBytes > 0 so every hit promotes its key). Run with -cpu to
+// see how eviction bookkeeping scales with cores; these are the numbers
+// the CI bench job records as the perf trajectory baseline.
+
+const benchKeys = 4096
+
+func newBenchTiered(b *testing.B, capacity int64) *Tiered {
+	b.Helper()
+	stor := NewMapStorage()
+	tr, err := New(Options{
+		Policy:             WriteThrough,
+		Engine:             engine.New(engine.Options{}),
+		Storage:            stor,
+		CacheCapacityBytes: capacity,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { tr.Close() })
+	val := []byte("0123456789abcdef0123456789abcdef")
+	for i := 0; i < benchKeys; i++ {
+		if err := tr.Set(fmt.Sprintf("bench:%04d", i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// BenchmarkTieredBatchGet measures parallel 16-key batch reads served
+// entirely from the cache tier while the capacity LRU tracks every hit.
+func BenchmarkTieredBatchGet(b *testing.B) {
+	tr := newBenchTiered(b, 1<<30) // bounded => LRU active, no eviction
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seq atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		keys := make([]string, 16)
+		for pb.Next() {
+			base := int(seq.Add(1)) * 17
+			for j := range keys {
+				keys[j] = fmt.Sprintf("bench:%04d", (base+j*13)%benchKeys)
+			}
+			if _, err := tr.BatchGet(keys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTieredGetHit measures parallel single-key cache hits with LRU
+// promotion on every read.
+func BenchmarkTieredGetHit(b *testing.B) {
+	tr := newBenchTiered(b, 1<<30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seq atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := fmt.Sprintf("bench:%04d", int(seq.Add(1))*31%benchKeys)
+			if _, err := tr.Get(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTieredSetDirtyEvictionScan measures parallel writes while the
+// cache sits over budget with a large unflushable dirty set: every write
+// triggers an eviction scan that must walk past dirty entries. The global
+// LRU walked the entire list per scan (O(resident)); the striped LRU
+// walks one stripe (O(resident/shards)), which shows even without
+// hardware parallelism.
+func BenchmarkTieredSetDirtyEvictionScan(b *testing.B) {
+	stor := NewMapStorage()
+	tr, err := New(Options{
+		Policy:             WriteBack,
+		Engine:             engine.New(engine.Options{}),
+		Storage:            stor,
+		CacheCapacityBytes: 64 << 10,
+		FlushBatch:         1 << 20, // never reached: dirty set stays put
+		FlushInterval:      time.Hour,
+		MaxDirty:           1 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		tr.FlushDirty() // unblock Close's final flush
+		tr.Close()
+	})
+	val := []byte("0123456789abcdef0123456789abcdef0123456789abcdef")
+	for i := 0; i < benchKeys; i++ {
+		if err := tr.Set(fmt.Sprintf("dirty:%04d", i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seq atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := fmt.Sprintf("dirty:%04d", int(seq.Add(1))*31%benchKeys)
+			if err := tr.Set(k, val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTieredBatchPut measures parallel 16-key batch writes under
+// capacity pressure (eviction churn across stripes).
+func BenchmarkTieredBatchPut(b *testing.B) {
+	tr := newBenchTiered(b, 256<<10) // tight budget: eviction runs steadily
+	val := []byte("0123456789abcdef0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seq atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		entries := make(map[string][]byte, 16)
+		for pb.Next() {
+			base := int(seq.Add(1)) * 17
+			for j := 0; j < 16; j++ {
+				entries[fmt.Sprintf("bench:%04d", (base+j*13)%benchKeys)] = val
+			}
+			if err := tr.BatchPut(entries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -23,14 +23,39 @@ var ErrNotFound = errors.New("cache: key not found")
 // Storage is the pluggable storage-tier adapter (paper §3: "TierBase
 // offers various disaggregated storage options through a pluggable storage
 // adapter"). Implementations must be safe for concurrent use.
+//
+// Presence is explicit — the (value, ok) shape. The old convention
+// ("absent maps to nil") could not represent a stored empty value, so
+// `SET k ""` silently degraded to absent once the key went cold and
+// round-tripped through storage. Now:
+//
+//   - Get returns ok=false for absence (not an error); a present empty
+//     value is ([]byte{}, true, nil).
+//   - BatchGet returns only present keys — absence is a missing map
+//     entry (the map lookup is the (value, ok)) — and present values are
+//     always non-nil, even when empty.
 type Storage interface {
-	Get(key string) ([]byte, error) // ErrNotFound when absent
+	// Get returns the value for key and whether it exists.
+	Get(key string) (val []byte, ok bool, err error)
 	Put(key string, val []byte) error
 	Delete(key string) error
-	// BatchGet fetches many keys in one round trip; absent keys map to nil.
+	// BatchGet fetches many keys in one round trip. Present keys appear
+	// in the result with a non-nil (possibly empty) value; absent keys
+	// are omitted.
 	BatchGet(keys []string) (map[string][]byte, error)
 	// BatchPut applies many writes in one round trip; nil value = delete.
 	BatchPut(entries map[string][]byte) error
+	// BatchDelete removes many keys in one round trip.
+	BatchDelete(keys []string) error
+}
+
+// presentValue normalizes a known-present value to the BatchGet/Get
+// contract: a private copy, non-nil even when empty (make never returns
+// nil, so a stored empty — or nil — value stays present-empty).
+func presentValue(v []byte) []byte {
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out
 }
 
 // --- LSM adapter ---
@@ -43,13 +68,18 @@ type LSMStorage struct {
 // NewLSMStorage wraps db.
 func NewLSMStorage(db *lsm.DB) *LSMStorage { return &LSMStorage{DB: db} }
 
-// Get implements Storage.
-func (s *LSMStorage) Get(key string) ([]byte, error) {
+// Get implements Storage. The LSM collapses empty values to nil
+// internally; presence comes from the tombstone check, so a stored empty
+// value still reports ok=true with a non-nil empty slice.
+func (s *LSMStorage) Get(key string) ([]byte, bool, error) {
 	v, err := s.DB.Get([]byte(key))
 	if err == lsm.ErrNotFound {
-		return nil, ErrNotFound
+		return nil, false, nil
 	}
-	return v, err
+	if err != nil {
+		return nil, false, err
+	}
+	return presentValue(v), true, nil
 }
 
 // Put implements Storage.
@@ -68,13 +98,12 @@ func (s *LSMStorage) BatchGet(keys []string) (map[string][]byte, error) {
 	for _, k := range keys {
 		v, err := s.DB.Get([]byte(k))
 		if err == lsm.ErrNotFound {
-			out[k] = nil
-			continue
+			continue // absent: omitted from the result
 		}
 		if err != nil {
 			return nil, err
 		}
-		out[k] = v
+		out[k] = presentValue(v)
 	}
 	return out, nil
 }
@@ -89,6 +118,16 @@ func (s *LSMStorage) BatchPut(entries map[string][]byte) error {
 			err = s.DB.Put([]byte(k), v)
 		}
 		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BatchDelete implements Storage.
+func (s *LSMStorage) BatchDelete(keys []string) error {
+	for _, k := range keys {
+		if err := s.DB.Delete([]byte(k)); err != nil {
 			return err
 		}
 	}
@@ -111,6 +150,7 @@ type Remote struct {
 	deletes   atomic.Int64
 	batchGets atomic.Int64
 	batchPuts atomic.Int64
+	batchDels atomic.Int64
 	keysMoved atomic.Int64
 }
 
@@ -136,7 +176,7 @@ func (r *Remote) pause() {
 }
 
 // Get implements Storage.
-func (r *Remote) Get(key string) ([]byte, error) {
+func (r *Remote) Get(key string) ([]byte, bool, error) {
 	r.gets.Add(1)
 	r.pause()
 	return r.Inner.Get(key)
@@ -172,9 +212,17 @@ func (r *Remote) BatchPut(entries map[string][]byte) error {
 	return r.Inner.BatchPut(entries)
 }
 
+// BatchDelete implements Storage.
+func (r *Remote) BatchDelete(keys []string) error {
+	r.batchDels.Add(1)
+	r.keysMoved.Add(int64(len(keys)))
+	r.pause()
+	return r.Inner.BatchDelete(keys)
+}
+
 // RPCStats reports storage-tier round trips by type.
 type RPCStats struct {
-	Gets, Puts, Deletes, BatchGets, BatchPuts, KeysMoved int64
+	Gets, Puts, Deletes, BatchGets, BatchPuts, BatchDels, KeysMoved int64
 }
 
 // Stats returns the RPC counters.
@@ -185,6 +233,7 @@ func (r *Remote) Stats() RPCStats {
 		Deletes:   r.deletes.Load(),
 		BatchGets: r.batchGets.Load(),
 		BatchPuts: r.batchPuts.Load(),
+		BatchDels: r.batchDels.Load(),
 		KeysMoved: r.keysMoved.Load(),
 	}
 }
@@ -192,7 +241,7 @@ func (r *Remote) Stats() RPCStats {
 // TotalRPCs returns the total number of storage round trips.
 func (r *Remote) TotalRPCs() int64 {
 	s := r.Stats()
-	return s.Gets + s.Puts + s.Deletes + s.BatchGets + s.BatchPuts
+	return s.Gets + s.Puts + s.Deletes + s.BatchGets + s.BatchPuts + s.BatchDels
 }
 
 // --- map storage: in-memory test double / pure-cache backend ---
@@ -211,14 +260,14 @@ func NewMapStorage() *MapStorage { return &MapStorage{m: make(map[string][]byte)
 var errInjectedFailure = errors.New("cache: injected storage failure")
 
 // Get implements Storage.
-func (s *MapStorage) Get(key string) ([]byte, error) {
+func (s *MapStorage) Get(key string) ([]byte, bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	v, ok := s.m[key]
 	if !ok {
-		return nil, ErrNotFound
+		return nil, false, nil
 	}
-	return append([]byte(nil), v...), nil
+	return presentValue(v), true, nil
 }
 
 // Put implements Storage.
@@ -250,9 +299,7 @@ func (s *MapStorage) BatchGet(keys []string) (map[string][]byte, error) {
 	out := make(map[string][]byte, len(keys))
 	for _, k := range keys {
 		if v, ok := s.m[k]; ok {
-			out[k] = append([]byte(nil), v...)
-		} else {
-			out[k] = nil
+			out[k] = presentValue(v)
 		}
 	}
 	return out, nil
@@ -271,6 +318,19 @@ func (s *MapStorage) BatchPut(entries map[string][]byte) error {
 		} else {
 			s.m[k] = append([]byte(nil), v...)
 		}
+	}
+	return nil
+}
+
+// BatchDelete implements Storage.
+func (s *MapStorage) BatchDelete(keys []string) error {
+	if s.FailPuts.Load() {
+		return errInjectedFailure
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		delete(s.m, k)
 	}
 	return nil
 }

@@ -76,15 +76,27 @@ func (o *Options) fill() {
 	}
 }
 
+// lruShard is one stripe of the capacity-eviction bookkeeping: its own
+// recency list, position index and lock. Stripes align with the engine's
+// lock stripes (same FNV hash, same count), so the LRU stripe a key
+// touches shares cache-line affinity with the engine shard that served it,
+// and eviction bookkeeping never serializes hits on other stripes.
+type lruShard struct {
+	mu  sync.Mutex
+	ll  *list.List
+	pos map[string]*list.Element
+}
+
 // Tiered is the tiered store: engine cache in front of pluggable storage.
 type Tiered struct {
 	opts Options
 	eng  *engine.Engine
 
-	// LRU bookkeeping for capacity eviction.
-	lruMu sync.Mutex
-	ll    *list.List
-	pos   map[string]*list.Element
+	// Per-stripe LRU bookkeeping for capacity eviction; lru[i] tracks the
+	// keys resident in engine stripe i. shardCap is each stripe's byte
+	// budget (CacheCapacityBytes split evenly, rounded up).
+	lru      []*lruShard
+	shardCap int64
 
 	// Write-through per-key queues (write ordering + coalescing).
 	wtMu     sync.Mutex
@@ -174,12 +186,21 @@ func New(opts Options) (*Tiered, error) {
 	t := &Tiered{
 		opts:     opts,
 		eng:      opts.Engine,
-		ll:       list.New(),
-		pos:      make(map[string]*list.Element),
 		wtQueues: make(map[string]*wtQueue),
 		dirty:    make(map[string]*dirtyEntry),
 		flights:  make(map[string]*flight),
 		stopCh:   make(chan struct{}),
+	}
+	if opts.CacheCapacityBytes > 0 {
+		n := opts.Engine.NumShards()
+		t.lru = make([]*lruShard, n)
+		for i := range t.lru {
+			t.lru[i] = &lruShard{ll: list.New(), pos: make(map[string]*list.Element)}
+		}
+		// Ceil division: stripes sum to at least the configured capacity,
+		// and a tiny capacity never rounds a stripe's budget down to zero
+		// (which would read as "unbounded").
+		t.shardCap = (opts.CacheCapacityBytes + int64(n) - 1) / int64(n)
 	}
 	t.dirtyCond = sync.NewCond(&t.dirtyMu)
 	if opts.Policy == WriteBack {
@@ -192,43 +213,129 @@ func New(opts Options) (*Tiered, error) {
 	return t, nil
 }
 
-// --- LRU ---
+// --- LRU (striped) ---
+
+func (s *lruShard) touchLocked(key string) {
+	if el, ok := s.pos[key]; ok {
+		s.ll.MoveToFront(el)
+	} else {
+		s.pos[key] = s.ll.PushFront(key)
+	}
+}
+
+func (s *lruShard) forgetLocked(key string) {
+	if el, ok := s.pos[key]; ok {
+		s.ll.Remove(el)
+		delete(s.pos, key)
+	}
+}
 
 func (t *Tiered) touch(key string) {
-	if t.opts.CacheCapacityBytes <= 0 {
+	if t.lru == nil {
 		return
 	}
-	t.lruMu.Lock()
-	if el, ok := t.pos[key]; ok {
-		t.ll.MoveToFront(el)
-	} else {
-		t.pos[key] = t.ll.PushFront(key)
-	}
-	t.lruMu.Unlock()
+	s := t.lru[t.eng.ShardIndex(key)]
+	s.mu.Lock()
+	s.touchLocked(key)
+	s.mu.Unlock()
 }
 
 func (t *Tiered) forget(key string) {
-	if t.opts.CacheCapacityBytes <= 0 {
+	if t.lru == nil {
 		return
 	}
-	t.lruMu.Lock()
-	if el, ok := t.pos[key]; ok {
-		t.ll.Remove(el)
-		delete(t.pos, key)
-	}
-	t.lruMu.Unlock()
+	s := t.lru[t.eng.ShardIndex(key)]
+	s.mu.Lock()
+	s.forgetLocked(key)
+	s.mu.Unlock()
 }
 
-// maybeEvict removes cold clean entries until the engine fits capacity.
-// Dirty keys are skipped: they must reach storage first.
-func (t *Tiered) maybeEvict() {
-	cap := t.opts.CacheCapacityBytes
-	if cap <= 0 {
+// forEachLRUGroup buckets keys by LRU stripe (the engine's counting-sort
+// idiom — three flat allocations, no per-bucket slices) and calls visit
+// once per touched stripe, so batch callers take each stripe lock once.
+// No-op when capacity tracking is off.
+func (t *Tiered) forEachLRUGroup(keys []string, visit func(si int, group []string)) {
+	if t.lru == nil || len(keys) == 0 {
 		return
 	}
-	for t.eng.MemUsed() > cap {
-		t.lruMu.Lock()
-		el := t.ll.Back()
+	if len(keys) == 1 {
+		visit(t.eng.ShardIndex(keys[0]), keys)
+		return
+	}
+	nsh := len(t.lru)
+	counts := make([]int, nsh+1)
+	sidx := make([]int32, len(keys))
+	for i, k := range keys {
+		si := t.eng.ShardIndex(k)
+		sidx[i] = int32(si)
+		counts[si+1]++
+	}
+	for s := 0; s < nsh; s++ {
+		counts[s+1] += counts[s]
+	}
+	ordered := make([]string, len(keys))
+	fill := append([]int(nil), counts[:nsh]...)
+	for i, k := range keys {
+		ordered[fill[sidx[i]]] = k
+		fill[sidx[i]]++
+	}
+	for s := 0; s < nsh; s++ {
+		if lo, hi := counts[s], counts[s+1]; lo < hi {
+			visit(s, ordered[lo:hi])
+		}
+	}
+}
+
+// touchBatch promotes many keys, one stripe lock per touched stripe.
+func (t *Tiered) touchBatch(keys []string) {
+	t.forEachLRUGroup(keys, func(si int, group []string) {
+		s := t.lru[si]
+		s.mu.Lock()
+		for _, k := range group {
+			s.touchLocked(k)
+		}
+		s.mu.Unlock()
+	})
+}
+
+// touchBatchEvicting promotes many keys and runs capacity eviction on
+// each touched stripe, in one grouping pass.
+func (t *Tiered) touchBatchEvicting(keys []string) {
+	t.forEachLRUGroup(keys, func(si int, group []string) {
+		s := t.lru[si]
+		s.mu.Lock()
+		for _, k := range group {
+			s.touchLocked(k)
+		}
+		s.mu.Unlock()
+		t.maybeEvictShard(si)
+	})
+}
+
+// forgetBatch drops many keys from the LRU, one stripe lock per stripe.
+func (t *Tiered) forgetBatch(keys []string) {
+	t.forEachLRUGroup(keys, func(si int, group []string) {
+		s := t.lru[si]
+		s.mu.Lock()
+		for _, k := range group {
+			s.forgetLocked(k)
+		}
+		s.mu.Unlock()
+	})
+}
+
+// maybeEvictShard removes cold clean entries from one stripe until that
+// stripe's engine-resident bytes fit its budget. Dirty keys are skipped:
+// they must reach storage first. Eviction, like the bookkeeping, is
+// per-stripe — a hot stripe evicting never blocks hits on other stripes.
+func (t *Tiered) maybeEvictShard(si int) {
+	if t.lru == nil {
+		return
+	}
+	s := t.lru[si]
+	for t.eng.ShardMemUsed(si) > t.shardCap {
+		s.mu.Lock()
+		el := s.ll.Back()
 		var key string
 		found := false
 		// Walk from the back past dirty entries.
@@ -237,13 +344,13 @@ func (t *Tiered) maybeEvict() {
 			if !t.isDirty(k) {
 				key = k
 				found = true
-				t.ll.Remove(el)
-				delete(t.pos, k)
+				s.ll.Remove(el)
+				delete(s.pos, k)
 				break
 			}
 			el = el.Prev()
 		}
-		t.lruMu.Unlock()
+		s.mu.Unlock()
 		if !found {
 			return // everything resident is dirty; flusher will unblock us
 		}
@@ -253,6 +360,21 @@ func (t *Tiered) maybeEvict() {
 		}
 		t.evictions.Add(1)
 	}
+}
+
+// maybeEvictKey runs capacity eviction on the stripe owning key.
+func (t *Tiered) maybeEvictKey(key string) {
+	if t.lru == nil {
+		return
+	}
+	t.maybeEvictShard(t.eng.ShardIndex(key))
+}
+
+// maybeEvictKeys runs capacity eviction once per stripe touched by keys.
+func (t *Tiered) maybeEvictKeys(keys []string) {
+	t.forEachLRUGroup(keys, func(si int, _ []string) {
+		t.maybeEvictShard(si)
+	})
 }
 
 func (t *Tiered) isDirty(key string) bool {
@@ -303,7 +425,7 @@ func (t *Tiered) Get(key string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.maybeEvict()
+	t.maybeEvictKey(key)
 	return v, nil
 }
 
@@ -332,19 +454,24 @@ func (t *Tiered) splitFlights(keys []string) (lead, join map[string]*flight) {
 	return lead, join
 }
 
-// publishFlights completes led flights from one storage fetch: vals maps
-// key to value (nil = absent → ErrNotFound), err poisons every flight.
-// Fetched values are admitted into the cache tier (and replicas) before
-// the flights close, so waiters observe a warm cache.
+// publishFlights completes led flights from one storage fetch: vals is a
+// Storage.BatchGet result (present keys only — absence is a missing map
+// entry, never a nil value), err poisons every flight. Fetched values are
+// admitted into the cache tier (and replicas) before the flights close,
+// so waiters observe a warm cache.
 func (t *Tiered) publishFlights(lead map[string]*flight, vals map[string][]byte, err error) {
 	for k, f := range lead {
+		v, present := vals[k]
 		switch {
 		case err != nil:
 			f.err = err
-		case vals[k] == nil:
+		case !present:
 			f.err = ErrNotFound
 		default:
-			f.val = vals[k]
+			if v == nil {
+				v = []byte{} // defensive: present must stay present-empty
+			}
+			f.val = v
 			t.eng.Set(k, f.val)
 			for _, r := range t.opts.Replicas {
 				r.Set(k, f.val)
@@ -383,15 +510,13 @@ func (t *Tiered) fetchCoalesced(key string) ([]byte, error) {
 		return t.awaitFlight(f)
 	}
 	f := lead[key]
-	v, err := t.opts.Storage.Get(key)
+	v, ok, err := t.opts.Storage.Get(key)
 	vals := map[string][]byte{}
-	if err == nil {
+	if err == nil && ok {
 		if v == nil {
 			v = []byte{} // present empty value, not absent
 		}
 		vals[key] = v
-	} else if err == ErrNotFound {
-		err = nil // publish as absent, not as a poisoned flight
 	}
 	t.publishFlights(lead, vals, err)
 	return f.val, f.err
@@ -412,7 +537,7 @@ func (t *Tiered) Set(key string, val []byte) error {
 		return t.writeBack(key, val, false)
 	default:
 		t.applyToCache(key, val, false)
-		t.maybeEvict()
+		t.maybeEvictKey(key)
 		return nil
 	}
 }
@@ -470,10 +595,12 @@ func (t *Tiered) Update(key string, fn func(old []byte, exists bool) []byte) err
 				}
 			}
 		case WriteThrough:
-			if v, err := t.opts.Storage.Get(key); err == nil {
-				old, exists = v, true
-			} else if err != ErrNotFound {
+			v, ok, err := t.opts.Storage.Get(key)
+			if err != nil {
 				return err
+			}
+			if ok {
+				old, exists = v, true
 			}
 		}
 	}
@@ -488,7 +615,7 @@ func (t *Tiered) Update(key string, fn func(old []byte, exists bool) []byte) err
 		return t.writeBack(key, newVal, false)
 	default:
 		t.applyToCache(key, newVal, false)
-		t.maybeEvict()
+		t.maybeEvictKey(key)
 		return nil
 	}
 }

@@ -68,9 +68,9 @@ func TestWTSetReachesStorageSynchronously(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Synchronous: value must already be durable.
-	v, err := stor.Get("k")
-	if err != nil || string(v) != "v" {
-		t.Fatalf("storage: %q %v", v, err)
+	v, ok, err := stor.Get("k")
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("storage: %q %v %v", v, ok, err)
 	}
 	// And cached.
 	v, err = tr.Engine().Get("k")
@@ -105,8 +105,8 @@ func TestWTDelete(t *testing.T) {
 	if err := tr.Delete("k"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := stor.Get("k"); err != ErrNotFound {
-		t.Fatalf("storage still has key: %v", err)
+	if _, ok, _ := stor.Get("k"); ok {
+		t.Fatal("storage still has key")
 	}
 	if _, err := tr.Get("k"); err != ErrNotFound {
 		t.Fatalf("get after delete: %v", err)
@@ -141,7 +141,7 @@ func TestWTCoalescing(t *testing.T) {
 	}
 	// Cache and storage must converge to the same final value.
 	cv, _ := tr.Get("hot")
-	sv, _ := stor.Get("hot")
+	sv, _, _ := stor.Get("hot")
 	if !bytes.Equal(cv, sv) {
 		t.Fatalf("divergence: cache=%q storage=%q", cv, sv)
 	}
@@ -175,7 +175,7 @@ func TestWTPerKeyOrdering(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	v, _ := stor.Get("seq")
+	v, _, _ := stor.Get("seq")
 	if string(v) != "099" {
 		t.Fatalf("final storage value %q", v)
 	}
@@ -194,7 +194,7 @@ func TestWTUpdateRMW(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, _ := stor.Get("ctr")
+	v, _, _ := stor.Get("ctr")
 	if string(v) != "10!" {
 		t.Fatalf("rmw result %q", v)
 	}
@@ -258,7 +258,7 @@ func TestWBMergesUpdatesToSameKey(t *testing.T) {
 	if moved := remote.Stats().KeysMoved; moved != 1 {
 		t.Fatalf("same-key updates not merged: %d keys moved", moved)
 	}
-	v, _ := stor.Get("hot")
+	v, _, _ := stor.Get("hot")
 	if string(v) != "v49" {
 		t.Fatalf("final value %q", v)
 	}
@@ -277,7 +277,7 @@ func TestWBDeleteTombstoneShadowsStorage(t *testing.T) {
 		t.Fatalf("stale resurrection: %v", err)
 	}
 	tr.FlushDirty()
-	if _, err := stor.Get("k"); err != ErrNotFound {
+	if _, ok, _ := stor.Get("k"); ok {
 		t.Fatal("tombstone not propagated")
 	}
 }
@@ -316,7 +316,7 @@ func TestWBUpdateFetchesFromStorage(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr.FlushDirty()
-	v, _ := stor.Get("k")
+	v, _, _ := stor.Get("k")
 	if string(v) != "base+" {
 		t.Fatalf("value %q", v)
 	}

@@ -54,7 +54,9 @@ func (t *Tiered) writeBack(key string, val []byte, del bool) error {
 	t.dirtyMu.Unlock()
 
 	t.applyToCache(key, val, del)
-	t.maybeEvict()
+	if !del {
+		t.maybeEvictKey(key)
+	}
 	if reached {
 		t.wakeFlusher()
 	}
@@ -214,11 +216,14 @@ func (t *Tiered) serveFetches(reqs []fetchReq) {
 			r.resp <- fetchResp{err: err}
 			continue
 		}
-		v := vals[r.key]
-		if v == nil {
+		v, ok := vals[r.key]
+		if !ok {
 			r.resp <- fetchResp{err: ErrNotFound}
-		} else {
-			r.resp <- fetchResp{val: v}
+			continue
 		}
+		if v == nil {
+			v = []byte{} // defensive: present must stay present-empty
+		}
+		r.resp <- fetchResp{val: v}
 	}
 }

@@ -109,6 +109,8 @@ func (t *Tiered) wtCommit(key string, val []byte, del bool) error {
 		return err
 	}
 	t.applyToCache(key, val, del)
-	t.maybeEvict()
+	if !del {
+		t.maybeEvictKey(key)
+	}
 	return nil
 }

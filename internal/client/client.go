@@ -233,14 +233,33 @@ func (c *Client) MSet(pairs map[string]string) error {
 	return err
 }
 
-// Del removes keys, returning how many existed.
+// Del removes keys in one DEL round trip, returning how many existed in
+// any tier (the server consults the storage tier for keys the cache no
+// longer holds).
 func (c *Client) Del(keys ...string) (int64, error) {
-	args := append([]string{"DEL"}, keys...)
+	return c.del("DEL", keys)
+}
+
+// Unlink is DEL's non-blocking alias (Redis UNLINK); TierBase treats the
+// two identically.
+func (c *Client) Unlink(keys ...string) (int64, error) {
+	return c.del("UNLINK", keys)
+}
+
+func (c *Client) del(cmd string, keys []string) (int64, error) {
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	args := append([]string{cmd}, keys...)
 	v, err := c.Do(args...)
 	if err != nil {
 		return 0, err
 	}
-	return v.(int64), nil
+	n, ok := v.(int64)
+	if !ok {
+		return 0, fmt.Errorf("client: unexpected %s reply %T", cmd, v)
+	}
+	return n, nil
 }
 
 // Incr increments a counter.
@@ -417,6 +436,45 @@ func (rc *Routed) MSet(pairs map[string]string) error {
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// Del removes keys across the cluster: keys group by owning node, each
+// node receives one DEL, node round trips run in parallel, and the
+// deleted counts sum.
+func (rc *Routed) Del(keys ...string) (int64, error) {
+	groups := rc.groupByAddr(keys)
+	if _, hole := groups[""]; hole {
+		return 0, errors.New("client: no node for key")
+	}
+	var total int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for _, nodeKeys := range groups {
+		wg.Add(1)
+		go func(nodeKeys []string) {
+			defer wg.Done()
+			c, err := rc.clientFor(nodeKeys[0])
+			var n int64
+			if err == nil {
+				n, err = c.Del(nodeKeys...)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			total += n
+		}(nodeKeys)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return total, nil
 }
 
 // Close closes all node connections.

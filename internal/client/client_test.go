@@ -160,3 +160,46 @@ func TestRoutedMGetMSetAcrossNodes(t *testing.T) {
 		t.Fatalf("batch did not spread: n1=%d n2=%d keys", n1.Keys, n2.Keys)
 	}
 }
+
+func TestRoutedDelAcrossNodes(t *testing.T) {
+	s1, err := server.Start(server.Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2, err := server.Start(server.Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	coord := cluster.NewCoordinator()
+	coord.Register(cluster.Node{ID: "n1", Addr: s1.Addr(), Role: cluster.RoleMaster})
+	coord.Register(cluster.Node{ID: "n2", Addr: s2.Addr(), Role: cluster.RoleMaster})
+	table := coord.Table()
+
+	rc := client.NewRouted(&table)
+	defer rc.Close()
+
+	pairs := map[string]string{}
+	keys := []string{}
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("delkey%03d", i)
+		pairs[k] = "v"
+		keys = append(keys, k)
+	}
+	if err := rc.MSet(pairs); err != nil {
+		t.Fatal(err)
+	}
+	// One DEL per node, counts summed across the cluster.
+	n, err := rc.Del(append(keys, "absent")...)
+	if err != nil || n != 64 {
+		t.Fatalf("routed del: %d %v, want 64", n, err)
+	}
+	if keysOn(s1)+keysOn(s2) != 0 {
+		t.Fatalf("keys survived: n1=%d n2=%d", keysOn(s1), keysOn(s2))
+	}
+	if _, err := rc.Del("unroutable"); err != nil {
+		t.Fatalf("del of absent key: %v", err)
+	}
+}

@@ -141,20 +141,60 @@ func (e *Engine) MSet(pairs []KV) error {
 	return nil
 }
 
+// BatchExists reports per-key liveness without bumping hit/miss stats or
+// decoding values — the existence probe behind the tiered DEL count. Each
+// touched stripe is read-locked once.
+func (e *Engine) BatchExists(keys []string) []bool {
+	out := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return out
+	}
+	now := e.now()
+	collect := func(s *shard, idxs []int) {
+		s.mu.RLock()
+		for _, i := range idxs {
+			if _, ok := s.getItem(keys[i], now); ok {
+				out[i] = true
+			}
+		}
+		s.mu.RUnlock()
+	}
+	if len(keys) == 1 {
+		collect(e.shardFor(keys[0]), []int{0})
+		return out
+	}
+	e.forEachShardGroup(len(keys), func(i int) string { return keys[i] }, collect)
+	return out
+}
+
 // BatchDel removes keys, returning how many were live. Each touched
 // stripe is write-locked once.
 func (e *Engine) BatchDel(keys []string) int {
+	n := 0
+	for _, live := range e.BatchDelDetail(keys) {
+		if live {
+			n++
+		}
+	}
+	return n
+}
+
+// BatchDelDetail removes keys like BatchDel but reports per-key liveness,
+// for callers (the tiered cache's BatchDelete) that must consult the
+// storage tier for exactly the keys the cache no longer held. A duplicate
+// key reports live only at its first position.
+func (e *Engine) BatchDelDetail(keys []string) []bool {
+	existed := make([]bool, len(keys))
 	if len(keys) == 0 {
-		return 0
+		return existed
 	}
 	now := e.now()
-	n := 0
 	apply := func(s *shard, idxs []int) {
 		s.mu.Lock()
 		for _, i := range idxs {
 			if it, ok := s.items[keys[i]]; ok {
 				if !it.expiredAt(now) {
-					n++
+					existed[i] = true
 				}
 				e.deleteItemLocked(s, keys[i], it)
 			}
@@ -163,8 +203,8 @@ func (e *Engine) BatchDel(keys []string) int {
 	}
 	if len(keys) == 1 {
 		apply(e.shardFor(keys[0]), []int{0})
-		return n
+		return existed
 	}
 	e.forEachShardGroup(len(keys), func(i int) string { return keys[i] }, apply)
-	return n
+	return existed
 }

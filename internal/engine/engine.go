@@ -179,6 +179,16 @@ func New(opts Options) *Engine {
 // NumShards reports the number of lock stripes.
 func (e *Engine) NumShards() int { return len(e.shards) }
 
+// ShardIndex reports the stripe index owning key. Callers that keep their
+// own per-stripe state (e.g. the cache tier's LRU shards) use this to
+// align it with the engine's striping, so one key always maps to the same
+// stripe on both sides.
+func (e *Engine) ShardIndex(key string) int { return int(e.shardIndex(key)) }
+
+// ShardMemUsed reports the DRAM bytes resident in stripe i (keys plus
+// inline values), the per-stripe leg of MemUsed.
+func (e *Engine) ShardMemUsed(i int) int64 { return e.shards[i].memUsed.Load() }
+
 // fnv1a is an inlined, allocation-free FNV-1a over the key bytes.
 func fnv1a(key string) uint32 {
 	h := uint32(2166136261)

@@ -163,6 +163,65 @@ func (s *Server) mget(keyArgs [][]byte) reply {
 	return out
 }
 
+// del serves DEL/UNLINK: keys group by shard, each shard runs one tiered
+// BatchDelete on its own pool (in parallel across shards), and the reply
+// is the summed count of keys that existed in any tier. This replaces the
+// old per-key walk, which both paid one tiered call per key and pinned
+// every key to the first key's shard.
+func (s *Server) del(keyArgs [][]byte) reply {
+	groups := make(map[int][]string)
+	for _, k := range keyArgs {
+		si := s.shardIndex(k)
+		groups[si] = append(groups[si], string(k))
+	}
+	if len(groups) == 1 {
+		// Common case (single key, or all keys on one shard): skip the
+		// fan-out scaffolding.
+		for si, keys := range groups {
+			sh := s.shards[si]
+			var n int64
+			var err error
+			if perr := sh.pool.SubmitWait(func() { n, err = sh.strBatchDel(keys) }); perr != nil {
+				return errReply("server shutting down")
+			}
+			if err != nil {
+				return errReply(err.Error())
+			}
+			return intReply(n)
+		}
+	}
+	var total int64
+	errs := make([]error, 0, len(groups))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for si, keys := range groups {
+		sh := s.shards[si]
+		wg.Add(1)
+		go func(sh *shard, keys []string) {
+			defer wg.Done()
+			var n int64
+			var err error
+			perr := sh.pool.SubmitWait(func() { n, err = sh.strBatchDel(keys) })
+			mu.Lock()
+			defer mu.Unlock()
+			if perr != nil {
+				errs = append(errs, perr)
+				return
+			}
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			total += n
+		}(sh, keys)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errReply(errs[0].Error())
+	}
+	return intReply(total)
+}
+
 // mset serves MSET: pairs group by shard, each shard applies one batch put
 // on its own pool, in parallel across shards.
 func (s *Server) mset(kvArgs [][]byte) reply {
@@ -292,6 +351,11 @@ func (s *Server) dispatch(args [][]byte) reply {
 			return errReply("wrong number of arguments for 'mset'")
 		}
 		return s.mset(args[1:])
+	case "DEL", "UNLINK":
+		if len(args) < 2 {
+			return errReply("wrong number of arguments for 'del'")
+		}
+		return s.del(args[1:])
 	}
 	if len(args) < 2 {
 		return errReply("wrong number of arguments")
@@ -383,12 +447,14 @@ func (sh *shard) strSet(key string, val []byte) error {
 	return sh.eng.Set(key, val)
 }
 
-func (sh *shard) strDel(key string) error {
+// strBatchDel removes keys on this shard in one tiered pass, returning
+// how many existed in any tier (cache, dirty state, or storage).
+func (sh *shard) strBatchDel(keys []string) (int64, error) {
 	if sh.tiered != nil {
-		return sh.tiered.Delete(key)
+		n, err := sh.tiered.BatchDelete(keys)
+		return int64(n), err
 	}
-	sh.eng.Del(key)
-	return nil
+	return int64(sh.eng.BatchDel(keys)), nil
 }
 
 // strMGet serves a batch read on this shard; absent keys map to nil.
@@ -444,17 +510,6 @@ func execute(sh *shard, cmd string, args [][]byte) reply {
 			return errReply(err.Error())
 		}
 		return bulkReply(v)
-	case "DEL":
-		n := 0
-		for _, k := range args[1:] {
-			if eng.Exists(string(k)) {
-				n++
-			}
-			if err := sh.strDel(string(k)); err != nil {
-				return errReply(err.Error())
-			}
-		}
-		return intReply(int64(n))
 	case "EXISTS":
 		if eng.Exists(key) {
 			return intReply(1)

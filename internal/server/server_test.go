@@ -325,9 +325,9 @@ func TestServerWithTieredBackend(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Write-through: already in storage.
-	v, err := stor.Get("durable")
-	if err != nil || string(v) != "yes" {
-		t.Fatalf("storage: %q %v", v, err)
+	v, ok, err := stor.Get("durable")
+	if err != nil || !ok || string(v) != "yes" {
+		t.Fatalf("storage: %q %v %v", v, ok, err)
 	}
 	// Read of a storage-only key goes through the miss path.
 	stor.Put("cold", []byte("brr"))
@@ -428,8 +428,8 @@ func TestMGetMSetTiered(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Writes must reach the storage tier through BatchPut.
-	if v, err := stor.Get("x"); err != nil || string(v) != "1" {
-		t.Fatalf("storage x: %q %v", v, err)
+	if v, ok, err := stor.Get("x"); err != nil || !ok || string(v) != "1" {
+		t.Fatalf("storage x: %q %v %v", v, ok, err)
 	}
 	// MGET must pull storage-resident keys the cache has never seen.
 	got, err := c.MGet("x", "cold", "nope")
@@ -493,4 +493,97 @@ func TestMGetMSetManyShardsConcurrent(t *testing.T) {
 		t.Fatalf("batch keys landed on %d/4 shards", nonEmpty)
 	}
 	_ = c
+}
+
+// TestDelMultiKeyAcrossShards: multi-key DEL must route each key to its
+// owning shard (the old walk pinned every key to the first key's shard)
+// and serve the whole command with one tiered BatchDelete per shard.
+func TestDelMultiKeyAcrossShards(t *testing.T) {
+	s, c := startTestServer(t, Options{Shards: 4})
+	keys := make([]string, 0, 32)
+	for i := 0; i < 32; i++ {
+		k := fmt.Sprintf("spread%02d", i)
+		keys = append(keys, k)
+		if err := c.Set(k, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := c.Del(append(keys, "absent")...)
+	if err != nil || n != 32 {
+		t.Fatalf("del: %d %v, want 32", n, err)
+	}
+	for _, eng := range s.Shards() {
+		if eng.Len() != 0 {
+			t.Fatalf("shard still holds %d keys", eng.Len())
+		}
+	}
+	// UNLINK is the same path.
+	c.Set("u", "v")
+	if n, err := c.Unlink("u", "absent"); err != nil || n != 1 {
+		t.Fatalf("unlink: %d %v", n, err)
+	}
+}
+
+// TestDelCountsStorageOnlyKeys: a key evicted from (or never admitted to)
+// the cache tier but present in storage must still count in the DEL reply.
+func TestDelCountsStorageOnlyKeys(t *testing.T) {
+	stor := cache.NewMapStorage()
+	stor.Put("cold1", []byte("v"))
+	stor.Put("cold2", []byte("v"))
+	_, c := startTestServer(t, Options{
+		Shards: 2,
+		TieredFactory: func(eng *engine.Engine) (*cache.Tiered, error) {
+			return cache.New(cache.Options{Policy: cache.WriteThrough, Engine: eng, Storage: stor})
+		},
+	})
+	if err := c.Set("warm", "v"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Del("warm", "cold1", "cold2", "nope")
+	if err != nil || n != 3 {
+		t.Fatalf("del: %d %v, want 3", n, err)
+	}
+	if stor.Len() != 0 {
+		t.Fatalf("storage still holds %d keys", stor.Len())
+	}
+	if _, err := c.Get("cold1"); err != client.Nil {
+		t.Fatalf("cold1 still readable: %v", err)
+	}
+}
+
+// TestEmptyValueColdReadRESP: SET k "" must survive a cache flush and
+// come back as the empty string (not nil) once re-read through storage.
+func TestEmptyValueColdReadRESP(t *testing.T) {
+	stor := cache.NewMapStorage()
+	_, c := startTestServer(t, Options{
+		TieredFactory: func(eng *engine.Engine) (*cache.Tiered, error) {
+			return cache.New(cache.Options{Policy: cache.WriteThrough, Engine: eng, Storage: stor})
+		},
+	})
+	if err := c.Set("e", ""); err != nil {
+		t.Fatal(err)
+	}
+	// FLUSHALL clears the cache tier only; storage keeps the key.
+	if _, err := c.Do("FLUSHALL"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("e")
+	if err != nil || v != "" {
+		t.Fatalf("cold empty read: %q %v (want present empty)", v, err)
+	}
+	if _, err := c.Get("never-set"); err != client.Nil {
+		t.Fatalf("absent key: %v", err)
+	}
+	// Batch path agrees: present-empty is a bulk "", absent is nil.
+	if _, err := c.Do("FLUSHALL"); err != nil {
+		t.Fatal(err)
+	}
+	arr, err := c.Do("MGET", "e", "never-set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := arr.([]interface{})
+	if vals[0] != "" || vals[1] != nil {
+		t.Fatalf("cold MGET: %#v", vals)
+	}
 }

@@ -270,6 +270,18 @@ func (s *Store) MSet(entries map[string][]byte) error {
 	return err
 }
 
+// BatchDelete removes many keys at once through every tier, returning how
+// many existed (in cache, unflushed dirty state, or storage). Duplicate
+// keys count at most once.
+func (s *Store) BatchDelete(keys ...string) (int, error) {
+	var n int
+	var err error
+	if perr := s.pool.SubmitWait(func() { n, err = s.tiered.BatchDelete(keys) }); perr != nil {
+		return 0, perr
+	}
+	return n, err
+}
+
 // Update applies a read-modify-write; fn receives the current value (or
 // exists=false) and returns the replacement (nil = delete).
 func (s *Store) Update(key string, fn func(old []byte, exists bool) []byte) error {
