@@ -37,7 +37,8 @@ func main() {
 
 	// Non-interactive mode: command from argv.
 	if args := flag.Args(); len(args) > 0 {
-		printReply(c.Do(args...))
+		v, err := c.Do(args...)
+		printCommandReply(args, v, err)
 		return
 	}
 
@@ -52,7 +53,9 @@ func main() {
 		if strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
 			return
 		}
-		printReply(c.Do(tokenize(line)...))
+		args := tokenize(line)
+		v, err := c.Do(args...)
+		printCommandReply(args, v, err)
 		fmt.Print("> ")
 	}
 }
@@ -82,12 +85,24 @@ func tokenize(line string) []string {
 	return out
 }
 
-func printReply(v interface{}, err error) {
+func printCommandReply(args []string, v interface{}, err error) {
 	switch {
 	case err == client.Nil:
 		fmt.Println("(nil)")
 	case err != nil:
 		fmt.Printf("(error) %v\n", err)
+	case len(args) > 0 && strings.EqualFold(args[0], "INFO"):
+		// INFO's bulk reply is a CRLF-separated report: print the lines
+		// raw instead of one quoted blob full of \r\n escapes. Keyed on
+		// the command, not on reply content — a GET value that happens to
+		// contain CRLF bytes must still print as one quoted string.
+		if s, ok := v.(string); ok {
+			for _, line := range strings.Split(strings.TrimRight(s, "\r\n"), "\r\n") {
+				fmt.Println(line)
+			}
+			return
+		}
+		printValue(v, "")
 	default:
 		printValue(v, "")
 	}

@@ -78,6 +78,7 @@ func main() {
 	default:
 		log.Fatalf("tierbase-server: unknown policy %q", *policy)
 	}
+	var dbs []*lsm.DB
 	if cachePolicy != cache.CacheOnly {
 		if *dir == "" {
 			log.Fatal("tierbase-server: -dir required for tiered policies")
@@ -90,6 +91,7 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
+			dbs = append(dbs, db)
 			return cache.New(cache.Options{
 				Policy:             cachePolicy,
 				Engine:             eng,
@@ -118,5 +120,14 @@ func main() {
 	log.Print("shutting down")
 	if err := srv.Close(); err != nil {
 		log.Printf("close: %v", err)
+	}
+	// Close the storage tier AFTER the server: srv.Close flushes each
+	// shard's write-back dirty set into the LSM, and db.Close syncs the
+	// WAL — without it, the last SyncEvery window of flushed writes sits
+	// in an unsynced WAL buffer and dies with the process.
+	for _, db := range dbs {
+		if err := db.Close(); err != nil {
+			log.Printf("lsm close: %v", err)
+		}
 	}
 }

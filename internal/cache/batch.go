@@ -9,8 +9,9 @@ import (
 // MGet (one stripe lock per touched shard); the remaining misses make a
 // single Storage.BatchGet round trip — the optimization the paper credits
 // for lowering PC_miss — with singleflight dedup against concurrent
-// fetches of the same keys. Writes group into one Storage.BatchPut round
-// trip (write-through) or one dirty-map pass (write-back).
+// fetches of the same keys. Writes group into one storage round trip
+// (write-through, via the per-key queues — see wtBatchCommit) or one
+// striped dirty-set pass (write-back).
 
 // dedupeKeys drops duplicate keys while preserving first-occurrence
 // order; a duplicate-free input is returned as-is.
@@ -70,20 +71,24 @@ func (t *Tiered) BatchGet(keys []string) (map[string][]byte, error) {
 	}
 
 	// 2. Write-back dirty state shadows storage (unflushed values and
-	// delete tombstones must win over what storage still holds).
+	// delete tombstones must win over what storage still holds). One
+	// dirty-stripe lock per touched stripe.
 	if t.opts.Policy == WriteBack {
-		live := missing[:0]
-		t.dirtyMu.Lock()
-		for _, k := range missing {
-			if e, ok := t.dirty[k]; ok {
-				if e.val != nil {
-					out[k] = copyBytes(e.val)
+		live := make([]string, 0, len(missing))
+		t.eng.GroupKeysByShard(missing, func(si int, group []string) {
+			ds := t.dirtyStripes[si]
+			ds.mu.Lock()
+			for _, k := range group {
+				if e, ok := ds.entries[k]; ok {
+					if e.val != nil {
+						out[k] = copyBytes(e.val)
+					}
+					continue // tombstone: stays nil
 				}
-				continue // tombstone: stays nil
+				live = append(live, k)
 			}
-			live = append(live, k)
-		}
-		t.dirtyMu.Unlock()
+			ds.mu.Unlock()
+		})
 		missing = live
 		if len(missing) == 0 {
 			return out, nil
@@ -132,14 +137,13 @@ func (t *Tiered) BatchGet(keys []string) (map[string][]byte, error) {
 
 // BatchPut applies many writes according to the configured policy; a nil
 // value deletes the key (matching Storage.BatchPut semantics). Under
-// write-through the whole batch is one storage round trip; under
-// write-back it is one dirty-map pass with a single backpressure check.
-// The cache tier applies via the engine's striped MSet/BatchDel.
-//
-// Batches bypass the per-key write-through coalescing queues: concurrent
-// single-key Sets on the same keys may interleave with the batch, with
-// last-storage-writer-wins ordering (same guarantee Redis gives between a
-// pipelined MSET and competing SETs).
+// write-through the batch routes through the SAME per-key queues as
+// single-key writes: keys with no in-flight leader commit in one grouped
+// storage round trip, keys with a leader piggyback on it (and are covered
+// by its commit) — so a concurrent Set(k) and a batch containing k
+// serialize per key, with no ordering bypass. Under write-back it is one
+// striped dirty-set pass with per-stripe backpressure. The cache tier
+// applies via the engine's striped MSet/BatchDel.
 func (t *Tiered) BatchPut(entries map[string][]byte) error {
 	if t.closed.Load() {
 		return ErrClosed
@@ -147,42 +151,91 @@ func (t *Tiered) BatchPut(entries map[string][]byte) error {
 	t.reqs.Add(int64(len(entries)))
 	switch t.opts.Policy {
 	case WriteThrough:
-		if err := t.opts.Storage.BatchPut(entries); err != nil {
-			// Mirror wtCommit's failure path for every key in the batch.
-			for k := range entries {
-				t.invalidate(k)
-			}
+		keys := make([]string, 0, len(entries))
+		for k := range entries {
+			keys = append(keys, k)
+		}
+		return t.wtBatchCommit(keys, entries)
+	case WriteBack:
+		if err := t.wbBatchMark(entries); err != nil {
 			return err
 		}
 		t.applyBatchToCache(entries)
-	case WriteBack:
-		t.dirtyMu.Lock()
-		for len(t.dirty) >= t.opts.MaxDirty && !t.closed.Load() {
-			t.wakeFlusher()
-			t.dirtyCond.Wait()
-		}
-		if t.closed.Load() {
-			t.dirtyMu.Unlock()
-			return ErrClosed
-		}
-		for k, v := range entries {
-			t.dirtyGen++
-			stored := copyBytes(v)
-			if v != nil && stored == nil {
-				stored = []byte{} // empty value, not a tombstone
-			}
-			t.dirty[k] = &dirtyEntry{val: stored, gen: t.dirtyGen}
-		}
-		reached := len(t.dirty) >= t.opts.FlushBatch
-		t.dirtyMu.Unlock()
-		t.applyBatchToCache(entries)
-		if reached {
+		if t.dirtyCount.Load() >= int64(t.opts.FlushBatch) {
 			t.wakeFlusher()
 		}
 	default:
 		t.applyBatchToCache(entries)
 	}
 	return nil
+}
+
+// wbBatchMark records a batch as dirty, one stripe lock (and one
+// backpressure check) per touched stripe. A stripe group is admitted as a
+// unit once its stripe has room, so a batch overshoots a stripe's budget
+// by at most the group size — the striped analog of the old single-lock
+// admission, without cross-stripe blocking.
+//
+// Admission is all-or-nothing against Close: if the store closes before
+// the first stripe admits, the whole call fails with ErrClosed and no
+// entry lands. If Close lands MID-batch (a backpressured stripe wait
+// woke into a closed store), the remaining stripes admit without waiting
+// — a partial batch must not be acked as failed — and the caller then
+// flushes the dirty set itself (wbCloseRaceFlush), because Close's final
+// flush may already have collected; only a successful flush acks.
+func (t *Tiered) wbBatchMark(entries map[string][]byte) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	admitted, closedMidway := false, false
+	t.eng.GroupKeysByShard(keys, func(si int, group []string) {
+		if closedMidway && !admitted {
+			return // closed before anything landed: clean abort
+		}
+		ds := t.dirtyStripes[si]
+		ds.mu.Lock()
+		if t.waitStripeRoomLocked(ds) {
+			closedMidway = true
+			if !admitted {
+				ds.mu.Unlock()
+				return
+			}
+		}
+		for _, k := range group {
+			v := entries[k]
+			var stored []byte
+			if v != nil {
+				stored = copyBytes(v)
+			}
+			if v != nil && stored == nil {
+				stored = []byte{} // empty value, not a tombstone
+			}
+			t.setDirtyLocked(ds, k, stored)
+		}
+		admitted = true
+		ds.mu.Unlock()
+	})
+	return t.wbAdmissionOutcome(admitted, closedMidway)
+}
+
+// wbAdmissionOutcome resolves a write-back batch admission against a
+// racing Close. Nothing admitted + closed = clean ErrClosed. Admitted +
+// closed = the flusher is gone and Close's final flush may have already
+// collected, so flush synchronously and ack only on success.
+func (t *Tiered) wbAdmissionOutcome(admitted, closedMidway bool) error {
+	if !closedMidway {
+		return nil
+	}
+	if !admitted {
+		return ErrClosed
+	}
+	// Surface a storage failure as itself: "cache: closed" would hide the
+	// reason the flush (and therefore the ack) failed.
+	return t.flushDirty(0)
 }
 
 // BatchDelete removes keys through every tier in one pass, returning how
@@ -193,9 +246,10 @@ func (t *Tiered) BatchPut(entries map[string][]byte) error {
 // correct for keys that were evicted to storage. Duplicate keys count at
 // most once (Redis DEL semantics).
 //
-// Like BatchPut, multi-key deletes bypass the write-through per-key
-// queues (last-storage-writer-wins against concurrent single-key Sets); a
-// single-key write-through delete still routes through its queue.
+// Like BatchPut, write-through deletes route through the per-key queues
+// (keys with no in-flight leader share one Storage.BatchDelete round
+// trip; keys with a leader piggyback as pending deletes), so multi-key
+// deletes order against concurrent single-key writes per key.
 func (t *Tiered) BatchDelete(keys []string) (int, error) {
 	if t.closed.Load() {
 		return 0, ErrClosed
@@ -233,18 +287,21 @@ func (t *Tiered) BatchDelete(keys []string) (int, error) {
 		}
 	}
 	if t.opts.Policy == WriteBack && len(unknown) > 0 {
-		live := unknown[:0]
-		t.dirtyMu.Lock()
-		for _, k := range unknown {
-			if e, ok := t.dirty[k]; ok {
-				if e.val != nil {
-					n++ // unflushed dirty value: the key existed
+		live := make([]string, 0, len(unknown))
+		t.eng.GroupKeysByShard(unknown, func(si int, group []string) {
+			ds := t.dirtyStripes[si]
+			ds.mu.Lock()
+			for _, k := range group {
+				if e, ok := ds.entries[k]; ok {
+					if e.val != nil {
+						n++ // unflushed dirty value: the key existed
+					}
+					continue // tombstone: already deleted, nothing to count
 				}
-				continue // tombstone: already deleted, nothing to count
+				live = append(live, k)
 			}
-			live = append(live, k)
-		}
-		t.dirtyMu.Unlock()
+			ds.mu.Unlock()
+		})
 		unknown = live
 	}
 	if len(unknown) > 0 {
@@ -257,38 +314,29 @@ func (t *Tiered) BatchDelete(keys []string) (int, error) {
 
 	switch t.opts.Policy {
 	case WriteThrough:
-		if len(uniq) == 1 {
-			// Preserve per-key write ordering for the single-key case.
-			if err := t.writeThrough(uniq[0], nil, true); err != nil {
-				return 0, err
-			}
-			return n, nil
+		// Unified ordering: the whole delete batch goes through the
+		// per-key queues (cache apply included in the commit path).
+		dels := make(map[string][]byte, len(uniq))
+		for _, k := range uniq {
+			dels[k] = nil
 		}
-		if err := t.opts.Storage.BatchDelete(uniq); err != nil {
-			// Mirror wtCommit's failure path for every key in the batch.
-			for _, k := range uniq {
-				t.invalidate(k)
-			}
+		if err := t.wtBatchCommit(uniq, dels); err != nil {
 			return 0, err
 		}
+		return n, nil
 	case WriteBack:
-		t.dirtyMu.Lock()
-		for len(t.dirty) >= t.opts.MaxDirty && !t.closed.Load() {
-			t.wakeFlusher()
-			t.dirtyCond.Wait()
-		}
-		if t.closed.Load() {
-			t.dirtyMu.Unlock()
-			return 0, ErrClosed
-		}
+		// Tombstones admit through wbBatchMark (nil value = tombstone),
+		// sharing its Close-race discipline: clean ErrClosed before
+		// anything lands, synchronous flush once tombstones have.
+		dels := make(map[string][]byte, len(uniq))
 		for _, k := range uniq {
-			t.dirtyGen++
-			t.dirty[k] = &dirtyEntry{gen: t.dirtyGen} // nil val = tombstone
+			dels[k] = nil
 		}
-		reached := len(t.dirty) >= t.opts.FlushBatch
-		t.dirtyMu.Unlock()
+		if err := t.wbBatchMark(dels); err != nil {
+			return 0, err
+		}
 		defer func() {
-			if reached {
+			if t.dirtyCount.Load() >= int64(t.opts.FlushBatch) {
 				t.wakeFlusher()
 			}
 		}()

@@ -119,6 +119,216 @@ func BenchmarkTieredSetDirtyEvictionScan(b *testing.B) {
 	})
 }
 
+// --- write-path benchmarks (the CI bench artifact's write coverage) ---
+
+// BenchmarkWTSetSameKey measures write-through writes from all goroutines
+// converging on ONE hot key: the per-key coalescing queue is the whole
+// benchmark. Before the write path was striped this also serialized every
+// other write in the store on the global queue-map lock.
+func BenchmarkWTSetSameKey(b *testing.B) {
+	tr := newBenchTiered(b, 1<<30)
+	val := []byte("0123456789abcdef0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := tr.Set("bench:0000", val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWTSetSpreadKeys measures write-through writes spread across
+// the keyspace: queue admission should scale with stripes, not fight
+// over one map lock.
+func BenchmarkWTSetSpreadKeys(b *testing.B) {
+	tr := newBenchTiered(b, 1<<30)
+	val := []byte("0123456789abcdef0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seq atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := fmt.Sprintf("bench:%04d", int(seq.Add(1))*31%benchKeys)
+			if err := tr.Set(k, val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWTSetHotSpreadMix interleaves hot-key writes with spread-key
+// writes: the contended single-key path sharing the store with unrelated
+// write traffic. Striped queues isolate the hot key's coalescing from the
+// spread admissions; the old global queue-map lock serialized them all.
+func BenchmarkWTSetHotSpreadMix(b *testing.B) {
+	tr := newBenchTiered(b, 1<<30)
+	val := []byte("0123456789abcdef0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seq atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := int(seq.Add(1))
+			if n%4 == 0 {
+				if err := tr.Set("bench:0000", val); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			if err := tr.Set(fmt.Sprintf("bench:%04d", n*31%benchKeys), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWBSetFlushThroughput measures sustained write-back writes with
+// the background flusher draining: dirty admission (striped, per-stripe
+// backpressure) plus flush rounds, the full async write pipeline.
+func BenchmarkWBSetFlushThroughput(b *testing.B) {
+	stor := NewMapStorage()
+	tr, err := New(Options{
+		Policy:     WriteBack,
+		Engine:     engine.New(engine.Options{}),
+		Storage:    stor,
+		FlushBatch: 128,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { tr.Close() })
+	val := []byte("0123456789abcdef0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seq atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := fmt.Sprintf("bench:%04d", int(seq.Add(1))*31%benchKeys)
+			if err := tr.Set(k, val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWBBackpressureSaturated measures write-back writes with the
+// dirty set pinned at its budget: every write waits for a flush to free
+// its slot. This is the thundering-herd benchmark — the old single
+// dirtyCond broadcast-woke EVERY blocked writer on every flush round
+// (O(waiters) spurious wakeups per freed slot); per-stripe conds wake
+// only the stripe that drained.
+func BenchmarkWBBackpressureSaturated(b *testing.B) {
+	stor := NewMapStorage()
+	tr, err := New(Options{
+		Policy:        WriteBack,
+		Engine:        engine.New(engine.Options{}),
+		Storage:       stor,
+		MaxDirty:      64, // 4-slot stripe budgets: writers block routinely
+		FlushBatch:    32,
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { tr.Close() })
+	val := []byte("0123456789abcdef0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seq atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := fmt.Sprintf("bench:%04d", int(seq.Add(1))*31%benchKeys)
+			if err := tr.Set(k, val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWTBatchVsSingle compares one 16-key BatchPut against 16
+// single-key Sets — the ordering-unification cost: the batch pays queue
+// admission per key but still commits all led keys in one storage round
+// trip.
+func BenchmarkWTBatchVsSingle(b *testing.B) {
+	val := []byte("0123456789abcdef0123456789abcdef")
+	keysOf := func(base int) []string {
+		keys := make([]string, 16)
+		for j := range keys {
+			keys[j] = fmt.Sprintf("bench:%04d", (base+j*13)%benchKeys)
+		}
+		return keys
+	}
+	b.Run("batch16", func(b *testing.B) {
+		tr := newBenchTiered(b, 1<<30)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var seq atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				entries := make(map[string][]byte, 16)
+				for _, k := range keysOf(int(seq.Add(1)) * 17) {
+					entries[k] = val
+				}
+				if err := tr.BatchPut(entries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("single16", func(b *testing.B) {
+		tr := newBenchTiered(b, 1<<30)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var seq atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				for _, k := range keysOf(int(seq.Add(1)) * 17) {
+					if err := tr.Set(k, val); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkWTBatchPutRemote measures 16-key write-through batches against
+// a storage tier with a real round-trip latency — the deployment the
+// batch fast path exists for. The whole batch must cost ~one RTT
+// (uncontended keys share one grouped BatchPut); this is the number that
+// must not regress as batches route through the ordering queues.
+func BenchmarkWTBatchPutRemote(b *testing.B) {
+	stor := NewMapStorage()
+	remote := NewRemote(stor, 100*time.Microsecond)
+	tr, err := New(Options{
+		Policy:  WriteThrough,
+		Engine:  engine.New(engine.Options{}),
+		Storage: remote,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { tr.Close() })
+	val := []byte("0123456789abcdef0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seq atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			entries := make(map[string][]byte, 16)
+			base := int(seq.Add(1)) * 17
+			for j := 0; j < 16; j++ {
+				entries[fmt.Sprintf("bench:%04d", (base+j*13)%benchKeys)] = val
+			}
+			if err := tr.BatchPut(entries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkTieredBatchPut measures parallel 16-key batch writes under
 // capacity pressure (eviction churn across stripes).
 func BenchmarkTieredBatchPut(b *testing.B) {
@@ -128,8 +338,11 @@ func BenchmarkTieredBatchPut(b *testing.B) {
 	b.ResetTimer()
 	var seq atomic.Int64
 	b.RunParallel(func(pb *testing.PB) {
-		entries := make(map[string][]byte, 16)
 		for pb.Next() {
+			// Fresh map per iteration: reusing one map accumulated keys
+			// across iterations, silently growing the "16-key" batch to
+			// the whole keyspace.
+			entries := make(map[string][]byte, 16)
 			base := int(seq.Add(1)) * 17
 			for j := 0; j < 16; j++ {
 				entries[fmt.Sprintf("bench:%04d", (base+j*13)%benchKeys)] = val

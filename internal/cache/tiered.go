@@ -53,7 +53,9 @@ type Options struct {
 	FlushBatch int
 	// FlushInterval is the max time dirty data waits (default 50 ms).
 	FlushInterval time.Duration
-	// MaxDirty triggers backpressure (default 8 * FlushBatch).
+	// MaxDirty triggers backpressure (default 8 * FlushBatch). The budget
+	// splits evenly across the write-path stripes (ceil), and a writer
+	// blocks only when its own stripe is saturated.
 	MaxDirty int
 	// FetchWindow batches deferred cache-fetches (default 1 ms).
 	FetchWindow time.Duration
@@ -98,15 +100,30 @@ type Tiered struct {
 	lru      []*lruShard
 	shardCap int64
 
-	// Write-through per-key queues (write ordering + coalescing).
-	wtMu     sync.Mutex
-	wtQueues map[string]*wtQueue
+	// Write-through per-key queues (write ordering + coalescing), striped
+	// along the engine's stripes: wt[i] owns the queues of every key in
+	// engine stripe i, so queue admission on one stripe never serializes
+	// writes on another.
+	wt []*wtStripe
 
-	// Write-back dirty state.
-	dirtyMu   sync.Mutex
-	dirty     map[string]*dirtyEntry
-	dirtyCond *sync.Cond
-	dirtyGen  uint64
+	// Write-back dirty state, striped the same way: dirtyStripes[i] owns
+	// the dirty entries (and the backpressure cond and generation counter)
+	// of engine stripe i. dirtyCount tracks the total across stripes so
+	// the flush trigger and Stats never sum under all the stripe locks.
+	dirtyStripes []*dirtyStripe
+	dirtyCount   atomic.Int64
+	// stripeMaxDirty is each stripe's backpressure budget: MaxDirty split
+	// evenly across stripes, rounded up (same ceil discipline as shardCap).
+	stripeMaxDirty int
+	// flushCursor rotates flushDirty's starting stripe so partial flushes
+	// don't starve high-numbered stripes.
+	flushCursor atomic.Uint32
+	// flushMu serializes whole flush rounds (collect → BatchPut → clear).
+	// Two interleaved rounds (background flusher vs an explicit
+	// FlushDirty) could otherwise land a stale value in storage after a
+	// newer one: both collect k, the newer round commits and clears, then
+	// the stale round's BatchPut overwrites it with the older value.
+	flushMu sync.Mutex
 
 	// Singleflight state: at most one storage fetch per key is in flight;
 	// concurrent misses of the same key wait on the leader's result
@@ -134,6 +151,7 @@ type Tiered struct {
 	batches   atomic.Int64
 	fetched   atomic.Int64
 	flShared  atomic.Int64 // miss fetches served by another caller's flight
+	bpWaits   atomic.Int64 // write-back writers that blocked on a full stripe
 }
 
 // flight is one in-progress storage fetch; waiters block on done.
@@ -184,25 +202,35 @@ func New(opts Options) (*Tiered, error) {
 		return nil, errors.New("cache: Storage required for tiered policies")
 	}
 	t := &Tiered{
-		opts:     opts,
-		eng:      opts.Engine,
-		wtQueues: make(map[string]*wtQueue),
-		dirty:    make(map[string]*dirtyEntry),
-		flights:  make(map[string]*flight),
-		stopCh:   make(chan struct{}),
+		opts:    opts,
+		eng:     opts.Engine,
+		flights: make(map[string]*flight),
+		stopCh:  make(chan struct{}),
 	}
+	nsh := opts.Engine.NumShards()
+	t.wt = make([]*wtStripe, nsh)
+	for i := range t.wt {
+		t.wt[i] = &wtStripe{queues: make(map[string]*wtQueue)}
+	}
+	t.dirtyStripes = make([]*dirtyStripe, nsh)
+	for i := range t.dirtyStripes {
+		ds := &dirtyStripe{entries: make(map[string]*dirtyEntry)}
+		ds.cond = sync.NewCond(&ds.mu)
+		t.dirtyStripes[i] = ds
+	}
+	// Ceil division, as with shardCap below: stripe budgets sum to at
+	// least MaxDirty and never round down to an unwritable zero.
+	t.stripeMaxDirty = (opts.MaxDirty + nsh - 1) / nsh
 	if opts.CacheCapacityBytes > 0 {
-		n := opts.Engine.NumShards()
-		t.lru = make([]*lruShard, n)
+		t.lru = make([]*lruShard, nsh)
 		for i := range t.lru {
 			t.lru[i] = &lruShard{ll: list.New(), pos: make(map[string]*list.Element)}
 		}
 		// Ceil division: stripes sum to at least the configured capacity,
 		// and a tiny capacity never rounds a stripe's budget down to zero
 		// (which would read as "unbounded").
-		t.shardCap = (opts.CacheCapacityBytes + int64(n) - 1) / int64(n)
+		t.shardCap = (opts.CacheCapacityBytes + int64(nsh) - 1) / int64(nsh)
 	}
-	t.dirtyCond = sync.NewCond(&t.dirtyMu)
 	if opts.Policy == WriteBack {
 		t.fetchCh = make(chan fetchReq, 1024)
 		t.flushWake = make(chan struct{}, 1)
@@ -250,40 +278,15 @@ func (t *Tiered) forget(key string) {
 	s.mu.Unlock()
 }
 
-// forEachLRUGroup buckets keys by LRU stripe (the engine's counting-sort
-// idiom — three flat allocations, no per-bucket slices) and calls visit
-// once per touched stripe, so batch callers take each stripe lock once.
-// No-op when capacity tracking is off.
+// forEachLRUGroup buckets keys by LRU stripe (via the engine's exported
+// counting-sort grouping) and calls visit once per touched stripe, so
+// batch callers take each stripe lock once. No-op when capacity tracking
+// is off.
 func (t *Tiered) forEachLRUGroup(keys []string, visit func(si int, group []string)) {
-	if t.lru == nil || len(keys) == 0 {
+	if t.lru == nil {
 		return
 	}
-	if len(keys) == 1 {
-		visit(t.eng.ShardIndex(keys[0]), keys)
-		return
-	}
-	nsh := len(t.lru)
-	counts := make([]int, nsh+1)
-	sidx := make([]int32, len(keys))
-	for i, k := range keys {
-		si := t.eng.ShardIndex(k)
-		sidx[i] = int32(si)
-		counts[si+1]++
-	}
-	for s := 0; s < nsh; s++ {
-		counts[s+1] += counts[s]
-	}
-	ordered := make([]string, len(keys))
-	fill := append([]int(nil), counts[:nsh]...)
-	for i, k := range keys {
-		ordered[fill[sidx[i]]] = k
-		fill[sidx[i]]++
-	}
-	for s := 0; s < nsh; s++ {
-		if lo, hi := counts[s], counts[s+1]; lo < hi {
-			visit(s, ordered[lo:hi])
-		}
-	}
+	t.eng.GroupKeysByShard(keys, visit)
 }
 
 // touchBatch promotes many keys, one stripe lock per touched stripe.
@@ -338,10 +341,12 @@ func (t *Tiered) maybeEvictShard(si int) {
 		el := s.ll.Back()
 		var key string
 		found := false
-		// Walk from the back past dirty entries.
+		// Walk from the back past dirty entries. Every key on this LRU
+		// stripe lives on dirty stripe si too (same FNV stripes), so the
+		// dirty check needs no per-key hash.
 		for el != nil {
 			k := el.Value.(string)
-			if !t.isDirty(k) {
+			if !t.isDirtyInStripe(si, k) {
 				key = k
 				found = true
 				s.ll.Remove(el)
@@ -377,14 +382,28 @@ func (t *Tiered) maybeEvictKeys(keys []string) {
 	})
 }
 
-func (t *Tiered) isDirty(key string) bool {
+// isDirtyInStripe reports whether key (known to live on stripe si) is
+// dirty, without rehashing the key.
+func (t *Tiered) isDirtyInStripe(si int, key string) bool {
 	if t.opts.Policy != WriteBack {
 		return false
 	}
-	t.dirtyMu.Lock()
-	_, ok := t.dirty[key]
-	t.dirtyMu.Unlock()
+	ds := t.dirtyStripes[si]
+	ds.mu.Lock()
+	_, ok := ds.entries[key]
+	ds.mu.Unlock()
 	return ok
+}
+
+// dirtyLookup returns key's dirty entry, if any, under its stripe lock.
+// Entries are replaced wholesale (never mutated in place), so reading the
+// returned entry after the lock drops is safe.
+func (t *Tiered) dirtyLookup(key string) (*dirtyEntry, bool) {
+	ds := t.dirtyStripes[t.eng.ShardIndex(key)]
+	ds.mu.Lock()
+	e, ok := ds.entries[key]
+	ds.mu.Unlock()
+	return e, ok
 }
 
 // --- reads ---
@@ -409,9 +428,7 @@ func (t *Tiered) Get(key string) ([]byte, error) {
 	}
 	// Dirty tombstone shadows storage (write-back delete not yet flushed).
 	if t.opts.Policy == WriteBack {
-		t.dirtyMu.Lock()
-		if e, ok := t.dirty[key]; ok {
-			t.dirtyMu.Unlock()
+		if e, ok := t.dirtyLookup(key); ok {
 			if e.val == nil {
 				return nil, ErrNotFound
 			}
@@ -419,7 +436,6 @@ func (t *Tiered) Get(key string) ([]byte, error) {
 			// happen — dirty keys are eviction-exempt — but be safe).
 			return copyBytes(e.val), nil
 		}
-		t.dirtyMu.Unlock()
 	}
 	v, err := t.fetchCoalesced(key)
 	if err != nil {
@@ -578,14 +594,11 @@ func (t *Tiered) Update(key string, fn func(old []byte, exists bool) []byte) err
 		switch t.opts.Policy {
 		case WriteBack:
 			// Dirty state shadows storage.
-			t.dirtyMu.Lock()
-			if e, ok := t.dirty[key]; ok {
+			if e, ok := t.dirtyLookup(key); ok {
 				if e.val != nil {
 					old, exists = append([]byte(nil), e.val...), true
 				}
-				t.dirtyMu.Unlock()
 			} else {
-				t.dirtyMu.Unlock()
 				resp := t.deferredFetch(key)
 				if resp.err != nil && resp.err != ErrNotFound {
 					return resp.err
@@ -651,36 +664,54 @@ func (t *Tiered) invalidate(key string) {
 
 // Stats summarizes tiered-store behavior for cost measurement.
 type Stats struct {
-	Requests  int64
-	Hits      int64
-	Misses    int64
-	Evictions int64
-	Coalesced int64 // write-through writes absorbed by group commit
-	Flushed   int64 // write-back entries flushed
-	Batches   int64 // write-back flush round trips
-	Fetched   int64 // deferred cache-fetch keys
-	Shared    int64 // miss fetches coalesced onto another caller's flight
-	Dirty     int   // current dirty entries
+	Requests          int64
+	Hits              int64
+	Misses            int64
+	Evictions         int64
+	Coalesced         int64 // write-through writes absorbed by group commit
+	Flushed           int64 // write-back entries flushed
+	Batches           int64 // write-back flush round trips
+	Fetched           int64 // deferred cache-fetch keys
+	Shared            int64 // miss fetches coalesced onto another caller's flight
+	BackpressureWaits int64 // write-back writers that blocked on a full stripe
+	Dirty             int   // current dirty entries (all stripes)
 }
 
 // Stats returns a snapshot of counters.
 func (t *Tiered) Stats() Stats {
-	t.dirtyMu.Lock()
-	dirty := len(t.dirty)
-	t.dirtyMu.Unlock()
 	return Stats{
-		Requests:  t.reqs.Load(),
-		Hits:      t.hits.Load(),
-		Misses:    t.misses.Load(),
-		Evictions: t.evictions.Load(),
-		Coalesced: t.coalesced.Load(),
-		Flushed:   t.flushed.Load(),
-		Batches:   t.batches.Load(),
-		Fetched:   t.fetched.Load(),
-		Shared:    t.flShared.Load(),
-		Dirty:     dirty,
+		Requests:          t.reqs.Load(),
+		Hits:              t.hits.Load(),
+		Misses:            t.misses.Load(),
+		Evictions:         t.evictions.Load(),
+		Coalesced:         t.coalesced.Load(),
+		Flushed:           t.flushed.Load(),
+		Batches:           t.batches.Load(),
+		Fetched:           t.fetched.Load(),
+		Shared:            t.flShared.Load(),
+		BackpressureWaits: t.bpWaits.Load(),
+		Dirty:             int(t.dirtyCount.Load()),
 	}
 }
+
+// WriteStripes reports the number of write-path stripes (== the engine's
+// lock stripes; the INFO writepath section surfaces this).
+func (t *Tiered) WriteStripes() int { return len(t.wt) }
+
+// DirtyStripes reports the current dirty-entry count per write-path
+// stripe. The slice sums to Stats().Dirty; stripes are the engine's.
+func (t *Tiered) DirtyStripes() []int {
+	out := make([]int, len(t.dirtyStripes))
+	for i, ds := range t.dirtyStripes {
+		ds.mu.Lock()
+		out[i] = len(ds.entries)
+		ds.mu.Unlock()
+	}
+	return out
+}
+
+// Policy reports the configured synchronization policy.
+func (t *Tiered) Policy() Policy { return t.opts.Policy }
 
 // MissRatio returns misses/requests (the MR of the cost model).
 func (t *Tiered) MissRatio() float64 {
@@ -700,7 +731,15 @@ func (t *Tiered) Close() error {
 		return nil
 	}
 	close(t.stopCh)
-	t.dirtyCond.Broadcast()
+	// Release every stripe's backpressured writers. The broadcast must
+	// hold the stripe lock: a writer between its closed-check and
+	// cond.Wait would otherwise miss an unlocked broadcast and sleep
+	// through shutdown.
+	for _, ds := range t.dirtyStripes {
+		ds.mu.Lock()
+		ds.cond.Broadcast()
+		ds.mu.Unlock()
+	}
 	t.wg.Wait()
 	if t.opts.Policy == WriteBack {
 		return t.flushDirty(0) // final full flush

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"sync"
 	"time"
 )
 
@@ -17,6 +18,51 @@ import (
 //     the same key naturally merge in the dirty map.
 //   - Deferred cache-fetching: misses during updates are batched through
 //     the fetch loop into BatchGet round trips.
+//
+// The dirty set is striped along the engine's lock stripes (dirtyStripe):
+// each stripe owns its entries, its generation counter, its backpressure
+// budget (MaxDirty split evenly, ceil) and its own cond. A writer blocks
+// only when ITS stripe is saturated, and a flush wakes only the writers
+// of stripes that actually freed room — the old single dirtyCond woke
+// every blocked writer on every flush (a thundering herd) even when only
+// one stripe's slots freed.
+
+// dirtyStripe is one stripe of the write-back dirty set.
+type dirtyStripe struct {
+	mu      sync.Mutex
+	cond    *sync.Cond // waited on by writers when this stripe is full
+	entries map[string]*dirtyEntry
+	gen     uint64 // per-stripe generation; stamps entries for flush checks
+}
+
+// dirtyStripeFor returns the dirty stripe owning key.
+func (t *Tiered) dirtyStripeFor(key string) *dirtyStripe {
+	return t.dirtyStripes[t.eng.ShardIndex(key)]
+}
+
+// waitStripeRoomLocked blocks until ds has room for another dirty entry
+// (or the store closes). Caller holds ds.mu; returns with it held.
+// Reports whether the store closed while waiting.
+func (t *Tiered) waitStripeRoomLocked(ds *dirtyStripe) (closed bool) {
+	if len(ds.entries) >= t.stripeMaxDirty && !t.closed.Load() {
+		t.bpWaits.Add(1) // count blocked writers, not wakeups
+		for len(ds.entries) >= t.stripeMaxDirty && !t.closed.Load() {
+			t.wakeFlusher()
+			ds.cond.Wait()
+		}
+	}
+	return t.closed.Load()
+}
+
+// setDirtyLocked records key as dirty in ds (nil stored = tombstone),
+// maintaining the cross-stripe count. Caller holds ds.mu.
+func (t *Tiered) setDirtyLocked(ds *dirtyStripe, key string, stored []byte) {
+	ds.gen++
+	if _, existed := ds.entries[key]; !existed {
+		t.dirtyCount.Add(1)
+	}
+	ds.entries[key] = &dirtyEntry{val: stored, gen: ds.gen}
+}
 
 // wakeFlusher nudges the flush loop without blocking (the channel holds
 // one pending wake; an already-pending wake is enough).
@@ -29,19 +75,16 @@ func (t *Tiered) wakeFlusher() {
 
 // writeBack applies one write (or delete) under the write-back policy.
 func (t *Tiered) writeBack(key string, val []byte, del bool) error {
-	// Backpressure: hold the writer while the dirty set is saturated
-	// ("a backpressure mechanism is activated when dirty data approaches
-	// a predefined threshold").
-	t.dirtyMu.Lock()
-	for len(t.dirty) >= t.opts.MaxDirty && !t.closed.Load() {
-		t.wakeFlusher()
-		t.dirtyCond.Wait()
-	}
-	if t.closed.Load() {
-		t.dirtyMu.Unlock()
+	// Backpressure: hold the writer while ITS stripe of the dirty set is
+	// saturated ("a backpressure mechanism is activated when dirty data
+	// approaches a predefined threshold"). Other stripes' writers are
+	// unaffected.
+	ds := t.dirtyStripeFor(key)
+	ds.mu.Lock()
+	if t.waitStripeRoomLocked(ds) {
+		ds.mu.Unlock()
 		return ErrClosed
 	}
-	t.dirtyGen++
 	var stored []byte
 	if !del {
 		stored = copyBytes(val)
@@ -49,15 +92,14 @@ func (t *Tiered) writeBack(key string, val []byte, del bool) error {
 			stored = []byte{} // empty value, not a tombstone
 		}
 	}
-	t.dirty[key] = &dirtyEntry{val: stored, gen: t.dirtyGen}
-	reached := len(t.dirty) >= t.opts.FlushBatch
-	t.dirtyMu.Unlock()
+	t.setDirtyLocked(ds, key, stored)
+	ds.mu.Unlock()
 
 	t.applyToCache(key, val, del)
 	if !del {
 		t.maybeEvictKey(key)
 	}
-	if reached {
+	if t.dirtyCount.Load() >= int64(t.opts.FlushBatch) {
 		t.wakeFlusher()
 	}
 	return nil
@@ -83,14 +125,8 @@ func (t *Tiered) flushLoop() {
 			continue // storage failing: retry on the next tick, don't spin
 		}
 		// Keep draining while a full batch remains so a burst doesn't
-		// wait out the ticker 64 keys at a time.
-		for {
-			t.dirtyMu.Lock()
-			pending := len(t.dirty)
-			t.dirtyMu.Unlock()
-			if pending < t.opts.FlushBatch {
-				break
-			}
+		// wait out the ticker FlushBatch keys at a time.
+		for t.dirtyCount.Load() >= int64(t.opts.FlushBatch) {
 			select {
 			case <-t.stopCh:
 				return
@@ -104,54 +140,97 @@ func (t *Tiered) flushLoop() {
 }
 
 // flushDirty writes up to max dirty entries (0 = all) to storage in one
-// batch. Entries overwritten during the flush stay dirty (generation check).
+// grouped round trip. Entries collect from the stripes round-robin,
+// starting at a rotating cursor so a partial flush never starves the
+// high-numbered stripes; entries overwritten during the flush stay dirty
+// (per-stripe generation check). After the round trip, each drained
+// stripe clears its flushed entries and wakes ONLY its own backpressured
+// writers — stripes that contributed nothing stay asleep.
 func (t *Tiered) flushDirty(max int) error {
-	t.dirtyMu.Lock()
-	if len(t.dirty) == 0 {
-		t.dirtyMu.Unlock()
+	t.flushMu.Lock()
+	defer t.flushMu.Unlock()
+	pending := int(t.dirtyCount.Load())
+	if pending == 0 {
 		return nil
 	}
-	batch := make(map[string][]byte)
-	gens := make(map[string]uint64)
-	for k, e := range t.dirty {
-		batch[k] = e.val
-		gens[k] = e.gen
-		if max > 0 && len(batch) >= max {
-			break
+	if max > 0 && pending > max {
+		pending = max
+	}
+	nsh := len(t.dirtyStripes)
+	start := int(t.flushCursor.Add(1)-1) % nsh
+	batch := make(map[string][]byte, pending)
+	// Collection is stripe-sequential, so the flushed (key, gen) records
+	// land in flat slices with one contiguous range per stripe — no
+	// per-stripe maps to allocate each round.
+	type stripeRange struct{ si, lo, hi int }
+	recs := make([]flushRec, 0, pending)
+	var ranges []stripeRange
+collect:
+	for i := 0; i < nsh; i++ {
+		si := (start + i) % nsh
+		ds := t.dirtyStripes[si]
+		lo := len(recs)
+		ds.mu.Lock()
+		for k, e := range ds.entries {
+			if max > 0 && len(batch) >= max {
+				ds.mu.Unlock()
+				if len(recs) > lo {
+					ranges = append(ranges, stripeRange{si, lo, len(recs)})
+				}
+				break collect
+			}
+			batch[k] = e.val
+			recs = append(recs, flushRec{key: k, gen: e.gen})
+		}
+		ds.mu.Unlock()
+		if len(recs) > lo {
+			ranges = append(ranges, stripeRange{si, lo, len(recs)})
 		}
 	}
-	t.dirtyMu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
 
 	if err := t.opts.Storage.BatchPut(batch); err != nil {
 		return err
 	}
 
-	t.dirtyMu.Lock()
-	for k, gen := range gens {
-		if e, ok := t.dirty[k]; ok && e.gen == gen {
-			delete(t.dirty, k)
+	for _, r := range ranges {
+		ds := t.dirtyStripes[r.si]
+		removed := 0
+		ds.mu.Lock()
+		for _, rec := range recs[r.lo:r.hi] {
+			if e, ok := ds.entries[rec.key]; ok && e.gen == rec.gen {
+				delete(ds.entries, rec.key)
+				removed++
+			}
 		}
+		if removed > 0 {
+			t.dirtyCount.Add(int64(-removed))
+			ds.cond.Broadcast() // release THIS stripe's waiters only
+		}
+		ds.mu.Unlock()
 	}
-	t.dirtyMu.Unlock()
 	t.flushed.Add(int64(len(batch)))
 	t.batches.Add(1)
-	t.dirtyCond.Broadcast() // release backpressured writers
 	return nil
+}
+
+// flushRec is one flushed entry's generation stamp, checked before the
+// post-flush delete so entries overwritten mid-flush stay dirty.
+type flushRec struct {
+	key string
+	gen uint64
 }
 
 // FlushDirty forces all dirty entries to storage (checkpoint / tests).
 func (t *Tiered) FlushDirty() error {
-	for {
-		t.dirtyMu.Lock()
-		n := len(t.dirty)
-		t.dirtyMu.Unlock()
-		if n == 0 {
-			return nil
-		}
+	for t.dirtyCount.Load() > 0 {
 		if err := t.flushDirty(0); err != nil {
 			return err
 		}
 	}
+	return nil
 }
 
 // --- deferred cache-fetching ---

@@ -1,0 +1,407 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tierbase/internal/engine"
+)
+
+// Write-path tests: the striped write-through queues, the striped
+// write-back dirty set with per-stripe backpressure, and the unified
+// batch ordering (BatchPut/BatchDelete through the per-key queues).
+
+// otherStripeKey returns a key whose engine stripe differs from ref's.
+func otherStripeKey(t *testing.T, eng *engine.Engine, ref string) string {
+	t.Helper()
+	want := eng.ShardIndex(ref)
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("probe:%d", i)
+		if eng.ShardIndex(k) != want {
+			return k
+		}
+	}
+	t.Fatal("no key on another stripe found")
+	return ""
+}
+
+// sameStripeKeys returns n distinct keys on ref's engine stripe.
+func sameStripeKeys(t *testing.T, eng *engine.Engine, ref string, n int) []string {
+	t.Helper()
+	want := eng.ShardIndex(ref)
+	var out []string
+	for i := 0; len(out) < n && i < 100000; i++ {
+		k := fmt.Sprintf("same:%d", i)
+		if eng.ShardIndex(k) == want {
+			out = append(out, k)
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("found only %d/%d keys on stripe %d", len(out), n, want)
+	}
+	return out
+}
+
+// TestWTBatchPiggybacksOnInflightLeader: a BatchPut containing a key with
+// an in-flight single-key leader must queue behind that leader — its
+// value lands in storage AFTER the leader's, so the batch's ack is never
+// stale. Under the old bypass the batch wrote storage immediately and the
+// slower leader could overwrite it with the older value.
+func TestWTBatchPiggybacksOnInflightLeader(t *testing.T) {
+	stor := NewMapStorage()
+	slow := NewRemote(stor, 3*time.Millisecond)
+	tr, err := New(Options{Policy: WriteThrough, Engine: engine.New(engine.Options{}), Storage: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tr.Set("hot", []byte("leader")) // in flight for ~3 ms
+	}()
+	time.Sleep(time.Millisecond) // let the leader take the queue
+	if err := tr.BatchPut(map[string][]byte{
+		"hot":   []byte("batch"),
+		"other": []byte("x"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	// The batch acked after piggybacking, so its value must be final.
+	v, _, _ := stor.Get("hot")
+	if string(v) != "batch" {
+		t.Fatalf("storage holds %q; batch ack was stale", v)
+	}
+	cv, _ := tr.Engine().Get("hot")
+	if !bytes.Equal(cv, v) {
+		t.Fatalf("cache %q diverged from storage %q", cv, v)
+	}
+}
+
+// TestWTBatchLedKeysOneRoundTrip: keys without an in-flight leader must
+// commit in exactly one storage round trip per BatchPut call.
+func TestWTBatchLedKeysOneRoundTrip(t *testing.T) {
+	stor := NewMapStorage()
+	remote := NewRemote(stor, 0)
+	tr, err := New(Options{Policy: WriteThrough, Engine: engine.New(engine.Options{}), Storage: remote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	entries := make(map[string][]byte, 32)
+	for i := 0; i < 32; i++ {
+		entries[fmt.Sprintf("k%02d", i)] = []byte("v")
+	}
+	if err := tr.BatchPut(entries); err != nil {
+		t.Fatal(err)
+	}
+	st := remote.Stats()
+	if st.BatchPuts != 1 || st.Puts != 0 {
+		t.Fatalf("32 fresh keys: %d BatchPuts, %d Puts; want 1, 0", st.BatchPuts, st.Puts)
+	}
+	// Multi-key BatchDelete of uncontended keys: one BatchDelete round
+	// trip (plus nothing per key).
+	keys := make([]string, 0, 32)
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	if _, err := tr.BatchDelete(keys); err != nil {
+		t.Fatal(err)
+	}
+	st = remote.Stats()
+	if st.BatchDels != 1 || st.Deletes != 0 {
+		t.Fatalf("batch delete: %d BatchDels, %d Deletes; want 1, 0", st.BatchDels, st.Deletes)
+	}
+}
+
+// TestWTSetVsBatchPutOrderingStress interleaves Set(k)/Del(k) with
+// BatchPut{k}/BatchDelete{k} under -race. After every round quiesces, the
+// cache tier and the storage tier must agree on k — the old bypass let
+// them diverge permanently (storage holding one acked write, cache the
+// other), which is exactly the "older acked value" bug.
+func TestWTSetVsBatchPutOrderingStress(t *testing.T) {
+	stor := NewMapStorage()
+	slow := NewRemote(stor, 200*time.Microsecond) // widen the race window
+	tr, err := New(Options{Policy: WriteThrough, Engine: engine.New(engine.Options{}), Storage: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	rounds := 60
+	if testing.Short() {
+		rounds = 15
+	}
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		setVal := []byte(fmt.Sprintf("set-%03d", r))
+		batchVal := []byte(fmt.Sprintf("batch-%03d", r))
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := tr.Set("contended", setVal); err != nil {
+				t.Errorf("set: %v", err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			err := tr.BatchPut(map[string][]byte{
+				"contended": batchVal,
+				"bystander": []byte("b"),
+			})
+			if err != nil {
+				t.Errorf("batch: %v", err)
+			}
+		}()
+		if r%3 == 2 {
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				if err := tr.Delete("contended"); err != nil {
+					t.Errorf("del: %v", err)
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				if _, err := tr.BatchDelete([]string{"contended"}); err != nil {
+					t.Errorf("batchdel: %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+		// Quiesced: every op acked, no writer in flight. The tiers must
+		// agree — a mismatch means some acked write reached one tier but
+		// was overwritten by an OLDER acked write in the other.
+		sv, sok, _ := stor.Get("contended")
+		cv, cerr := tr.Engine().Get("contended")
+		cok := cerr == nil
+		if sok != cok {
+			t.Fatalf("round %d: presence diverged: storage ok=%v cache ok=%v", r, sok, cok)
+		}
+		if sok && !bytes.Equal(sv, cv) {
+			t.Fatalf("round %d: storage %q != cache %q", r, sv, cv)
+		}
+		if sok && string(sv) != string(setVal) && string(sv) != string(batchVal) {
+			t.Fatalf("round %d: storage holds %q, not a value acked this round", r, sv)
+		}
+	}
+}
+
+// TestWTBatchMixedStress hammers one small keyspace with every write-path
+// entry point at once (Set, Delete, BatchPut, BatchDelete, BatchGet) and
+// then checks full cache/storage convergence — the -race workout for the
+// unified queue admission and grouped leader completion.
+func TestWTBatchMixedStress(t *testing.T) {
+	stor := NewMapStorage()
+	tr, err := New(Options{Policy: WriteThrough, Engine: engine.New(engine.Options{}), Storage: stor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	const keyspace = 16
+	key := func(i int) string { return fmt.Sprintf("k%02d", i%keyspace) }
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				switch (g + i) % 5 {
+				case 0:
+					tr.Set(key(i), []byte(fmt.Sprintf("s%d-%d", g, i)))
+				case 1:
+					tr.Delete(key(i))
+				case 2:
+					tr.BatchPut(map[string][]byte{
+						key(i):     []byte(fmt.Sprintf("b%d-%d", g, i)),
+						key(i + 1): []byte("x"),
+						key(i + 7): nil, // batch-embedded delete
+					})
+				case 3:
+					tr.BatchDelete([]string{key(i), key(i + 3)})
+				case 4:
+					tr.BatchGet([]string{key(i), key(i + 1), key(i + 2)})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Quiesced: tiers must agree on every key.
+	for i := 0; i < keyspace; i++ {
+		k := key(i)
+		sv, sok, _ := stor.Get(k)
+		cv, cerr := tr.Engine().Get(k)
+		cok := cerr == nil
+		if sok != cok {
+			t.Fatalf("%s: presence diverged: storage=%v cache=%v", k, sok, cok)
+		}
+		if sok && !bytes.Equal(sv, cv) {
+			t.Fatalf("%s: storage %q != cache %q", k, sv, cv)
+		}
+	}
+}
+
+// TestWBPerStripeBackpressureIsolation: a saturated stripe must block its
+// own writers without blocking writers on other stripes — the striped
+// replacement for the one-big-dirty-set backpressure.
+func TestWBPerStripeBackpressureIsolation(t *testing.T) {
+	stor := NewMapStorage()
+	stor.FailPuts.Store(true) // flushes fail: dirty entries cannot drain
+	eng := engine.New(engine.Options{Shards: 4})
+	tr, err := New(Options{
+		Policy: WriteBack, Engine: eng, Storage: stor,
+		MaxDirty:      8, // per-stripe budget: ceil(8/4) = 2
+		FlushBatch:    4,
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		stor.FailPuts.Store(false) // let Close's final flush succeed
+		tr.Close()
+	}()
+
+	hot := sameStripeKeys(t, eng, "ref", 3)
+	// Saturate hot's stripe (budget 2).
+	for _, k := range hot[:2] {
+		if err := tr.Set(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A writer on the saturated stripe must block...
+	blocked := make(chan error, 1)
+	go func() { blocked <- tr.Set(hot[2], []byte("v")) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("write to saturated stripe did not block (err=%v)", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	// ...while a writer on ANY other stripe proceeds immediately.
+	cold := otherStripeKey(t, eng, hot[0])
+	done := make(chan error, 1)
+	go func() { done <- tr.Set(cold, []byte("v")) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("other-stripe write failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write on an unrelated stripe blocked behind a saturated stripe")
+	}
+	if tr.Stats().BackpressureWaits == 0 {
+		t.Fatal("backpressure wait not counted")
+	}
+
+	// Once storage recovers and the stripe flushes, ONLY then does the
+	// blocked writer complete.
+	stor.FailPuts.Store(false)
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatalf("blocked writer failed after flush: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked writer never released after its stripe drained")
+	}
+}
+
+// TestWBDirtyStripesSumToStats: the per-stripe dirty counts (the INFO
+// writepath payload) must agree with the aggregate.
+func TestWBDirtyStripesSumToStats(t *testing.T) {
+	stor := NewMapStorage()
+	tr := newWB(t, stor, func(o *Options) {
+		o.FlushInterval = time.Hour
+		o.FlushBatch = 1 << 20
+		o.MaxDirty = 1 << 20
+	})
+	for i := 0; i < 64; i++ {
+		tr.Set(fmt.Sprintf("k%02d", i), []byte("v"))
+	}
+	sum := 0
+	for _, n := range tr.DirtyStripes() {
+		sum += n
+	}
+	if st := tr.Stats(); sum != st.Dirty || st.Dirty != 64 {
+		t.Fatalf("stripe sum %d, Stats.Dirty %d, want 64", sum, st.Dirty)
+	}
+	if tr.WriteStripes() != tr.Engine().NumShards() {
+		t.Fatalf("write stripes %d != engine shards %d", tr.WriteStripes(), tr.Engine().NumShards())
+	}
+}
+
+// TestWBBatchPutPerStripeBackpressure: write-back batches must respect
+// stripe budgets too (admitted group by group, not all at once past a
+// full stripe).
+func TestWBBatchPutPerStripeBackpressure(t *testing.T) {
+	stor := NewMapStorage()
+	tr := newWB(t, stor, func(o *Options) {
+		o.MaxDirty = 8
+		o.FlushBatch = 4
+		o.FlushInterval = time.Millisecond
+	})
+	// 200 keys through BatchPut in chunks; backpressure must keep the
+	// dirty set bounded near the stripe budgets rather than ballooning.
+	for i := 0; i < 200; i += 10 {
+		entries := make(map[string][]byte, 10)
+		for j := i; j < i+10; j++ {
+			entries[fmt.Sprintf("k%03d", j)] = []byte("v")
+		}
+		if err := tr.BatchPut(entries); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bound: per-stripe budget ceil(8/16)=1, 16 stripes, plus one
+	// in-flight group of up to 10 per stripe admission. Far below 200.
+	if d := tr.Stats().Dirty; d > 40 {
+		t.Fatalf("batch writes ballooned the dirty set: %d", d)
+	}
+}
+
+// TestWTCoalescingStripesIndependent: coalescing still works per key
+// after striping — two hot keys on different stripes each coalesce their
+// own writers.
+func TestWTCoalescingStripesIndependent(t *testing.T) {
+	stor := NewMapStorage()
+	slow := NewRemote(stor, 2*time.Millisecond)
+	eng := engine.New(engine.Options{})
+	tr, err := New(Options{Policy: WriteThrough, Engine: eng, Storage: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	hotA := "hot-a"
+	hotB := otherStripeKey(t, eng, hotA)
+	var wg sync.WaitGroup
+	const writers = 16
+	for i := 0; i < writers; i++ {
+		for _, k := range []string{hotA, hotB} {
+			wg.Add(1)
+			go func(k string, i int) {
+				defer wg.Done()
+				if err := tr.Set(k, []byte(fmt.Sprintf("v%02d", i))); err != nil {
+					t.Errorf("set: %v", err)
+				}
+			}(k, i)
+		}
+	}
+	wg.Wait()
+	if puts := slow.Stats().Puts; puts >= 2*writers {
+		t.Fatalf("no coalescing across stripes: %d puts for %d writers", puts, 2*writers)
+	}
+	for _, k := range []string{hotA, hotB} {
+		cv, _ := tr.Get(k)
+		sv, _, _ := stor.Get(k)
+		if !bytes.Equal(cv, sv) {
+			t.Fatalf("%s: cache %q != storage %q", k, cv, sv)
+		}
+	}
+}

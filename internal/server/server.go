@@ -340,7 +340,14 @@ func (s *Server) dispatch(args [][]byte) reply {
 		}
 		return simpleReply("OK")
 	case "INFO":
-		return bulkReply([]byte(s.info()))
+		if len(args) > 2 {
+			return errReply("wrong number of arguments for 'info'")
+		}
+		section := ""
+		if len(args) == 2 {
+			section = strings.ToLower(string(args[1]))
+		}
+		return bulkReply([]byte(s.info(section)))
 	case "MGET":
 		if len(args) < 2 {
 			return errReply("wrong number of arguments for 'mget'")
@@ -370,21 +377,74 @@ func (s *Server) dispatch(args [][]byte) reply {
 	return rep
 }
 
-func (s *Server) info() string {
+// info renders INFO output. section filters to one section ("server",
+// "writepath"); empty renders everything.
+func (s *Server) info(section string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "# Server\r\nshards:%d\r\n", len(s.shards))
-	var keys int
-	var mem int64
-	for i, sh := range s.shards {
-		st := sh.eng.Stats()
-		keys += st.Keys
-		mem += st.MemBytes
-		fmt.Fprintf(&b, "shard%d_workers:%d\r\nshard%d_mode:%s\r\n",
-			i, sh.pool.Workers(), i, sh.pool.Mode())
+	if section == "" || section == "server" {
+		fmt.Fprintf(&b, "# Server\r\nshards:%d\r\n", len(s.shards))
+		var keys int
+		var mem int64
+		for i, sh := range s.shards {
+			st := sh.eng.Stats()
+			keys += st.Keys
+			mem += st.MemBytes
+			fmt.Fprintf(&b, "shard%d_workers:%d\r\nshard%d_mode:%s\r\n",
+				i, sh.pool.Workers(), i, sh.pool.Mode())
+		}
+		fmt.Fprintf(&b, "keys:%d\r\nmem_bytes:%d\r\n", keys, mem)
+		fmt.Fprintf(&b, "p99_ns:%d\r\n", s.Latency.P99())
 	}
-	fmt.Fprintf(&b, "keys:%d\r\nmem_bytes:%d\r\n", keys, mem)
-	fmt.Fprintf(&b, "p99_ns:%d\r\n", s.Latency.P99())
+	if section == "" || section == "writepath" {
+		s.writePathInfo(&b)
+	}
 	return b.String()
+}
+
+// writePathInfo renders the write-path section: aggregate write-through
+// coalescing and write-back flush/backpressure counters, plus each
+// shard's per-stripe dirty distribution (the write path stripes along
+// the engine's lock stripes).
+func (s *Server) writePathInfo(b *strings.Builder) {
+	fmt.Fprintf(b, "# WritePath\r\n")
+	var coalesced, rounds, flushed, waits int64
+	var dirty, stripes int
+	tiered := 0
+	for _, sh := range s.shards {
+		if sh.tiered == nil {
+			continue
+		}
+		tiered++
+		st := sh.tiered.Stats()
+		coalesced += st.Coalesced
+		rounds += st.Batches
+		flushed += st.Flushed
+		waits += st.BackpressureWaits
+		dirty += st.Dirty
+		stripes += sh.tiered.WriteStripes()
+	}
+	fmt.Fprintf(b, "tiered_shards:%d\r\n", tiered)
+	if tiered == 0 {
+		return // cache-only deployment: no write path to report
+	}
+	fmt.Fprintf(b, "write_stripes:%d\r\n", stripes)
+	fmt.Fprintf(b, "coalesced_writes:%d\r\n", coalesced)
+	fmt.Fprintf(b, "flush_rounds:%d\r\n", rounds)
+	fmt.Fprintf(b, "flushed_entries:%d\r\n", flushed)
+	fmt.Fprintf(b, "backpressure_waits:%d\r\n", waits)
+	fmt.Fprintf(b, "dirty_entries:%d\r\n", dirty)
+	for i, sh := range s.shards {
+		if sh.tiered == nil {
+			continue
+		}
+		fmt.Fprintf(b, "shard%d_policy:%s\r\n", i, sh.tiered.Policy())
+		ds := sh.tiered.DirtyStripes()
+		parts := make([]string, len(ds))
+		for j, n := range ds {
+			parts[j] = strconv.Itoa(n)
+		}
+		fmt.Fprintf(b, "shard%d_dirty_stripes:%s\r\n", i, strings.Join(parts, ","))
+	}
 }
 
 // Shards exposes shard engines for measurement (benches).

@@ -587,3 +587,58 @@ func TestEmptyValueColdReadRESP(t *testing.T) {
 		t.Fatalf("cold MGET: %#v", vals)
 	}
 }
+
+// TestInfoWritePathSection: INFO exposes the write-path section (striped
+// write-through/write-back counters) and supports section filtering.
+func TestInfoWritePathSection(t *testing.T) {
+	stor := cache.NewMapStorage()
+	opts := Options{
+		Shards: 2,
+		TieredFactory: func(eng *engine.Engine) (*cache.Tiered, error) {
+			return cache.New(cache.Options{Policy: cache.WriteBack, Engine: eng, Storage: stor})
+		},
+	}
+	_, c := startTestServer(t, opts)
+	for i := 0; i < 8; i++ {
+		if err := c.Set(fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := c.Do("INFO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# Server", "# WritePath", "tiered_shards:2",
+		"write_stripes:", "coalesced_writes:", "flush_rounds:",
+		"backpressure_waits:", "dirty_entries:",
+		"shard0_policy:write-back", "shard0_dirty_stripes:", "shard1_dirty_stripes:"} {
+		if !strings.Contains(full.(string), want) {
+			t.Fatalf("INFO missing %q in:\n%s", want, full)
+		}
+	}
+	// Section filter: only the requested section renders.
+	wp, err := c.Do("INFO", "writepath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(wp.(string), "# WritePath") || strings.Contains(wp.(string), "# Server") {
+		t.Fatalf("INFO writepath filtering broken:\n%s", wp)
+	}
+	srv, err := c.Do("INFO", "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(srv.(string), "# Server") || strings.Contains(srv.(string), "# WritePath") {
+		t.Fatalf("INFO server filtering broken:\n%s", srv)
+	}
+}
+
+// TestInfoWritePathCacheOnly: without a tiered backend the section still
+// renders (tiered_shards:0) instead of erroring.
+func TestInfoWritePathCacheOnly(t *testing.T) {
+	_, c := startTestServer(t, Options{})
+	wp, err := c.Do("INFO", "writepath")
+	if err != nil || !strings.Contains(wp.(string), "tiered_shards:0") {
+		t.Fatalf("cache-only writepath: %v %v", wp, err)
+	}
+}

@@ -345,8 +345,11 @@ type Stats struct {
 	Misses           int64
 	MissRatio        float64
 	DirtyEntries     int
-	Workers          int
-	CompressionRatio float64 // observed compressed/raw (1 = none)
+	// BackpressureWaits counts write-back writers that blocked because
+	// their write-path stripe's dirty budget was full.
+	BackpressureWaits int64
+	Workers           int
+	CompressionRatio  float64 // observed compressed/raw (1 = none)
 }
 
 // Stats returns a snapshot.
@@ -354,15 +357,16 @@ func (s *Store) Stats() Stats {
 	est := s.eng.Stats()
 	cst := s.tiered.Stats()
 	st := Stats{
-		Keys:          est.Keys,
-		CacheMemBytes: est.MemBytes,
-		PMemBytes:     est.PMemUsed,
-		Requests:      cst.Requests,
-		Hits:          cst.Hits,
-		Misses:        cst.Misses,
-		MissRatio:     s.tiered.MissRatio(),
-		DirtyEntries:  cst.Dirty,
-		Workers:       s.pool.Workers(),
+		Keys:              est.Keys,
+		CacheMemBytes:     est.MemBytes,
+		PMemBytes:         est.PMemUsed,
+		Requests:          cst.Requests,
+		Hits:              cst.Hits,
+		Misses:            cst.Misses,
+		MissRatio:         s.tiered.MissRatio(),
+		DirtyEntries:      cst.Dirty,
+		BackpressureWaits: cst.BackpressureWaits,
+		Workers:           s.pool.Workers(),
 	}
 	for _, r := range s.reps {
 		st.CacheMemBytes += r.MemUsed()
