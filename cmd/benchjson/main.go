@@ -28,6 +28,9 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	// Extra collects custom b.ReportMetric units (e.g. the client mux
+	// benchmarks' "flushes/op", "reqs/flush"), keyed by unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -90,6 +93,16 @@ func parseLine(line string) (result, bool) {
 		case "allocs/op":
 			n := int64(v)
 			r.AllocsPerOp = &n
+		default:
+			// Custom b.ReportMetric units and b.SetBytes throughput are
+			// always rates ("flushes/op", "reqs/flush", "MB/s"); anything
+			// without a slash is not a metric unit and is skipped.
+			if strings.Contains(fields[i+1], "/") {
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[fields[i+1]] = v
+			}
 		}
 	}
 	return r, seenNs

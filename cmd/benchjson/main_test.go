@@ -1,0 +1,67 @@
+package main
+
+import "testing"
+
+func TestParseLineBasic(t *testing.T) {
+	r, ok := parseLine("BenchmarkTieredBatchGet-8   68431   17450 ns/op   2912 B/op   34 allocs/op")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if r.Name != "BenchmarkTieredBatchGet" || r.CPUs != 8 {
+		t.Fatalf("name/cpus: %q %d", r.Name, r.CPUs)
+	}
+	if r.Iterations != 68431 || r.NsPerOp != 17450 {
+		t.Fatalf("iters/ns: %d %f", r.Iterations, r.NsPerOp)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 2912 {
+		t.Fatalf("B/op: %v", r.BytesPerOp)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 34 {
+		t.Fatalf("allocs/op: %v", r.AllocsPerOp)
+	}
+	if len(r.Extra) != 0 {
+		t.Fatalf("unexpected extra: %v", r.Extra)
+	}
+}
+
+func TestParseLineCustomMetrics(t *testing.T) {
+	// The client mux benchmarks report drain-window shape via
+	// b.ReportMetric; those custom units must land in Extra.
+	r, ok := parseLine("BenchmarkMuxGet64GoroutinesRTT1ms-8   6378   37648 ns/op   23.98 reqs/flush   0.035 flushes/op")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if r.NsPerOp != 37648 {
+		t.Fatalf("ns/op: %f", r.NsPerOp)
+	}
+	if got := r.Extra["reqs/flush"]; got != 23.98 {
+		t.Fatalf("reqs/flush: %v (extra=%v)", got, r.Extra)
+	}
+	if got := r.Extra["flushes/op"]; got != 0.035 {
+		t.Fatalf("flushes/op: %v", got)
+	}
+}
+
+func TestParseLineSkipsNonBenchLines(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \ttierbase/internal/client\t1.9s",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"BenchmarkNoNs-8 100 12 somethingelse",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("line %q should not parse", line)
+		}
+	}
+}
+
+func TestParseLineNoCPUSuffix(t *testing.T) {
+	r, ok := parseLine("BenchmarkPlain 100 250 ns/op")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if r.Name != "BenchmarkPlain" || r.CPUs != 1 {
+		t.Fatalf("name/cpus: %q %d", r.Name, r.CPUs)
+	}
+}

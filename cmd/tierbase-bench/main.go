@@ -2,21 +2,32 @@
 // figures (§6). Each experiment prints the same rows/series the paper
 // reports; see EXPERIMENTS.md for the paper-vs-measured record.
 //
+// With -addr it instead becomes a networked load generator: it drives a
+// live tierbase-server over RESP through the multiplexed client and
+// reports throughput plus latency percentiles, so client-tier wins are
+// measurable outside `go test -bench`.
+//
 // Usage:
 //
 //	tierbase-bench -list
 //	tierbase-bench -experiment fig10
 //	tierbase-bench -experiment all -scale 2.0
+//	tierbase-bench -addr 127.0.0.1:6380 -clients 64 -conns 1 -ops 200000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tierbase/internal/bench"
+	"tierbase/internal/client"
+	"tierbase/internal/metrics"
 )
 
 func main() {
@@ -25,12 +36,31 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "workload scale multiplier")
 		dir        = flag.String("dir", "", "scratch directory (default: temp)")
 		list       = flag.Bool("list", false, "list experiments and exit")
+
+		// Networked-mode flags (active when -addr is set).
+		addr     = flag.String("addr", "", "drive a live RESP server at this address instead of running experiments")
+		clients  = flag.Int("clients", 64, "networked: concurrent caller goroutines")
+		conns    = flag.Int("conns", 1, "networked: multiplexed connections shared round-robin by the callers")
+		ops      = flag.Int("ops", 100000, "networked: total operations")
+		readPct  = flag.Int("readpct", 90, "networked: percentage of reads (rest are writes)")
+		keyspace = flag.Int("keyspace", 10000, "networked: distinct keys (prefilled)")
+		valSize  = flag.Int("valsize", 64, "networked: value size in bytes")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.Registry() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *addr != "" {
+		if err := runNetBench(netOpts{
+			addr: *addr, clients: *clients, conns: *conns, ops: *ops,
+			readPct: *readPct, keyspace: *keyspace, valSize: *valSize,
+		}); err != nil {
+			log.Fatalf("tierbase-bench: %v", err)
 		}
 		return
 	}
@@ -68,4 +98,128 @@ func main() {
 		log.Fatalf("tierbase-bench: unknown experiment %q (use -list)", *experiment)
 	}
 	run(e)
+}
+
+// --- networked load mode ---
+
+type netOpts struct {
+	addr     string
+	clients  int
+	conns    int
+	ops      int
+	readPct  int
+	keyspace int
+	valSize  int
+}
+
+// runNetBench drives a live server: N caller goroutines share M
+// multiplexed connections round-robin, every per-op latency lands in one
+// metrics histogram, and the mux counters show how far the drain windows
+// amortized the round trips.
+func runNetBench(o netOpts) error {
+	if o.clients < 1 || o.conns < 1 || o.ops < 1 || o.keyspace < 1 {
+		return fmt.Errorf("clients, conns, ops and keyspace must be positive")
+	}
+	muxes := make([]*client.Client, o.conns)
+	for i := range muxes {
+		c, err := client.Dial(o.addr)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		muxes[i] = c
+	}
+	if err := muxes[0].Ping(); err != nil {
+		return err
+	}
+	fmt.Printf("networked bench: addr=%s clients=%d conns=%d ops=%d read%%=%d keyspace=%d valsize=%d\n",
+		o.addr, o.clients, o.conns, o.ops, o.readPct, o.keyspace, o.valSize)
+
+	key := func(i int) string { return fmt.Sprintf("netbench:%08d", i) }
+	value := make([]byte, o.valSize)
+	for i := range value {
+		value[i] = 'a' + byte(i%26)
+	}
+	val := string(value)
+
+	// Prefill so reads always hit, in chunked MSETs.
+	prefillStart := time.Now()
+	const chunk = 512
+	for lo := 0; lo < o.keyspace; lo += chunk {
+		hi := lo + chunk
+		if hi > o.keyspace {
+			hi = o.keyspace
+		}
+		pairs := make(map[string]string, hi-lo)
+		for i := lo; i < hi; i++ {
+			pairs[key(i)] = val
+		}
+		if err := muxes[lo/chunk%o.conns].MSet(pairs); err != nil {
+			return fmt.Errorf("prefill: %w", err)
+		}
+	}
+	fmt.Printf("prefill: %d keys in %s\n", o.keyspace, time.Since(prefillStart).Round(time.Millisecond))
+
+	hist := metrics.NewHistogram()
+	var opErrs atomic.Int64
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < o.clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)*7919 + 1))
+			c := muxes[g%o.conns]
+			for {
+				if int(cursor.Add(1)) > o.ops {
+					return
+				}
+				k := key(rng.Intn(o.keyspace))
+				opStart := time.Now()
+				var err error
+				if rng.Intn(100) < o.readPct {
+					_, err = c.Get(k)
+				} else {
+					err = c.Set(k, val)
+				}
+				if err != nil {
+					// Failed ops (e.g. fast-fails on a sticky-broken
+					// connection) must not pollute the latency
+					// distribution or count as served throughput.
+					opErrs.Add(1)
+					continue
+				}
+				hist.RecordDuration(time.Since(opStart))
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := hist.Snapshot()
+	okOps := o.ops - int(opErrs.Load())
+	fmt.Printf("throughput: %.0f ops/s (%d ok / %d failed in %s)\n",
+		float64(okOps)/elapsed.Seconds(), okOps, opErrs.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("latency: %s p90=%s p999=%s\n",
+		snap.String(), time.Duration(snap.P90), time.Duration(snap.P999))
+	var agg client.MuxStats
+	for _, c := range muxes {
+		st := c.Stats()
+		agg.Requests += st.Requests
+		agg.WireCommands += st.WireCommands
+		agg.Flushes += st.Flushes
+		agg.CoalescedGets += st.CoalescedGets
+		agg.CoalescedSets += st.CoalescedSets
+	}
+	window := 0.0
+	if agg.Flushes > 0 {
+		window = float64(agg.Requests) / float64(agg.Flushes)
+	}
+	fmt.Printf("mux: requests=%d wire_cmds=%d flushes=%d coalesced_gets=%d coalesced_sets=%d avg_window=%.1f\n",
+		agg.Requests, agg.WireCommands, agg.Flushes, agg.CoalescedGets, agg.CoalescedSets, window)
+	if n := opErrs.Load(); n > 0 {
+		return fmt.Errorf("%d operations failed", n)
+	}
+	return nil
 }

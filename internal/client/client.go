@@ -1,30 +1,24 @@
 // Package client is the Go client for TierBase's RESP protocol (the
-// client tier of paper §3). It speaks RESP2 over TCP, supports pipelining,
-// and offers typed helpers over the raw Do interface. A routed variant
-// consults a cluster routing table to reach the right shard process.
+// client tier of paper §3). It speaks RESP2 over TCP through a
+// multiplexed connection core: any number of goroutines share one
+// connection, concurrent requests drain to the wire in one buffered
+// write + flush per window, and same-window single-key GETs/SETs
+// auto-coalesce into MGET/MSET — the paper's access-path batching moved
+// client-side. Typed helpers sit over the raw Do interface, and a routed
+// variant consults a cluster routing table to reach the right shard
+// process with one multiplexed connection per node. See README.md for
+// the mux architecture and error model.
 package client
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"net"
-	"strconv"
-	"sync"
 	"time"
 )
 
 // Nil is returned for absent keys (RESP nil bulk).
 var Nil = errors.New("client: nil reply")
-
-// Client is a single-connection RESP client; safe for concurrent use
-// (requests serialize on the connection).
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-}
 
 // Dial connects to a TierBase (or Redis) server.
 func Dial(addr string) (*Client, error) {
@@ -32,134 +26,53 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	return &Client{
-		conn: conn,
-		r:    bufio.NewReaderSize(conn, 16<<10),
-		w:    bufio.NewWriterSize(conn, 16<<10),
-	}, nil
+	return newClient(conn), nil
 }
 
-// Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close releases the connection. In-flight calls fail with ErrClosed
+// rather than waiting on replies that may never come.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	return c.closeErr
+}
 
-// Do sends one command and reads its reply.
+// Do sends one command and reads its reply. Do never coalesces: the
+// command ships verbatim (sharing the drain window's flush), so raw
+// single-command semantics — including error replies like WRONGTYPE —
+// are exactly the server's.
 // Reply types: string (simple/bulk), int64, []interface{}, Nil error.
 func (c *Client) Do(args ...string) (interface{}, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.writeCommand(args); err != nil {
+	return c.doKind(kindOther, args)
+}
+
+func (c *Client) doKind(kind callKind, args []string) (interface{}, error) {
+	cl := newCall(kind, [][]string{args})
+	if err := c.enqueue(cl); err != nil {
 		return nil, err
 	}
-	if err := c.w.Flush(); err != nil {
-		return nil, err
-	}
-	return c.readReply()
+	<-cl.done
+	return cl.replies[0], cl.errs[0]
 }
 
 // Pipeline sends multiple commands in one round trip and returns their
-// replies in order.
+// replies in order. The commands ship verbatim back to back (no
+// coalescing inside a pipeline), sharing the drain window — and hence
+// the flush — with whatever else is in flight.
 func (c *Client) Pipeline(cmds [][]string) ([]interface{}, []error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	outs := make([]interface{}, len(cmds))
-	errs := make([]error, len(cmds))
-	for _, cmd := range cmds {
-		if err := c.writeCommand(cmd); err != nil {
-			for i := range errs {
-				errs[i] = err
-			}
-			return outs, errs
-		}
+	if len(cmds) == 0 {
+		return []interface{}{}, []error{}
 	}
-	if err := c.w.Flush(); err != nil {
+	cl := newCall(kindOther, cmds)
+	if err := c.enqueue(cl); err != nil {
+		outs := make([]interface{}, len(cmds))
+		errs := make([]error, len(cmds))
 		for i := range errs {
 			errs[i] = err
 		}
 		return outs, errs
 	}
-	for i := range cmds {
-		outs[i], errs[i] = c.readReply()
-	}
-	return outs, errs
-}
-
-func (c *Client) writeCommand(args []string) error {
-	if _, err := fmt.Fprintf(c.w, "*%d\r\n", len(args)); err != nil {
-		return err
-	}
-	for _, a := range args {
-		if _, err := fmt.Fprintf(c.w, "$%d\r\n%s\r\n", len(a), a); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (c *Client) readReply() (interface{}, error) {
-	line, err := c.r.ReadBytes('\n')
-	if err != nil {
-		return nil, err
-	}
-	if len(line) < 3 {
-		return nil, errors.New("client: malformed reply")
-	}
-	body := string(line[1 : len(line)-2])
-	switch line[0] {
-	case '+':
-		return body, nil
-	case '-':
-		return nil, errors.New(body)
-	case ':':
-		return strconv.ParseInt(body, 10, 64)
-	case '$':
-		n, err := strconv.Atoi(body)
-		if err != nil {
-			return nil, err
-		}
-		if n < 0 {
-			return nil, Nil
-		}
-		buf := make([]byte, n+2)
-		if _, err := readFull(c.r, buf); err != nil {
-			return nil, err
-		}
-		return string(buf[:n]), nil
-	case '*':
-		n, err := strconv.Atoi(body)
-		if err != nil {
-			return nil, err
-		}
-		if n < 0 {
-			return nil, Nil
-		}
-		out := make([]interface{}, n)
-		for i := 0; i < n; i++ {
-			v, err := c.readReply()
-			if err != nil && err != Nil {
-				return nil, err
-			}
-			if err == Nil {
-				out[i] = nil
-			} else {
-				out[i] = v
-			}
-		}
-		return out, nil
-	default:
-		return nil, fmt.Errorf("client: unknown reply type %q", line[0])
-	}
-}
-
-func readFull(r *bufio.Reader, buf []byte) (int, error) {
-	total := 0
-	for total < len(buf) {
-		n, err := r.Read(buf[total:])
-		total += n
-		if err != nil {
-			return total, err
-		}
-	}
-	return total, nil
+	<-cl.done
+	return cl.replies, cl.errs
 }
 
 // --- typed helpers ---
@@ -176,15 +89,21 @@ func (c *Client) Ping() error {
 	return nil
 }
 
-// Set stores key=val.
+// Set stores key=val. Concurrent Sets sharing a drain window coalesce
+// into one MSET (reply semantics are identical either way).
 func (c *Client) Set(key, val string) error {
-	_, err := c.Do("SET", key, val)
+	_, err := c.doKind(kindSet, []string{"SET", key, val})
 	return err
 }
 
-// Get fetches key (Nil if absent).
+// Get fetches key (Nil if absent). Gets always ride the drain window's
+// MGET — one key alone or many coalesced — so their semantics are
+// MGET's in every window shape: like Redis, a key holding a non-string
+// value reads as absent (Nil) rather than a WRONGTYPE error, and never
+// differently depending on unrelated concurrent traffic. Use
+// Do("GET", key) for strict single-command semantics.
 func (c *Client) Get(key string) (string, error) {
-	v, err := c.Do("GET", key)
+	v, err := c.doKind(kindGet, []string{"GET", key})
 	if err != nil {
 		return "", err
 	}
@@ -278,215 +197,4 @@ func (c *Client) CAS(key, oldVal, newVal string) (bool, error) {
 		return false, err
 	}
 	return v.(int64) == 1, nil
-}
-
-// --- routed client ---
-
-// Router resolves a key to a server address (cluster.RoutingTable fits).
-type Router interface {
-	AddrFor(key string) string
-}
-
-// Routed is a cluster-aware client: one connection per node, commands
-// routed by key. It mirrors "TierBase clients ... retrieve cluster routing
-// information from the coordinator cluster for direct data access".
-type Routed struct {
-	router Router
-	mu     sync.Mutex
-	conns  map[string]*Client
-}
-
-// NewRouted builds a routed client over a Router.
-func NewRouted(router Router) *Routed {
-	return &Routed{router: router, conns: make(map[string]*Client)}
-}
-
-func (rc *Routed) clientFor(key string) (*Client, error) {
-	addr := rc.router.AddrFor(key)
-	if addr == "" {
-		return nil, errors.New("client: no node for key")
-	}
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	if c, ok := rc.conns[addr]; ok {
-		return c, nil
-	}
-	c, err := Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	rc.conns[addr] = c
-	return c, nil
-}
-
-// Set routes a SET by key.
-func (rc *Routed) Set(key, val string) error {
-	c, err := rc.clientFor(key)
-	if err != nil {
-		return err
-	}
-	return c.Set(key, val)
-}
-
-// Get routes a GET by key.
-func (rc *Routed) Get(key string) (string, error) {
-	c, err := rc.clientFor(key)
-	if err != nil {
-		return "", err
-	}
-	return c.Get(key)
-}
-
-// batchRouter is the optional fast path a Router can provide for grouping
-// a whole batch in one call (cluster.RoutingTable implements it).
-type batchRouter interface {
-	GroupKeysByAddr(keys []string) map[string][]string
-}
-
-// groupByAddr buckets keys by owning node address.
-func (rc *Routed) groupByAddr(keys []string) map[string][]string {
-	if br, ok := rc.router.(batchRouter); ok {
-		return br.GroupKeysByAddr(keys)
-	}
-	groups := make(map[string][]string)
-	for _, k := range keys {
-		addr := rc.router.AddrFor(k)
-		groups[addr] = append(groups[addr], k)
-	}
-	return groups
-}
-
-// MGet fetches many keys across the cluster: keys group by owning node,
-// each node receives one MGET, and the node round trips run in parallel.
-// Absent keys are omitted from the result.
-func (rc *Routed) MGet(keys ...string) (map[string]string, error) {
-	groups := rc.groupByAddr(keys)
-	// Validate routing before spawning anything: returning mid-iteration
-	// would orphan per-node goroutines already in flight.
-	if _, hole := groups[""]; hole {
-		return nil, errors.New("client: no node for key")
-	}
-	out := make(map[string]string, len(keys))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var firstErr error
-	for addr, nodeKeys := range groups {
-		wg.Add(1)
-		go func(addr string, nodeKeys []string) {
-			defer wg.Done()
-			c, err := rc.clientFor(nodeKeys[0])
-			var got map[string]string
-			if err == nil {
-				got, err = c.MGet(nodeKeys...)
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			for k, v := range got {
-				out[k] = v
-			}
-		}(addr, nodeKeys)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
-}
-
-// MSet stores many pairs across the cluster: pairs group by owning node,
-// one MSET per node, node round trips in parallel.
-func (rc *Routed) MSet(pairs map[string]string) error {
-	keys := make([]string, 0, len(pairs))
-	for k := range pairs {
-		keys = append(keys, k)
-	}
-	groups := rc.groupByAddr(keys)
-	if _, hole := groups[""]; hole {
-		return errors.New("client: no node for key")
-	}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var firstErr error
-	for addr, nodeKeys := range groups {
-		wg.Add(1)
-		go func(addr string, nodeKeys []string) {
-			defer wg.Done()
-			sub := make(map[string]string, len(nodeKeys))
-			for _, k := range nodeKeys {
-				sub[k] = pairs[k]
-			}
-			c, err := rc.clientFor(nodeKeys[0])
-			if err == nil {
-				err = c.MSet(sub)
-			}
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(addr, nodeKeys)
-	}
-	wg.Wait()
-	return firstErr
-}
-
-// Del removes keys across the cluster: keys group by owning node, each
-// node receives one DEL, node round trips run in parallel, and the
-// deleted counts sum.
-func (rc *Routed) Del(keys ...string) (int64, error) {
-	groups := rc.groupByAddr(keys)
-	if _, hole := groups[""]; hole {
-		return 0, errors.New("client: no node for key")
-	}
-	var total int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var firstErr error
-	for _, nodeKeys := range groups {
-		wg.Add(1)
-		go func(nodeKeys []string) {
-			defer wg.Done()
-			c, err := rc.clientFor(nodeKeys[0])
-			var n int64
-			if err == nil {
-				n, err = c.Del(nodeKeys...)
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			total += n
-		}(nodeKeys)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return 0, firstErr
-	}
-	return total, nil
-}
-
-// Close closes all node connections.
-func (rc *Routed) Close() error {
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	var first error
-	for _, c := range rc.conns {
-		if err := c.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	rc.conns = map[string]*Client{}
-	return first
 }

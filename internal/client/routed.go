@@ -1,0 +1,285 @@
+package client
+
+import (
+	"errors"
+	"sync"
+)
+
+// Router resolves a key to a server address (cluster.RoutingTable fits).
+type Router interface {
+	AddrFor(key string) string
+}
+
+// Routed is a cluster-aware client: one multiplexed connection per node,
+// commands routed by key. It mirrors "TierBase clients ... retrieve
+// cluster routing information from the coordinator cluster for direct
+// data access". Every caller routing to the same node shares that node's
+// mux, so concurrent single-key traffic coalesces per node exactly as it
+// does on a plain Client. Dials happen outside the routing lock with
+// per-address singleflight: while one node is unreachable, only callers
+// of that node wait on the dial — routing to healthy nodes never blocks.
+type Routed struct {
+	router Router
+	mu     sync.Mutex
+	conns  map[string]*Client
+	dials  map[string]*dialFlight
+	closed bool
+}
+
+// dialFlight is the per-address singleflight state: the first caller
+// needing an address dials with rc.mu released; later callers of the
+// same address wait on done and share the outcome.
+type dialFlight struct {
+	done chan struct{}
+	c    *Client
+	err  error
+}
+
+// NewRouted builds a routed client over a Router.
+func NewRouted(router Router) *Routed {
+	return &Routed{
+		router: router,
+		conns:  make(map[string]*Client),
+		dials:  make(map[string]*dialFlight),
+	}
+}
+
+func (rc *Routed) clientFor(key string) (*Client, error) {
+	addr := rc.router.AddrFor(key)
+	if addr == "" {
+		return nil, errors.New("client: no node for key")
+	}
+	return rc.clientForAddr(addr)
+}
+
+// clientForAddr returns the live mux for addr, dialing if needed. A
+// cached client whose connection went sticky-broken is dropped and
+// redialed, so one failed node round trip doesn't poison the address
+// forever. Dial errors are not cached: each new round of callers retries.
+func (rc *Routed) clientForAddr(addr string) (*Client, error) {
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := rc.conns[addr]; ok {
+		if c.Err() == nil {
+			rc.mu.Unlock()
+			return c, nil
+		}
+		delete(rc.conns, addr) // broken: fall through to redial
+	}
+	if d, ok := rc.dials[addr]; ok {
+		rc.mu.Unlock()
+		<-d.done
+		return d.c, d.err
+	}
+	d := &dialFlight{done: make(chan struct{})}
+	rc.dials[addr] = d
+	rc.mu.Unlock()
+
+	c, err := Dial(addr)
+	rc.mu.Lock()
+	delete(rc.dials, addr)
+	closedUnderUs := rc.closed
+	if err == nil && !closedUnderUs {
+		rc.conns[addr] = c
+	}
+	rc.mu.Unlock()
+	if err == nil && closedUnderUs {
+		c.Close()
+		c, err = nil, ErrClosed
+	}
+	d.c, d.err = c, err
+	close(d.done)
+	return c, err
+}
+
+// Set routes a SET by key.
+func (rc *Routed) Set(key, val string) error {
+	c, err := rc.clientFor(key)
+	if err != nil {
+		return err
+	}
+	return c.Set(key, val)
+}
+
+// Get routes a GET by key.
+func (rc *Routed) Get(key string) (string, error) {
+	c, err := rc.clientFor(key)
+	if err != nil {
+		return "", err
+	}
+	return c.Get(key)
+}
+
+// batchRouter is the optional fast path a Router can provide for grouping
+// a whole batch in one call (cluster.RoutingTable implements it).
+type batchRouter interface {
+	GroupKeysByAddr(keys []string) map[string][]string
+}
+
+// pairRouter is the write-side twin: grouping key/value pairs by node in
+// one call (cluster.RoutingTable implements it).
+type pairRouter interface {
+	GroupPairsByAddr(pairs map[string]string) map[string]map[string]string
+}
+
+// groupByAddr buckets keys by owning node address.
+func (rc *Routed) groupByAddr(keys []string) map[string][]string {
+	if br, ok := rc.router.(batchRouter); ok {
+		return br.GroupKeysByAddr(keys)
+	}
+	groups := make(map[string][]string)
+	for _, k := range keys {
+		addr := rc.router.AddrFor(k)
+		groups[addr] = append(groups[addr], k)
+	}
+	return groups
+}
+
+// MGet fetches many keys across the cluster: keys group by owning node,
+// each node receives one MGET, and the node round trips run in parallel.
+// Absent keys are omitted from the result.
+func (rc *Routed) MGet(keys ...string) (map[string]string, error) {
+	groups := rc.groupByAddr(keys)
+	// Validate routing before spawning anything: returning mid-iteration
+	// would orphan per-node goroutines already in flight.
+	if _, hole := groups[""]; hole {
+		return nil, errors.New("client: no node for key")
+	}
+	out := make(map[string]string, len(keys))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for addr, nodeKeys := range groups {
+		wg.Add(1)
+		go func(addr string, nodeKeys []string) {
+			defer wg.Done()
+			c, err := rc.clientForAddr(addr)
+			var got map[string]string
+			if err == nil {
+				got, err = c.MGet(nodeKeys...)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			for k, v := range got {
+				out[k] = v
+			}
+		}(addr, nodeKeys)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// MSet stores many pairs across the cluster: pairs group by owning node,
+// one MSET per node, node round trips in parallel.
+func (rc *Routed) MSet(pairs map[string]string) error {
+	var groups map[string]map[string]string
+	if pr, ok := rc.router.(pairRouter); ok {
+		groups = pr.GroupPairsByAddr(pairs)
+	} else {
+		keys := make([]string, 0, len(pairs))
+		for k := range pairs {
+			keys = append(keys, k)
+		}
+		groups = make(map[string]map[string]string)
+		for addr, nodeKeys := range rc.groupByAddr(keys) {
+			sub := make(map[string]string, len(nodeKeys))
+			for _, k := range nodeKeys {
+				sub[k] = pairs[k]
+			}
+			groups[addr] = sub
+		}
+	}
+	if _, hole := groups[""]; hole {
+		return errors.New("client: no node for key")
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for addr, sub := range groups {
+		wg.Add(1)
+		go func(addr string, sub map[string]string) {
+			defer wg.Done()
+			c, err := rc.clientForAddr(addr)
+			if err == nil {
+				err = c.MSet(sub)
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(addr, sub)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Del removes keys across the cluster: keys group by owning node, each
+// node receives one DEL, node round trips run in parallel, and the
+// deleted counts sum.
+func (rc *Routed) Del(keys ...string) (int64, error) {
+	groups := rc.groupByAddr(keys)
+	if _, hole := groups[""]; hole {
+		return 0, errors.New("client: no node for key")
+	}
+	var total int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for addr, nodeKeys := range groups {
+		wg.Add(1)
+		go func(addr string, nodeKeys []string) {
+			defer wg.Done()
+			c, err := rc.clientForAddr(addr)
+			var n int64
+			if err == nil {
+				n, err = c.Del(nodeKeys...)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			total += n
+		}(addr, nodeKeys)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return total, nil
+}
+
+// Close closes all node connections. Dials still in flight complete and
+// are closed on arrival; callers waiting on them get ErrClosed.
+func (rc *Routed) Close() error {
+	rc.mu.Lock()
+	rc.closed = true
+	conns := rc.conns
+	rc.conns = map[string]*Client{}
+	rc.mu.Unlock()
+	var first error
+	for _, c := range conns {
+		if err := c.Close(); err != nil && err != ErrClosed && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -78,6 +78,25 @@ func (rt *RoutingTable) GroupKeysByAddr(keys []string) map[string][]string {
 	return groups
 }
 
+// GroupPairsByAddr buckets key/value pairs by the address of the master
+// serving them — the write-side twin of GroupKeysByAddr, so a routed
+// MSET splits into one physical MSET per node without an intermediate
+// key pass. Pairs with no owning node group under the empty address so
+// callers can surface the routing hole.
+func (rt *RoutingTable) GroupPairsByAddr(pairs map[string]string) map[string]map[string]string {
+	groups := make(map[string]map[string]string)
+	for k, v := range pairs {
+		addr := rt.AddrFor(k)
+		sub := groups[addr]
+		if sub == nil {
+			sub = make(map[string]string)
+			groups[addr] = sub
+		}
+		sub[k] = v
+	}
+	return groups
+}
+
 // Coordinator tracks membership and owns the routing table.
 type Coordinator struct {
 	mu    sync.Mutex

@@ -260,3 +260,42 @@ func TestGroupKeysByAddr(t *testing.T) {
 		t.Fatalf("routing hole grouping: %v", g)
 	}
 }
+
+func TestGroupPairsByAddr(t *testing.T) {
+	c := NewCoordinator()
+	c.Register(Node{ID: "n1", Addr: "addr1", Role: RoleMaster})
+	c.Register(Node{ID: "n2", Addr: "addr2", Role: RoleMaster})
+	table := c.Table()
+
+	pairs := make(map[string]string, 200)
+	for i := 0; i < 200; i++ {
+		pairs[fmt.Sprintf("key%04d", i)] = fmt.Sprintf("val%04d", i)
+	}
+	groups := table.GroupPairsByAddr(pairs)
+	if len(groups) != 2 {
+		t.Fatalf("grouped into %d addrs, want 2", len(groups))
+	}
+	total := 0
+	for addr, sub := range groups {
+		total += len(sub)
+		// Every pair groups under the address AddrFor reports, value intact.
+		for k, v := range sub {
+			if table.AddrFor(k) != addr {
+				t.Fatalf("key %s grouped under %s but AddrFor says %s", k, addr, table.AddrFor(k))
+			}
+			if pairs[k] != v {
+				t.Fatalf("pair %s lost its value: %q != %q", k, v, pairs[k])
+			}
+		}
+	}
+	if total != len(pairs) {
+		t.Fatalf("grouping lost pairs: %d/%d", total, len(pairs))
+	}
+	// No-masters table groups everything under the empty address so the
+	// caller can surface the routing hole.
+	empty := RoutingTable{}
+	g := empty.GroupPairsByAddr(map[string]string{"a": "1", "b": "2"})
+	if len(g[""]) != 2 {
+		t.Fatalf("routing hole grouping: %v", g)
+	}
+}

@@ -110,6 +110,32 @@ func (s *Server) shardFor(key []byte) *shard {
 	return s.shards[s.shardIndex(key)]
 }
 
+// submitOne runs fn on shard si's pool and folds pool shutdown and fn
+// errors into an error reply; a nil return means success and the caller
+// assembles its reply. It is the shared single-shard-group fast path of
+// mget/mset/del — when a whole batch lands on one shard there is no
+// fan-out to scaffold.
+func (s *Server) submitOne(si int, fn func(sh *shard) error) reply {
+	sh := s.shards[si]
+	var err error
+	if perr := sh.pool.SubmitWait(func() { err = fn(sh) }); perr != nil {
+		return errReply("server shutting down")
+	}
+	if err != nil {
+		return errReply(err.Error())
+	}
+	return nil
+}
+
+// bulkArray renders values (nil = absent) as an array of bulk replies.
+func bulkArray(vals [][]byte) reply {
+	out := make(arrayReply, len(vals))
+	for i, v := range vals {
+		out[i] = bulkReply(v)
+	}
+	return out
+}
+
 // mget serves MGET: keys group by shard, each shard runs one batch get on
 // its own pool (in parallel across shards), replies reassemble in request
 // order — the multi-key fan-out the paper's client batching relies on.
@@ -122,6 +148,23 @@ func (s *Server) mget(keyArgs [][]byte) reply {
 		groups[si] = append(groups[si], i)
 	}
 	vals := make([][]byte, len(keys))
+	if len(groups) == 1 {
+		// Common case (single key, or all keys on one shard — e.g. a
+		// client's one-key MGET): skip the fan-out scaffolding.
+		for si := range groups {
+			var got map[string][]byte
+			if rep := s.submitOne(si, func(sh *shard) (err error) {
+				got, err = sh.strMGet(keys)
+				return err
+			}); rep != nil {
+				return rep
+			}
+			for i, k := range keys {
+				vals[i] = got[k]
+			}
+		}
+		return bulkArray(vals)
+	}
 	errs := make([]error, 0, len(groups))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -156,11 +199,7 @@ func (s *Server) mget(keyArgs [][]byte) reply {
 	if len(errs) > 0 {
 		return errReply(errs[0].Error())
 	}
-	out := make(arrayReply, len(vals))
-	for i, v := range vals {
-		out[i] = bulkReply(v)
-	}
-	return out
+	return bulkArray(vals)
 }
 
 // del serves DEL/UNLINK: keys group by shard, each shard runs one tiered
@@ -178,14 +217,12 @@ func (s *Server) del(keyArgs [][]byte) reply {
 		// Common case (single key, or all keys on one shard): skip the
 		// fan-out scaffolding.
 		for si, keys := range groups {
-			sh := s.shards[si]
 			var n int64
-			var err error
-			if perr := sh.pool.SubmitWait(func() { n, err = sh.strBatchDel(keys) }); perr != nil {
-				return errReply("server shutting down")
-			}
-			if err != nil {
-				return errReply(err.Error())
+			if rep := s.submitOne(si, func(sh *shard) (err error) {
+				n, err = sh.strBatchDel(keys)
+				return err
+			}); rep != nil {
+				return rep
 			}
 			return intReply(n)
 		}
@@ -236,6 +273,17 @@ func (s *Server) mset(kvArgs [][]byte) reply {
 		val := make([]byte, len(kvArgs[i+1]))
 		copy(val, kvArgs[i+1])
 		groups[si][string(kvArgs[i])] = val
+	}
+	if len(groups) == 1 {
+		// Single-shard MSET (or single pair): no fan-out needed.
+		for si, entries := range groups {
+			if rep := s.submitOne(si, func(sh *shard) error {
+				return sh.strMSet(entries)
+			}); rep != nil {
+				return rep
+			}
+		}
+		return simpleReply("OK")
 	}
 	errs := make([]error, 0, len(groups))
 	var mu sync.Mutex
