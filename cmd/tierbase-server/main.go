@@ -99,6 +99,16 @@ func main() {
 				CacheCapacityBytes: *cacheBytes,
 			})
 		}
+		// INFO storage: per-shard LSM counters (flush backlog, level
+		// shape, write volume). Closes over dbs, which TieredFactory
+		// fills during server.Start.
+		opts.StorageStats = func() []lsm.Stats {
+			out := make([]lsm.Stats, len(dbs))
+			for i, db := range dbs {
+				out[i] = db.Stats()
+			}
+			return out
+		}
 	}
 
 	srv, err := server.Start(opts)

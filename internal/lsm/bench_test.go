@@ -1,0 +1,205 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// Storage-tier benchmarks (CI tracks these in BENCH_<sha>.json).
+//
+// The interesting comparisons:
+//   - ApplyBatch16 vs 16×Put: one WAL record + one commit section vs 16.
+//   - MultiGet16* vs Get16Seq*: one snapshot + one level walk + shared
+//     block decodes vs 16 independent probes.
+//   - GetDuringFlush: p50 read latency while the memtable flushes — the
+//     background pipeline keeps reads off the old inline-build stall.
+
+func benchDB(b *testing.B, opts Options) *DB {
+	b.Helper()
+	if opts.Dir == "" {
+		opts.Dir = b.TempDir()
+	}
+	db, err := Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+// fillTables loads n sequential keys and flushes them into tables.
+func fillTables(b *testing.B, db *DB, n, valSize int) {
+	b.Helper()
+	val := bytes.Repeat([]byte("v"), valSize)
+	batch := &Batch{}
+	for i := 0; i < n; i++ {
+		batch.Put([]byte(benchKey(i)), val)
+		if batch.Len() == 256 {
+			if err := db.Apply(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch.Reset()
+		}
+	}
+	if err := db.Apply(batch); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchKey(i int) string { return fmt.Sprintf("key%08d", i) }
+
+func BenchmarkLSMPut(b *testing.B) {
+	db := benchDB(b, Options{DisableWAL: true, MemtableBytes: 1 << 30})
+	val := bytes.Repeat([]byte("v"), 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put([]byte(benchKey(i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLSMApplyBatch16(b *testing.B) {
+	db := benchDB(b, Options{DisableWAL: true, MemtableBytes: 1 << 30})
+	val := bytes.Repeat([]byte("v"), 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := &Batch{}
+		for j := 0; j < 16; j++ {
+			batch.Put([]byte(benchKey(i*16+j)), val)
+		}
+		if err := db.Apply(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*16)/float64(b.Elapsed().Nanoseconds())*1e9, "keys/s")
+}
+
+// BenchmarkLSMPutParallel: concurrent single-key writers exercising the
+// group-commit queue (with a real WAL so coalescing has something to
+// amortize).
+func BenchmarkLSMPutParallelWAL(b *testing.B) {
+	db := benchDB(b, Options{MemtableBytes: 1 << 30})
+	val := bytes.Repeat([]byte("v"), 100)
+	var n atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := n.Add(1)
+			if err := db.Put([]byte(benchKey(int(i))), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkLSMGetWarm(b *testing.B) {
+	db := benchDB(b, Options{DisableWAL: true})
+	fillTables(b, db, 10000, 100)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get([]byte(benchKey(rng.Intn(10000)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLSMGetColdCache(b *testing.B) {
+	db := benchDB(b, Options{DisableWAL: true, BlockCacheBytes: -1})
+	fillTables(b, db, 10000, 100)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get([]byte(benchKey(rng.Intn(10000)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// adjacentRun returns 16 keys from a random contiguous run — the MGET
+// shape the tiered batch path produces for range-local workloads, where
+// one decoded block serves several keys.
+func adjacentRun(rng *rand.Rand, n int) [][]byte {
+	start := rng.Intn(n - 16)
+	keys := make([][]byte, 16)
+	for j := range keys {
+		keys[j] = []byte(benchKey(start + j))
+	}
+	return keys
+}
+
+func BenchmarkLSMMultiGet16ColdCache(b *testing.B) {
+	db := benchDB(b, Options{DisableWAL: true, BlockCacheBytes: -1})
+	fillTables(b, db, 10000, 100)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, found, err := db.MultiGet(adjacentRun(rng, 10000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ok := range found {
+			if !ok {
+				b.Fatal("missing key")
+			}
+		}
+	}
+}
+
+// BenchmarkLSMGet16SeqColdCache is the per-key baseline for MultiGet16:
+// the same 16 adjacent keys issued as sequential Gets.
+func BenchmarkLSMGet16SeqColdCache(b *testing.B) {
+	db := benchDB(b, Options{DisableWAL: true, BlockCacheBytes: -1})
+	fillTables(b, db, 10000, 100)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range adjacentRun(rng, 10000) {
+			if _, err := db.Get(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkLSMGetDuringFlush measures point-read latency while a writer
+// keeps tripping memtable rotations. With the inline-flush design every
+// reader stalled behind the SSTable build; with the background pipeline a
+// rotation costs readers one pointer swap.
+func BenchmarkLSMGetDuringFlush(b *testing.B) {
+	db := benchDB(b, Options{DisableWAL: true, MemtableBytes: 256 << 10})
+	fillTables(b, db, 10000, 100)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		val := bytes.Repeat([]byte("w"), 1024)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.Put([]byte(benchKey(i%10000)), val); err != nil {
+				return
+			}
+		}
+	}()
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get([]byte(benchKey(rng.Intn(10000)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}

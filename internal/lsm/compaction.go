@@ -50,11 +50,12 @@ func (db *DB) pickLeveled() (inputs []tableMeta, outLevel int, ok bool) {
 	if db.closed {
 		return nil, 0, false
 	}
+	man := db.current.man
 	// L0 -> L1 when too many overlapping runs accumulate.
-	if len(db.man.Levels[0]) >= db.opts.L0CompactionTrigger {
-		inputs = append(inputs, db.man.Levels[0]...)
+	if len(man.Levels[0]) >= db.opts.L0CompactionTrigger {
+		inputs = append(inputs, man.Levels[0]...)
 		lo, hi := keyRange(inputs)
-		for _, t := range db.man.Levels[1] {
+		for _, t := range man.Levels[1] {
 			if overlaps(t, lo, hi) {
 				inputs = append(inputs, t)
 			}
@@ -62,13 +63,13 @@ func (db *DB) pickLeveled() (inputs []tableMeta, outLevel int, ok bool) {
 		return inputs, 1, true
 	}
 	// Ln -> Ln+1 when a level exceeds its budget.
-	for l := 1; l < len(db.man.Levels)-1; l++ {
-		if db.man.totalBytes(l) <= db.levelLimit(l) || len(db.man.Levels[l]) == 0 {
+	for l := 1; l < len(man.Levels)-1; l++ {
+		if man.totalBytes(l) <= db.levelLimit(l) || len(man.Levels[l]) == 0 {
 			continue
 		}
-		pick := db.man.Levels[l][0] // oldest-first rotation
+		pick := man.Levels[l][0] // oldest-first rotation
 		inputs = append(inputs, pick)
-		for _, t := range db.man.Levels[l+1] {
+		for _, t := range man.Levels[l+1] {
 			if overlaps(t, pick.Smallest, pick.Largest) {
 				inputs = append(inputs, t)
 			}
@@ -97,11 +98,11 @@ func (db *DB) compactLeveled() bool {
 func (db *DB) compactSizeTiered() bool {
 	const minThreshold = 4
 	db.mu.RLock()
-	if db.closed || len(db.man.Levels[0]) < minThreshold {
+	if db.closed || len(db.current.man.Levels[0]) < minThreshold {
 		db.mu.RUnlock()
 		return false
 	}
-	tables := append([]tableMeta(nil), db.man.Levels[0]...)
+	tables := append([]tableMeta(nil), db.current.man.Levels[0]...)
 	db.mu.RUnlock()
 	sort.Slice(tables, func(i, j int) bool { return tables[i].Size < tables[j].Size })
 	inputs := tables[:minThreshold]
@@ -114,19 +115,22 @@ func (db *DB) compactSizeTiered() bool {
 }
 
 // mergeTables merge-sorts the inputs into new tables split at
-// TargetFileBytes; runs without holding db.mu (inputs are immutable).
+// TargetFileBytes; runs without holding db.mu. A version reference pins
+// the input readers for the duration of the merge.
 func (db *DB) mergeTables(inputs []tableMeta, dropTombstones bool) ([]tableMeta, error) {
 	db.mu.RLock()
+	ver := db.current
+	ver.ref()
+	db.mu.RUnlock()
+	defer ver.unref()
 	iters := make([]internalIter, 0, len(inputs))
 	for _, meta := range inputs {
-		r := db.readers[meta.Num]
+		r := ver.readers[meta.Num]
 		if r == nil {
-			db.mu.RUnlock()
 			return nil, ErrDBClosed
 		}
 		iters = append(iters, r.iter())
 	}
-	db.mu.RUnlock()
 
 	merged := newMergeIter(iters)
 	var outputs []tableMeta
@@ -191,17 +195,40 @@ func (db *DB) mergeTables(inputs []tableMeta, dropTombstones bool) ([]tableMeta,
 	return outputs, nil
 }
 
-// installCompaction swaps inputs for outputs in the manifest under db.mu.
+// installCompaction swaps inputs for outputs by installing a successor
+// version under db.mu. Input readers are marked obsolete: their files are
+// deleted when the last snapshot view referencing them is released (or
+// immediately, if no read is in flight).
 func (db *DB) installCompaction(inputs, outputs []tableMeta, outLevel int) bool {
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
+	removeOutputs := func() {
 		for _, m := range outputs {
 			os.Remove(tableFileName(db.opts.Dir, m.Num))
 		}
+	}
+	// Open output readers before taking the lock: fresh files, no races.
+	newReaders := make(map[uint64]*tableReader, len(outputs))
+	for _, m := range outputs {
+		r, err := openTable(db.opts.Dir, m, db.cache)
+		if err != nil {
+			for _, nr := range newReaders {
+				nr.unref()
+			}
+			removeOutputs()
+			return false
+		}
+		newReaders[m.Num] = r
+	}
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		for _, nr := range newReaders {
+			nr.unref()
+		}
+		removeOutputs()
 		return false
 	}
-	newMan := db.man.clone()
+	cur := db.current
+	newMan := cur.man.clone()
 	inSet := make(map[uint64]bool, len(inputs))
 	for _, m := range inputs {
 		inSet[m.Num] = true
@@ -222,44 +249,26 @@ func (db *DB) installCompaction(inputs, outputs []tableMeta, outLevel int) bool 
 		})
 	}
 	newMan.NextFile = db.nextFile.Load()
-	// Open new readers before committing.
-	newReaders := make([]*tableReader, 0, len(outputs))
-	for _, m := range outputs {
-		r, err := openTable(db.opts.Dir, m, db.cache)
-		if err != nil {
-			for _, nr := range newReaders {
-				nr.close()
-			}
-			db.mu.Unlock()
-			return false
-		}
-		newReaders = append(newReaders, r)
-	}
 	if err := newMan.save(db.opts.Dir); err != nil {
-		for _, nr := range newReaders {
-			nr.close()
-		}
 		db.mu.Unlock()
+		for _, nr := range newReaders {
+			nr.unref()
+		}
+		removeOutputs()
 		return false
 	}
-	db.man = newMan
-	for i, m := range outputs {
-		db.readers[m.Num] = newReaders[i]
-	}
 	for _, m := range inputs {
-		if r := db.readers[m.Num]; r != nil {
-			r.close()
-			delete(db.readers, m.Num)
+		if r := cur.readers[m.Num]; r != nil {
+			r.markObsolete()
 		}
 		if db.cache != nil {
 			db.cache.dropFile(m.Num)
 		}
-		os.Remove(tableFileName(db.opts.Dir, m.Num))
 	}
+	db.current = cur.successor(newMan, inSet, newReaders)
 	db.mu.Unlock()
-	db.statsMu.Lock()
-	db.compactions++
-	db.statsMu.Unlock()
+	cur.unref()
+	db.compactions.Add(1)
 	return true
 }
 

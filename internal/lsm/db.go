@@ -1,7 +1,6 @@
 package lsm
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -30,6 +29,7 @@ const (
 type Options struct {
 	Dir                 string
 	MemtableBytes       int64 // flush threshold; default 4 MiB
+	MaxImmutables       int   // sealed-memtable backlog before writers wait; default 2
 	BlockBytes          int   // data block target; default 4 KiB
 	BloomBitsPerKey     int   // 0 = default 10; -1 disables bloom filters
 	BlockCacheBytes     int64 // default 8 MiB; 0 uses default, -1 disables
@@ -49,6 +49,9 @@ type Options struct {
 func (o *Options) fill() {
 	if o.MemtableBytes <= 0 {
 		o.MemtableBytes = 4 << 20
+	}
+	if o.MaxImmutables <= 0 {
+		o.MaxImmutables = 2
 	}
 	if o.BlockBytes <= 0 {
 		o.BlockBytes = 4 << 10
@@ -83,31 +86,60 @@ var (
 )
 
 // DB is the LSM-tree key-value store.
+//
+// Concurrency model (three lock domains, never held across disk reads on
+// the Get path):
+//
+//   - commitMu serializes the write pipeline: WAL appends happen in
+//     sequence-number order, and memtable rotation (sealing) only happens
+//     under it. Writers coalesce into group commits (see Apply).
+//   - mu guards the mutable snapshot state — active/sealed memtables, the
+//     current table version, the sequence counter, closed — in SHORT
+//     critical sections only. Readers capture a refcounted view under
+//     RLock and then run entirely lock-free against immutable state.
+//   - compactMu serializes compaction rounds (unchanged from the seed).
+//
+// Background work: flushLoop turns sealed memtables into L0 tables (so a
+// writer tripping MemtableBytes never builds an SSTable inline), and
+// compactionLoop merges tables. Both install new versions copy-on-write;
+// in-flight reads keep superseded tables alive via refcounts.
 type DB struct {
 	opts Options
 
-	mu      sync.RWMutex
-	mem     *skiplist
-	wlog    wal.Appender
-	walDir  string
-	man     *manifest
-	readers map[uint64]*tableReader
-	cache   *blockCache
-	seq     uint64
-	closed  bool
+	mu        sync.RWMutex
+	mem       *memtable   // active
+	imm       []*memtable // sealed, oldest first
+	current   *version    // table hierarchy snapshot
+	seq       uint64
+	closed    bool
+	flushErr  error      // sticky background-flush failure
+	flushCond *sync.Cond // broadcast on flush install / failure (waits use mu)
 
-	// nextFile allocates table file numbers; shared by the foreground
-	// flush path and the background compactor, so it must be atomic.
+	wlog   wal.Appender
+	walDir string
+	cache  *blockCache
+
+	// Write pipeline: pending group-commit queue + the commit lock.
+	pendMu   sync.Mutex
+	pend     []*batchWriter
+	commitMu sync.Mutex
+
+	// nextFile allocates table file numbers; shared by the background
+	// flusher and the background compactor, so it must be atomic.
 	nextFile atomic.Uint64
+
+	flushCh   chan struct{}
+	flushStop chan struct{}
+	flushDone chan struct{}
 
 	compactCh   chan struct{}
 	compactDone chan struct{}
 	compactMu   sync.Mutex // serializes compaction rounds
 
-	statsMu     sync.Mutex
-	flushes     int64
-	compactions int64
-	writeBytes  int64
+	flushes     atomic.Int64
+	compactions atomic.Int64
+	writeBytes  atomic.Int64
+	multiGets   atomic.Int64
 }
 
 // Open opens (creating if needed) a DB at opts.Dir and recovers state from
@@ -126,42 +158,54 @@ func Open(opts Options) (*DB, error) {
 	}
 	db := &DB{
 		opts:        opts,
-		mem:         newSkiplist(),
-		man:         man,
-		readers:     make(map[uint64]*tableReader),
+		mem:         newMemtable(),
 		seq:         man.LastSeq,
+		flushCh:     make(chan struct{}, 1),
+		flushStop:   make(chan struct{}),
+		flushDone:   make(chan struct{}),
 		compactCh:   make(chan struct{}, 1),
 		compactDone: make(chan struct{}),
 	}
+	db.flushCond = sync.NewCond(&db.mu)
 	db.nextFile.Store(man.NextFile)
 	if opts.BlockCacheBytes > 0 {
 		db.cache = newBlockCache(opts.BlockCacheBytes)
+	}
+	readers := make(map[uint64]*tableReader)
+	abort := func() {
+		for _, r := range readers {
+			r.unref()
+		}
 	}
 	for _, lvl := range man.Levels {
 		for _, meta := range lvl {
 			r, err := openTable(opts.Dir, meta, db.cache)
 			if err != nil {
-				db.closeReadersLocked()
+				abort()
 				return nil, err
 			}
-			db.readers[meta.Num] = r
+			readers[meta.Num] = r
 		}
 	}
+	db.current = newVersion(man, readers)
 	db.walDir = opts.Dir + "/wal"
 	if !opts.DisableWAL {
-		// Replay any records newer than the last flush.
+		// Replay records newer than the last flushed sequence. Older
+		// records (from WAL segments not yet reclaimed at crash time) are
+		// already in SSTables and are skipped.
 		if err := wal.Replay(db.walDir, func(p []byte) error {
-			seq, kind, key, val, err := decodeWALRecord(p)
-			if err != nil {
-				return err
-			}
-			db.mem.put(key, memEntry{seq: seq, kind: kind, value: val})
-			if seq > db.seq {
-				db.seq = seq
-			}
-			return nil
+			return replayWALRecord(p, func(seq uint64, kind entryKind, key, val []byte) error {
+				if seq > db.seq {
+					db.seq = seq
+				}
+				if seq <= man.LastSeq {
+					return nil
+				}
+				db.mem.apply(seq, kind, key, val)
+				return nil
+			})
 		}); err != nil {
-			db.closeReadersLocked()
+			db.current.unref()
 			return nil, err
 		}
 		if opts.WALFactory != nil {
@@ -170,21 +214,18 @@ func Open(opts Options) (*DB, error) {
 			db.wlog, err = wal.Open(wal.Options{Dir: db.walDir, Policy: opts.WALSyncPolicy})
 		}
 		if err != nil {
-			db.closeReadersLocked()
+			db.current.unref()
 			return nil, err
 		}
 	}
+	go db.flushLoop()
 	go db.compactionLoop()
 	return db, nil
 }
 
-func (db *DB) closeReadersLocked() {
-	for _, r := range db.readers {
-		r.close()
-	}
-}
-
-// encodeWALRecord frames one write for the WAL.
+// encodeWALRecord frames one write in the legacy (seed) single-op format.
+// The write path emits batch records now (see batch.go); this encoder is
+// kept for replay-compatibility tests against logs written by old builds.
 func encodeWALRecord(seq uint64, kind entryKind, key, val []byte) []byte {
 	buf := make([]byte, 0, binary.MaxVarintLen64*3+1+len(key)+len(val))
 	var tmp [binary.MaxVarintLen64]byte
@@ -210,14 +251,14 @@ func decodeWALRecord(p []byte) (seq uint64, kind entryKind, key, val []byte, err
 	kind = entryKind(p[0])
 	p = p[1:]
 	klen, n := binary.Uvarint(p)
-	if n <= 0 || int(klen) > len(p)-n {
+	if n <= 0 || klen > uint64(len(p)-n) {
 		return 0, 0, nil, nil, badRec
 	}
 	p = p[n:]
 	key = append([]byte(nil), p[:klen]...)
 	p = p[klen:]
 	vlen, n := binary.Uvarint(p)
-	if n <= 0 || int(vlen) > len(p)-n {
+	if n <= 0 || vlen > uint64(len(p)-n) {
 		return 0, 0, nil, nil, badRec
 	}
 	p = p[n:]
@@ -228,180 +269,93 @@ func decodeWALRecord(p []byte) (seq uint64, kind entryKind, key, val []byte, err
 // allocFileNum returns a fresh table file number.
 func (db *DB) allocFileNum() uint64 { return db.nextFile.Add(1) - 1 }
 
-// Put stores key=value.
+// Put stores key=value. It is a one-op Apply: singles ride the same group
+// commit as batches, so concurrent Puts coalesce into one WAL record.
 func (db *DB) Put(key, value []byte) error {
-	return db.write(kindSet, key, value)
+	b := &Batch{}
+	b.Put(key, value)
+	return db.Apply(b)
 }
 
 // Delete removes key (writes a tombstone).
 func (db *DB) Delete(key []byte) error {
-	return db.write(kindDelete, key, nil)
+	b := &Batch{}
+	b.Delete(key)
+	return db.Apply(b)
 }
 
-func (db *DB) write(kind entryKind, key, value []byte) error {
-	if len(key) == 0 {
-		return errors.New("lsm: empty key")
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrDBClosed
-	}
-	db.seq++
-	seq := db.seq
-	if db.wlog != nil {
-		if err := db.wlog.Append(encodeWALRecord(seq, kind, key, value)); err != nil {
-			return err
-		}
-	}
-	k := append([]byte(nil), key...)
-	v := append([]byte(nil), value...)
-	db.mem.put(k, memEntry{seq: seq, kind: kind, value: v})
-	db.statsMu.Lock()
-	db.writeBytes += int64(len(key) + len(value))
-	db.statsMu.Unlock()
-	if db.mem.approximateSize() >= db.opts.MemtableBytes {
-		if err := db.flushMemtableLocked(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Get fetches the value for key, or ErrNotFound.
+// Get fetches the value for key, or ErrNotFound. The returned slice is a
+// private copy — it never aliases memtable or block-cache memory, for
+// every hit location (memtable, L0, L1+), so callers may retain or modify
+// it freely. Get captures a snapshot in O(1) under a read lock and does
+// all bloom/index/block I/O lock-free: it never blocks a flush install,
+// and a flush never blocks it.
 func (db *DB) Get(key []byte) ([]byte, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return nil, ErrDBClosed
+	v, err := db.acquireView()
+	if err != nil {
+		return nil, err
 	}
-	if e, ok := db.mem.get(key); ok {
-		if e.kind == kindDelete {
-			return nil, ErrNotFound
-		}
-		return append([]byte(nil), e.value...), nil
+	defer v.release()
+	e, ok, err := v.get(key)
+	if err != nil {
+		return nil, err
 	}
-	// L0: overlapping tables — consult all, keep the highest sequence.
-	var best memEntry
-	var found bool
-	for _, meta := range db.man.Levels[0] {
-		r := db.readers[meta.Num]
-		if r == nil {
-			continue
-		}
-		if bytes.Compare(key, meta.Smallest) < 0 || bytes.Compare(key, meta.Largest) > 0 {
-			continue
-		}
-		e, ok, err := r.get(key)
-		if err != nil {
-			return nil, err
-		}
-		if ok && (!found || e.seq > best.seq) {
-			best, found = e, true
-		}
+	if !ok || e.kind == kindDelete {
+		return nil, ErrNotFound
 	}
-	if found {
-		if best.kind == kindDelete {
-			return nil, ErrNotFound
-		}
-		return best.value, nil
-	}
-	// L1+: non-overlapping — at most one candidate per level.
-	for l := 1; l < len(db.man.Levels); l++ {
-		for _, meta := range db.man.Levels[l] {
-			if bytes.Compare(key, meta.Smallest) < 0 || bytes.Compare(key, meta.Largest) > 0 {
-				continue
-			}
-			r := db.readers[meta.Num]
-			if r == nil {
-				continue
-			}
-			e, ok, err := r.get(key)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				if e.kind == kindDelete {
-					return nil, ErrNotFound
-				}
-				return e.value, nil
-			}
-			break // non-overlapping: no other table in this level can match
-		}
-	}
-	return nil, ErrNotFound
+	cp := make([]byte, len(e.value))
+	copy(cp, e.value)
+	return cp, nil
 }
 
 // Has reports whether key exists.
 func (db *DB) Has(key []byte) (bool, error) {
-	_, err := db.Get(key)
-	if err == ErrNotFound {
-		return false, nil
-	}
+	v, err := db.acquireView()
 	if err != nil {
 		return false, err
 	}
-	return true, nil
+	defer v.release()
+	e, ok, err := v.get(key)
+	if err != nil {
+		return false, err
+	}
+	return ok && e.kind != kindDelete, nil
 }
 
-// flushMemtableLocked writes the memtable to a new L0 table. Caller holds mu.
-func (db *DB) flushMemtableLocked() error {
-	if db.mem.entries() == 0 {
-		return nil
+// Flush seals the active memtable (if non-empty) and waits until the
+// background flusher has drained every sealed memtable to L0 tables.
+func (db *DB) Flush() error {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return ErrDBClosed
 	}
-	num := db.allocFileNum()
-	tb, err := newTableBuilder(tableFileName(db.opts.Dir, num), db.opts.BlockBytes, db.opts.BloomBitsPerKey)
-	if err != nil {
-		return err
-	}
-	it := db.mem.iter()
-	for it.next() {
-		if err := tb.add(it.key(), it.entry()); err != nil {
-			tb.abandon()
+	hasData := db.mem.sl.entries() > 0
+	db.mu.RUnlock()
+	if hasData {
+		if err := db.rotate(); err != nil {
 			return err
 		}
 	}
-	meta, err := tb.finish(num)
-	if err != nil {
-		return err
-	}
-	r, err := openTable(db.opts.Dir, meta, db.cache)
-	if err != nil {
-		return err
-	}
-	newMan := db.man.clone()
-	newMan.NextFile = db.nextFile.Load()
-	newMan.LastSeq = db.seq
-	newMan.Levels[0] = append(newMan.Levels[0], meta)
-	if err := newMan.save(db.opts.Dir); err != nil {
-		r.close()
-		return err
-	}
-	db.man = newMan
-	db.readers[num] = r
-	db.mem = newSkiplist()
-	if db.wlog != nil {
-		if l, ok := db.wlog.(*wal.Log); ok {
-			if err := l.Truncate(); err != nil {
-				return err
-			}
-		}
-	}
-	db.statsMu.Lock()
-	db.flushes++
-	db.statsMu.Unlock()
-	db.triggerCompaction()
-	return nil
+	return db.waitFlushed()
 }
 
-// Flush forces the memtable to disk (used by checkpoints and tests).
-func (db *DB) Flush() error {
+// waitFlushed blocks until the immutable-memtable backlog is empty.
+func (db *DB) waitFlushed() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	for len(db.imm) > 0 && db.flushErr == nil && !db.closed {
+		db.flushCond.Wait()
+	}
+	if db.flushErr != nil {
+		return db.flushErr
+	}
 	if db.closed {
 		return ErrDBClosed
 	}
-	return db.flushMemtableLocked()
+	return nil
 }
 
 func (db *DB) triggerCompaction() {
@@ -414,12 +368,16 @@ func (db *DB) triggerCompaction() {
 // Stats summarizes DB state for monitoring and cost measurement.
 type Stats struct {
 	MemtableBytes  int64
+	Immutables     int   // sealed memtables awaiting background flush
+	ImmutableBytes int64 // bytes held in sealed memtables
 	DiskBytes      int64
 	TableCount     int
+	LevelFiles     []int
 	LevelBytes     []int64
 	Flushes        int64
 	Compactions    int64
 	WriteBytes     int64
+	MultiGets      int64
 	CacheHits      int64
 	CacheMisses    int64
 	CacheBytes     int64
@@ -430,49 +388,70 @@ type Stats struct {
 func (db *DB) Stats() Stats {
 	db.mu.RLock()
 	st := Stats{
-		MemtableBytes:  db.mem.approximateSize(),
-		LevelBytes:     make([]int64, len(db.man.Levels)),
+		MemtableBytes:  db.mem.sl.approximateSize(),
+		Immutables:     len(db.imm),
+		LevelFiles:     make([]int, len(db.current.man.Levels)),
+		LevelBytes:     make([]int64, len(db.current.man.Levels)),
 		SequenceNumber: db.seq,
 	}
-	for l, lvl := range db.man.Levels {
+	for _, m := range db.imm {
+		st.ImmutableBytes += m.sl.approximateSize()
+	}
+	for l, lvl := range db.current.man.Levels {
 		for _, t := range lvl {
 			st.DiskBytes += t.Size
 			st.TableCount++
+			st.LevelFiles[l]++
 			st.LevelBytes[l] += t.Size
 		}
 	}
-	cache := db.cache
 	db.mu.RUnlock()
-	db.statsMu.Lock()
-	st.Flushes = db.flushes
-	st.Compactions = db.compactions
-	st.WriteBytes = db.writeBytes
-	db.statsMu.Unlock()
-	if cache != nil {
-		st.CacheHits, st.CacheMisses, st.CacheBytes = cache.stats()
+	st.Flushes = db.flushes.Load()
+	st.Compactions = db.compactions.Load()
+	st.WriteBytes = db.writeBytes.Load()
+	st.MultiGets = db.multiGets.Load()
+	if db.cache != nil {
+		st.CacheHits, st.CacheMisses, st.CacheBytes = db.cache.stats()
 	}
 	return st
 }
 
-// Close flushes the memtable and releases all resources.
+// Close flushes all memtables, stops the background goroutines and
+// releases all resources. In-flight snapshot reads finish against their
+// captured views; their table readers close when the last view releases.
 func (db *DB) Close() error {
-	db.mu.Lock()
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.mu.RLock()
 	if db.closed {
-		db.mu.Unlock()
+		db.mu.RUnlock()
 		return nil
 	}
-	err := db.flushMemtableLocked()
+	hasData := db.mem.sl.entries() > 0
+	db.mu.RUnlock()
+	var ferr error
+	if hasData {
+		ferr = db.rotate()
+	}
+	if werr := db.waitFlushed(); ferr == nil {
+		ferr = werr
+	}
+	db.mu.Lock()
 	db.closed = true
-	db.closeReadersLocked()
+	cur := db.current
+	db.flushCond.Broadcast()
+	db.mu.Unlock()
+	close(db.flushStop)
+	<-db.flushDone
+	close(db.compactCh)
+	<-db.compactDone
 	var werr error
 	if db.wlog != nil {
 		werr = db.wlog.Close()
 	}
-	db.mu.Unlock()
-	close(db.compactCh)
-	<-db.compactDone
-	if err != nil {
-		return err
+	cur.unref()
+	if ferr != nil {
+		return ferr
 	}
 	return werr
 }

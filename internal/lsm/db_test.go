@@ -104,6 +104,10 @@ func TestDBAutomaticMemtableRotation(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		db.Put([]byte(fmt.Sprintf("key%04d", i)), val)
 	}
+	// Flushes happen in the background now: drain before asserting.
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	if db.Stats().Flushes == 0 {
 		t.Fatal("memtable never rotated")
 	}
@@ -112,6 +116,25 @@ func TestDBAutomaticMemtableRotation(t *testing.T) {
 			t.Fatalf("get %d after rotation: %v", i, err)
 		}
 	}
+}
+
+// crashStop simulates a process crash: it stops the background goroutines
+// and closes file handles WITHOUT flushing memtables — recovery must come
+// from the WAL and manifest alone.
+func crashStop(db *DB) {
+	db.mu.Lock()
+	db.closed = true
+	cur := db.current
+	db.flushCond.Broadcast()
+	db.mu.Unlock()
+	close(db.flushStop)
+	<-db.flushDone
+	close(db.compactCh)
+	<-db.compactDone
+	if db.wlog != nil {
+		db.wlog.Close()
+	}
+	cur.unref()
 }
 
 func TestDBWALRecovery(t *testing.T) {
@@ -123,17 +146,8 @@ func TestDBWALRecovery(t *testing.T) {
 	db.Put([]byte("a"), []byte("1"))
 	db.Put([]byte("b"), []byte("2"))
 	db.Delete([]byte("a"))
-	// Simulate crash: close WAL file handles without flushing memtable to
-	// SSTables by NOT calling Close (Close flushes). Instead reopen over
-	// the same dir after syncing the wal.
 	db.wlog.Sync()
-	db.mu.Lock()
-	db.closed = true
-	db.closeReadersLocked()
-	db.wlog.Close()
-	db.mu.Unlock()
-	close(db.compactCh)
-	<-db.compactDone
+	crashStop(db)
 
 	db2, err := Open(Options{Dir: dir})
 	if err != nil {

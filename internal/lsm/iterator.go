@@ -12,20 +12,26 @@ type KV struct {
 
 // Scan returns up to limit live pairs with start <= key < end, in key
 // order. A nil end means unbounded; limit <= 0 means no limit. The scan
-// holds the DB read lock for its duration: it sees a consistent view and
-// is intended for bounded range reads (wide-column row scans, verification
-// sweeps), not full-database dumps under write load.
+// runs against a captured view (frozen table hierarchy + live active
+// memtable; see view for the isolation contract) and holds no DB lock
+// during its block I/O, so it never stalls writers or flushes — writes
+// committed while the scan runs may or may not appear. It is intended for
+// bounded range reads (wide-column row scans, verification sweeps), not
+// full-database dumps under write load.
 func (db *DB) Scan(start, end []byte, limit int) ([]KV, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return nil, ErrDBClosed
+	v, err := db.acquireView()
+	if err != nil {
+		return nil, err
 	}
-	iters := make([]internalIter, 0, 1+len(db.readers))
-	iters = append(iters, db.mem.iter())
-	for _, lvl := range db.man.Levels {
+	defer v.release()
+	iters := make([]internalIter, 0, 2+len(v.imm)+len(v.ver.readers))
+	iters = append(iters, v.mem.sl.iter())
+	for _, m := range v.imm {
+		iters = append(iters, m.sl.iter())
+	}
+	for _, lvl := range v.ver.man.Levels {
 		for _, meta := range lvl {
-			if r := db.readers[meta.Num]; r != nil {
+			if r := v.ver.readers[meta.Num]; r != nil {
 				iters = append(iters, r.iter())
 			}
 		}

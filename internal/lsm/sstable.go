@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 )
 
 // SSTable layout:
@@ -217,14 +218,36 @@ func (b *tableBuilder) abandon() {
 
 // --- reader ---
 
-// tableReader serves reads from one immutable SSTable.
+// tableReader serves reads from one immutable SSTable. Readers are
+// refcounted: every version (see view.go) holds one reference per member
+// table, so a reader outlives its removal from the hierarchy for as long
+// as any in-flight snapshot still uses it. The final unref closes the file
+// handle and — when a compaction marked the table obsolete — deletes it.
 type tableReader struct {
 	f     *os.File
+	dir   string
 	meta  tableMeta
 	index []indexEntry
 	bloom *bloomFilter
 	cache *blockCache // shared, may be nil
+
+	refs     atomic.Int32
+	obsolete atomic.Bool
 }
+
+func (t *tableReader) ref() { t.refs.Add(1) }
+
+func (t *tableReader) unref() {
+	if t.refs.Add(-1) == 0 {
+		t.f.Close()
+		if t.obsolete.Load() {
+			os.Remove(tableFileName(t.dir, t.meta.Num))
+		}
+	}
+}
+
+// markObsolete schedules the table file for deletion at the last unref.
+func (t *tableReader) markObsolete() { t.obsolete.Store(true) }
 
 func openTable(dir string, meta tableMeta, cache *blockCache) (*tableReader, error) {
 	f, err := os.Open(tableFileName(dir, meta.Num))
@@ -269,10 +292,12 @@ func openTable(dir string, meta tableMeta, cache *blockCache) (*tableReader, err
 		f.Close()
 		return nil, fmt.Errorf("lsm: read bloom: %w", err)
 	}
-	return &tableReader{
-		f: f, meta: meta, index: index,
+	t := &tableReader{
+		f: f, dir: dir, meta: meta, index: index,
 		bloom: unmarshalBloom(bloomBuf), cache: cache,
-	}, nil
+	}
+	t.refs.Store(1) // the caller's reference, transferred to a version
+	return t, nil
 }
 
 func parseIndex(buf []byte) ([]indexEntry, error) {
@@ -345,7 +370,9 @@ func (t *tableReader) blockFor(key []byte) int {
 	return i
 }
 
-// get looks up key; ok=false means not in this table.
+// get looks up key; ok=false means not in this table. The returned
+// entry's value aliases block (cache) memory — blocks are immutable, but
+// callers must copy before handing the value to users (DB.Get does).
 func (t *tableReader) get(key []byte) (memEntry, bool, error) {
 	if !t.bloom.MayContain(key) {
 		return memEntry{}, false, nil
@@ -362,7 +389,7 @@ func (t *tableReader) get(key []byte) (memEntry, bool, error) {
 	for it.next() {
 		c := bytes.Compare(it.ikey, key)
 		if c == 0 {
-			return memEntry{seq: it.seq, kind: it.kind, value: append([]byte(nil), it.val...)}, true, nil
+			return memEntry{seq: it.seq, kind: it.kind, value: it.val}, true, nil
 		}
 		if c > 0 {
 			break
@@ -373,8 +400,6 @@ func (t *tableReader) get(key []byte) (memEntry, bool, error) {
 	}
 	return memEntry{}, false, nil
 }
-
-func (t *tableReader) close() error { return t.f.Close() }
 
 // blockIter decodes entries from one data block.
 type blockIter struct {

@@ -34,7 +34,7 @@ func buildTestTable(t *testing.T, dir string, n int, cache *blockCache) (*tableR
 func TestSSTableRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	r, meta := buildTestTable(t, dir, 500, nil)
-	defer r.close()
+	defer r.unref()
 	if meta.Count != 500 {
 		t.Fatalf("count = %d", meta.Count)
 	}
@@ -62,7 +62,7 @@ func TestSSTableRoundTrip(t *testing.T) {
 func TestSSTableMissingKeys(t *testing.T) {
 	dir := t.TempDir()
 	r, _ := buildTestTable(t, dir, 100, nil)
-	defer r.close()
+	defer r.unref()
 	for _, k := range []string{"aaa", "key000050x", "zzz", "key999999"} {
 		if _, ok, err := r.get([]byte(k)); err != nil || ok {
 			t.Fatalf("key %q: ok=%v err=%v", k, ok, err)
@@ -91,7 +91,7 @@ func TestSSTableOutOfOrderRejected(t *testing.T) {
 func TestSSTableIterator(t *testing.T) {
 	dir := t.TempDir()
 	r, _ := buildTestTable(t, dir, 300, nil)
-	defer r.close()
+	defer r.unref()
 	it := r.iter()
 	i := 0
 	var prev []byte
@@ -113,7 +113,7 @@ func TestSSTableIterator(t *testing.T) {
 func TestSSTableIteratorSeekGE(t *testing.T) {
 	dir := t.TempDir()
 	r, _ := buildTestTable(t, dir, 300, nil)
-	defer r.close()
+	defer r.unref()
 	it := r.iter()
 	if !it.seekGE([]byte("key000100")) || string(it.key()) != "key000100" {
 		t.Fatalf("seek exact: %q", it.key())
@@ -150,7 +150,7 @@ func TestSSTableTombstonesPreserved(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer r.close()
+	defer r.unref()
 	e, ok, _ := r.get([]byte("dead"))
 	if !ok || e.kind != kindDelete {
 		t.Fatalf("tombstone lost: %v %+v", ok, e)
@@ -160,7 +160,7 @@ func TestSSTableTombstonesPreserved(t *testing.T) {
 func TestSSTableCorruptBlockDetected(t *testing.T) {
 	dir := t.TempDir()
 	r, meta := buildTestTable(t, dir, 200, nil)
-	r.close()
+	r.unref()
 	// Flip a byte in the first data block.
 	path := tableFileName(dir, 1)
 	data, err := os.ReadFile(path)
@@ -175,7 +175,7 @@ func TestSSTableCorruptBlockDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err) // index/footer are intact
 	}
-	defer r2.close()
+	defer r2.unref()
 	_, _, err = r2.get([]byte("key000000"))
 	if err != errBadBlock {
 		t.Fatalf("want errBadBlock, got %v", err)
@@ -199,7 +199,7 @@ func TestSSTableWithCache(t *testing.T) {
 	dir := t.TempDir()
 	cache := newBlockCache(1 << 20)
 	r, _ := buildTestTable(t, dir, 500, cache)
-	defer r.close()
+	defer r.unref()
 	key := []byte("key000042")
 	r.get(key)
 	h0, _, _ := cache.stats()

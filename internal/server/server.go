@@ -14,6 +14,7 @@ import (
 	"tierbase/internal/cache"
 	"tierbase/internal/elastic"
 	"tierbase/internal/engine"
+	"tierbase/internal/lsm"
 	"tierbase/internal/metrics"
 )
 
@@ -33,6 +34,11 @@ type Options struct {
 	// (write-through/write-back against a storage tier). When nil, shards
 	// run cache-only.
 	TieredFactory func(eng *engine.Engine) (*cache.Tiered, error)
+	// StorageStats, when set, reports the storage tier's per-shard LSM
+	// stats for the INFO "storage" section. The deployment wires it (the
+	// server doesn't own the LSM handles — the tiered store sees only the
+	// Storage interface).
+	StorageStats func() []lsm.Stats
 	// Pool configures each shard's elastic pool.
 	Pool elastic.PoolOptions
 }
@@ -426,7 +432,7 @@ func (s *Server) dispatch(args [][]byte) reply {
 }
 
 // info renders INFO output. section filters to one section ("server",
-// "writepath"); empty renders everything.
+// "writepath", "storage"); empty renders everything.
 func (s *Server) info(section string) string {
 	var b strings.Builder
 	if section == "" || section == "server" {
@@ -446,7 +452,43 @@ func (s *Server) info(section string) string {
 	if section == "" || section == "writepath" {
 		s.writePathInfo(&b)
 	}
+	if section == "" || section == "storage" {
+		s.storageInfo(&b)
+	}
 	return b.String()
+}
+
+// storageInfo renders the storage-tier section: per-shard LSM counters —
+// flush/compaction activity, the immutable-memtable backlog (a growing
+// number means the background flusher is falling behind writers), level
+// shape and write volume.
+func (s *Server) storageInfo(b *strings.Builder) {
+	fmt.Fprintf(b, "# Storage\r\n")
+	if s.opts.StorageStats == nil {
+		fmt.Fprintf(b, "storage_shards:0\r\n")
+		return
+	}
+	stats := s.opts.StorageStats()
+	fmt.Fprintf(b, "storage_shards:%d\r\n", len(stats))
+	for i, st := range stats {
+		fmt.Fprintf(b, "shard%d_flushes:%d\r\n", i, st.Flushes)
+		fmt.Fprintf(b, "shard%d_compactions:%d\r\n", i, st.Compactions)
+		fmt.Fprintf(b, "shard%d_immutables:%d\r\n", i, st.Immutables)
+		fmt.Fprintf(b, "shard%d_memtable_bytes:%d\r\n", i, st.MemtableBytes+st.ImmutableBytes)
+		fmt.Fprintf(b, "shard%d_write_bytes:%d\r\n", i, st.WriteBytes)
+		fmt.Fprintf(b, "shard%d_multigets:%d\r\n", i, st.MultiGets)
+		fmt.Fprintf(b, "shard%d_disk_bytes:%d\r\n", i, st.DiskBytes)
+		files := make([]string, len(st.LevelFiles))
+		for l, n := range st.LevelFiles {
+			files[l] = strconv.Itoa(n)
+		}
+		fmt.Fprintf(b, "shard%d_level_files:%s\r\n", i, strings.Join(files, ","))
+		bytesParts := make([]string, len(st.LevelBytes))
+		for l, n := range st.LevelBytes {
+			bytesParts[l] = strconv.FormatInt(n, 10)
+		}
+		fmt.Fprintf(b, "shard%d_level_bytes:%s\r\n", i, strings.Join(bytesParts, ","))
+	}
 }
 
 // writePathInfo renders the write-path section: aggregate write-through

@@ -9,6 +9,7 @@ import (
 	"tierbase/internal/cache"
 	"tierbase/internal/client"
 	"tierbase/internal/engine"
+	"tierbase/internal/lsm"
 )
 
 func startTestServer(t *testing.T, opts Options) (*Server, *client.Client) {
@@ -640,5 +641,81 @@ func TestInfoWritePathCacheOnly(t *testing.T) {
 	wp, err := c.Do("INFO", "writepath")
 	if err != nil || !strings.Contains(wp.(string), "tiered_shards:0") {
 		t.Fatalf("cache-only writepath: %v %v", wp, err)
+	}
+}
+
+// TestInfoStorageSection: INFO exposes per-shard LSM counters (flushes,
+// compactions, immutable backlog, level shape, write bytes) and supports
+// section filtering, like INFO writepath.
+func TestInfoStorageSection(t *testing.T) {
+	var mu sync.Mutex
+	var dbs []*lsm.DB
+	opts := Options{
+		Shards: 2,
+		TieredFactory: func(eng *engine.Engine) (*cache.Tiered, error) {
+			db, err := lsm.Open(lsm.Options{Dir: t.TempDir(), DisableWAL: true})
+			if err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			dbs = append(dbs, db)
+			mu.Unlock()
+			t.Cleanup(func() { db.Close() })
+			return cache.New(cache.Options{
+				Policy: cache.WriteThrough, Engine: eng, Storage: cache.NewLSMStorage(db),
+			})
+		},
+		StorageStats: func() []lsm.Stats {
+			mu.Lock()
+			defer mu.Unlock()
+			out := make([]lsm.Stats, len(dbs))
+			for i, db := range dbs {
+				out[i] = db.Stats()
+			}
+			return out
+		},
+	}
+	_, c := startTestServer(t, opts)
+	for i := 0; i < 8; i++ {
+		if err := c.Set(fmt.Sprintf("sk%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := c.Do("INFO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# Storage", "storage_shards:2",
+		"shard0_flushes:", "shard0_compactions:", "shard0_immutables:",
+		"shard0_write_bytes:", "shard0_level_files:", "shard1_level_bytes:",
+		"shard0_multigets:"} {
+		if !strings.Contains(full.(string), want) {
+			t.Fatalf("INFO missing %q in:\n%s", want, full)
+		}
+	}
+	// Section filter: only the requested section renders.
+	st, err := c.Do("INFO", "storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st.(string), "# Storage") || strings.Contains(st.(string), "# Server") ||
+		strings.Contains(st.(string), "# WritePath") {
+		t.Fatalf("INFO storage filtering broken:\n%s", st)
+	}
+	// Write volume must have reached the LSM tier (write-through): at
+	// least one shard reports non-zero write bytes.
+	if strings.Contains(st.(string), "shard0_write_bytes:0\r\n") &&
+		strings.Contains(st.(string), "shard1_write_bytes:0\r\n") {
+		t.Fatalf("no write bytes reached storage:\n%s", st)
+	}
+}
+
+// TestInfoStorageCacheOnly: without wired storage stats the section
+// renders storage_shards:0 instead of erroring.
+func TestInfoStorageCacheOnly(t *testing.T) {
+	_, c := startTestServer(t, Options{})
+	st, err := c.Do("INFO", "storage")
+	if err != nil || !strings.Contains(st.(string), "storage_shards:0") {
+		t.Fatalf("cache-only storage section: %v %v", st, err)
 	}
 }

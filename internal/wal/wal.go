@@ -263,6 +263,49 @@ func (l *Log) Close() error {
 	return cerr
 }
 
+// Rotate seals the active segment (flushing and syncing buffered records)
+// and starts a new one, returning the new segment's sequence number. The
+// LSM uses this at memtable rotation: every record of the sealed memtable
+// lives in segments older than the returned sequence, so once that
+// memtable is flushed to an SSTable those segments can be reclaimed with
+// RemoveBefore — without ever truncating records the active memtable
+// still needs for crash recovery.
+func (l *Log) Rotate() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if err := l.rotateLocked(); err != nil {
+		return 0, err
+	}
+	return l.seq, nil
+}
+
+// RemoveBefore deletes all segments with sequence < seq. The caller
+// asserts that every record in those segments has been checkpointed
+// (flushed into SSTables and recorded in the manifest).
+func (l *Log) RemoveBefore(seq int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	segs, err := listSegments(l.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if s >= seq || s == l.seq {
+			continue
+		}
+		if err := os.Remove(segName(l.opts.Dir, s)); err != nil {
+			return fmt.Errorf("wal: remove segment: %w", err)
+		}
+	}
+	return nil
+}
+
 // Truncate removes all segments and starts a fresh one. Called after the
 // logged state has been checkpointed elsewhere (e.g. memtable flushed).
 func (l *Log) Truncate() error {
