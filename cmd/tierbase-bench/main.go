@@ -21,6 +21,8 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -164,6 +166,12 @@ func runNetBench(o netOpts) error {
 	var opErrs atomic.Int64
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
+	// Client-process allocation gauge: the mux client's hot path is meant
+	// to be allocation-light, so the per-op malloc count is a regression
+	// canary (server-side allocs are covered by internal/server's
+	// -benchmem benchmarks, which run the server in-process).
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for g := 0; g < o.clients; g++ {
 		wg.Add(1)
@@ -196,6 +204,8 @@ func runNetBench(o netOpts) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	snap := hist.Snapshot()
 	okOps := o.ops - int(opErrs.Load())
@@ -218,8 +228,37 @@ func runNetBench(o netOpts) error {
 	}
 	fmt.Printf("mux: requests=%d wire_cmds=%d flushes=%d coalesced_gets=%d coalesced_sets=%d avg_window=%.1f\n",
 		agg.Requests, agg.WireCommands, agg.Flushes, agg.CoalescedGets, agg.CoalescedSets, window)
+	if okOps > 0 {
+		fmt.Printf("client mem: %.1f allocs/op %.0f B/op\n",
+			float64(memAfter.Mallocs-memBefore.Mallocs)/float64(okOps),
+			float64(memAfter.TotalAlloc-memBefore.TotalAlloc)/float64(okOps))
+	}
+	printElasticState(muxes[0])
 	if n := opErrs.Load(); n > 0 {
 		return fmt.Errorf("%d operations failed", n)
 	}
 	return nil
+}
+
+// printElasticState reports each shard's elastic pool state from INFO
+// server — whether the run pushed the server into boost mode (and how
+// often it boosted) is part of the result, not something to infer from
+// throughput alone.
+func printElasticState(c *client.Client) {
+	v, err := c.Do("INFO", "server")
+	if err != nil {
+		return // an old server without INFO is still benchable
+	}
+	s, ok := v.(string)
+	if !ok {
+		return
+	}
+	fmt.Println("server elastic state:")
+	for _, line := range strings.Split(strings.TrimRight(s, "\r\n"), "\r\n") {
+		if strings.Contains(line, "_mode:") || strings.Contains(line, "_workers:") ||
+			strings.Contains(line, "_boosts:") || strings.Contains(line, "_shrinks:") ||
+			strings.Contains(line, "_queue_depth:") || strings.Contains(line, "_tasks:") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
 }

@@ -39,6 +39,10 @@ func main() {
 		elasticOn   = flag.Bool("elastic", true, "enable elastic threading")
 		maxWorkers  = flag.Int("max-workers", 4, "CPU budget per shard")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "cache capacity per shard (0 = unbounded)")
+		boostDepth  = flag.Int("boost-depth", 0, "queue backlog that triggers boost mode (0 = server default)")
+		queueSize   = flag.Int("queue-size", 0, "pending task queue bound per shard (0 = default)")
+		cooldown    = flag.Int("cooldown-ticks", 0, "calm evaluations before shrinking back to single mode (0 = default)")
+		evalEvery   = flag.Duration("eval-interval", 0, "elastic controller period (0 = default)")
 	)
 	flag.Parse()
 
@@ -61,7 +65,13 @@ func main() {
 		Addr:          *addr,
 		Shards:        *shards,
 		EngineOptions: engOpts,
-		Pool:          elastic.PoolOptions{MaxWorkers: *maxWorkers},
+		Pool: elastic.PoolOptions{
+			MaxWorkers:      *maxWorkers,
+			BoostQueueDepth: *boostDepth,
+			QueueSize:       *queueSize,
+			CooldownTicks:   *cooldown,
+			EvalInterval:    *evalEvery,
+		},
 	}
 	if !*elasticOn {
 		opts.Pool.Fixed = 1

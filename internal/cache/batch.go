@@ -80,10 +80,10 @@ func (t *Tiered) BatchGet(keys []string) (map[string][]byte, error) {
 			ds.mu.Lock()
 			for _, k := range group {
 				if e, ok := ds.entries[k]; ok {
-					if e.val != nil {
+					if e.val != nil && !e.enc {
 						out[k] = copyBytes(e.val)
 					}
-					continue // tombstone: stays nil
+					continue // tombstone or collection blob: stays nil
 				}
 				live = append(live, k)
 			}
@@ -118,8 +118,8 @@ func (t *Tiered) BatchGet(keys []string) (map[string][]byte, error) {
 	for k, f := range join {
 		v, err := t.awaitFlight(f)
 		switch {
-		case err == ErrNotFound:
-			// stays nil
+		case err == ErrNotFound || err == engine.ErrWrongType:
+			// stays nil (absent, or a collection key — MGET reports nil)
 		case err != nil:
 			if fetchErr == nil {
 				fetchErr = err
@@ -214,7 +214,7 @@ func (t *Tiered) wbBatchMark(entries map[string][]byte) error {
 			if v != nil && stored == nil {
 				stored = []byte{} // empty value, not a tombstone
 			}
-			t.setDirtyLocked(ds, k, stored)
+			t.setDirtyLocked(ds, k, stored, false)
 		}
 		admitted = true
 		ds.mu.Unlock()

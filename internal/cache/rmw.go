@@ -1,0 +1,122 @@
+package cache
+
+import "tierbase/internal/engine"
+
+// Cross-tier read-modify-write support. Commands that mutate engine state
+// in place (INCR, SETNX, CAS, every collection write) cannot route their
+// mutation through Set/Delete — the engine op IS the mutation — so the
+// server runs them as:
+//
+//	tiered.Warm(key)                 // fault storage state into the engine
+//	tiered.Locked(key, func() error {
+//	    ... engine op ...
+//	    return tiered.PropagateX(key, result)
+//	})
+//
+// Warm makes the engine authoritative for the key before the op (so INCR
+// composes with a value that was evicted, or that predates a restart).
+// Locked serializes the op+propagate pair per stripe: without it, two
+// INCRs could enqueue their captured results out of engine order and the
+// storage tier would converge on the older value. Propagate* then pushes
+// the outcome through the normal write path (per-key ordering, write-back
+// dirty set, coalescing) WITHOUT re-applying it to the primary engine —
+// the op already ran there, and replaying a captured value could briefly
+// roll back a newer concurrent update. Replicas do get the outcome (they
+// never saw the in-place op).
+
+// Warm faults key into the cache tier from the storage tier if it is not
+// resident, so a subsequent engine op observes tiered state. Typed blobs
+// install as collections; misses and storage errors are ignored (the op
+// then sees an absent key, which is the best available answer).
+func (t *Tiered) Warm(key string) {
+	if t.opts.Policy == CacheOnly || t.eng.Exists(key) {
+		return
+	}
+	_, _ = t.Get(key)
+}
+
+// Locked runs fn under key's RMW stripe lock, serializing it against
+// other Locked calls for keys on the same engine stripe.
+func (t *Tiered) Locked(key string, fn func() error) error {
+	mu := &t.rmw[t.eng.ShardIndex(key)]
+	mu.Lock()
+	defer mu.Unlock()
+	return fn()
+}
+
+// PropagateString routes an engine-applied string outcome (INCR result,
+// SETNX/CAS value) to the storage tier through the configured write path.
+func (t *Tiered) PropagateString(key string, val []byte) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	switch t.opts.Policy {
+	case WriteThrough:
+		return t.writeThrough(key, val, false, false, true)
+	case WriteBack:
+		return t.writeBack(key, val, false, false, true)
+	}
+	return nil // cache-only: the engine already holds the whole truth
+}
+
+// PropagateEncoded routes a typed collection blob (engine.EncodeCollection
+// output) to the storage tier.
+func (t *Tiered) PropagateEncoded(key string, blob []byte) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	switch t.opts.Policy {
+	case WriteThrough:
+		return t.writeThrough(key, blob, false, true, true)
+	case WriteBack:
+		return t.writeBack(key, blob, false, true, true)
+	}
+	return nil
+}
+
+// PropagateDelete routes an engine-applied deletion (a collection emptied
+// by its last pop) to the storage tier.
+func (t *Tiered) PropagateDelete(key string) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	switch t.opts.Policy {
+	case WriteThrough:
+		return t.writeThrough(key, nil, true, false, true)
+	case WriteBack:
+		return t.writeBack(key, nil, true, false, true)
+	}
+	return nil
+}
+
+// applyPropagated lands a propagated outcome on the replicas and the LRU
+// bookkeeping once its write path accepts it. The primary engine is NOT
+// touched: the op already ran there.
+func (t *Tiered) applyPropagated(key string, val []byte, del, enc bool) {
+	if del {
+		for _, r := range t.opts.Replicas {
+			r.Del(key)
+		}
+		t.forget(key)
+		return
+	}
+	for _, r := range t.opts.Replicas {
+		if enc {
+			r.LoadEncoded(key, val)
+		} else {
+			r.Set(key, val)
+		}
+	}
+	t.touch(key)
+	t.maybeEvictKey(key)
+}
+
+// decodeStorageValue interprets a raw storage value for a string reader:
+// typed blobs surface as engine.ErrWrongType (the key is a collection),
+// escaped strings unescape. The returned slice may alias v.
+func decodeStorageValue(v []byte) ([]byte, error) {
+	if engine.IsTypedValue(v) {
+		return nil, engine.ErrWrongType
+	}
+	return engine.UnescapeStringValue(v), nil
+}

@@ -131,6 +131,9 @@ type Tiered struct {
 	flMu    sync.Mutex
 	flights map[string]*flight
 
+	// Per-stripe RMW locks serializing op+propagate pairs (see rmw.go).
+	rmw []sync.Mutex
+
 	// Deferred cache-fetch batcher.
 	fetchCh chan fetchReq
 
@@ -164,6 +167,7 @@ type flight struct {
 type dirtyEntry struct {
 	val []byte // nil = tombstone
 	gen uint64
+	enc bool // val is a typed collection blob, already storage-encoded
 }
 
 type fetchReq struct {
@@ -212,6 +216,7 @@ func New(opts Options) (*Tiered, error) {
 	for i := range t.wt {
 		t.wt[i] = &wtStripe{queues: make(map[string]*wtQueue)}
 	}
+	t.rmw = make([]sync.Mutex, nsh)
 	t.dirtyStripes = make([]*dirtyStripe, nsh)
 	for i := range t.dirtyStripes {
 		ds := &dirtyStripe{entries: make(map[string]*dirtyEntry)}
@@ -432,6 +437,9 @@ func (t *Tiered) Get(key string) ([]byte, error) {
 			if e.val == nil {
 				return nil, ErrNotFound
 			}
+			if e.enc {
+				return nil, engine.ErrWrongType // unflushed collection blob
+			}
 			// Dirty value exists but was missing from cache (should not
 			// happen — dirty keys are eviction-exempt — but be safe).
 			return copyBytes(e.val), nil
@@ -487,7 +495,22 @@ func (t *Tiered) publishFlights(lead map[string]*flight, vals map[string][]byte,
 			if v == nil {
 				v = []byte{} // defensive: present must stay present-empty
 			}
-			f.val = v
+			if engine.IsTypedValue(v) {
+				// Collection blob: decode into the cache tier; string
+				// readers then observe the key exactly as they would a
+				// resident collection (wrong type).
+				if lerr := t.eng.LoadEncoded(k, v); lerr != nil {
+					f.err = lerr
+				} else {
+					for _, r := range t.opts.Replicas {
+						r.LoadEncoded(k, v)
+					}
+					t.touch(k)
+					f.err = engine.ErrWrongType
+				}
+				break
+			}
+			f.val = engine.UnescapeStringValue(v)
 			t.eng.Set(k, f.val)
 			for _, r := range t.opts.Replicas {
 				r.Set(k, f.val)
@@ -548,9 +571,9 @@ func (t *Tiered) Set(key string, val []byte) error {
 	t.reqs.Add(1)
 	switch t.opts.Policy {
 	case WriteThrough:
-		return t.writeThrough(key, val, false)
+		return t.writeThrough(key, val, false, false, false)
 	case WriteBack:
-		return t.writeBack(key, val, false)
+		return t.writeBack(key, val, false, false, false)
 	default:
 		t.applyToCache(key, val, false)
 		t.maybeEvictKey(key)
@@ -566,9 +589,9 @@ func (t *Tiered) Delete(key string) error {
 	t.reqs.Add(1)
 	switch t.opts.Policy {
 	case WriteThrough:
-		return t.writeThrough(key, nil, true)
+		return t.writeThrough(key, nil, true, false, false)
 	case WriteBack:
-		return t.writeBack(key, nil, true)
+		return t.writeBack(key, nil, true, false, false)
 	default:
 		t.applyToCache(key, nil, true)
 		return nil
@@ -595,6 +618,9 @@ func (t *Tiered) Update(key string, fn func(old []byte, exists bool) []byte) err
 		case WriteBack:
 			// Dirty state shadows storage.
 			if e, ok := t.dirtyLookup(key); ok {
+				if e.enc {
+					return engine.ErrWrongType // unflushed collection blob
+				}
 				if e.val != nil {
 					old, exists = append([]byte(nil), e.val...), true
 				}
@@ -604,7 +630,11 @@ func (t *Tiered) Update(key string, fn func(old []byte, exists bool) []byte) err
 					return resp.err
 				}
 				if resp.val != nil {
-					old, exists = resp.val, true
+					v, derr := decodeStorageValue(resp.val)
+					if derr != nil {
+						return derr
+					}
+					old, exists = v, true
 				}
 			}
 		case WriteThrough:
@@ -613,6 +643,10 @@ func (t *Tiered) Update(key string, fn func(old []byte, exists bool) []byte) err
 				return err
 			}
 			if ok {
+				v, derr := decodeStorageValue(v)
+				if derr != nil {
+					return derr
+				}
 				old, exists = v, true
 			}
 		}
@@ -623,9 +657,9 @@ func (t *Tiered) Update(key string, fn func(old []byte, exists bool) []byte) err
 	}
 	switch t.opts.Policy {
 	case WriteThrough:
-		return t.writeThrough(key, newVal, false)
+		return t.writeThrough(key, newVal, false, false, false)
 	case WriteBack:
-		return t.writeBack(key, newVal, false)
+		return t.writeBack(key, newVal, false, false, false)
 	default:
 		t.applyToCache(key, newVal, false)
 		t.maybeEvictKey(key)

@@ -3,6 +3,8 @@ package cache
 import (
 	"sync"
 	"time"
+
+	"tierbase/internal/engine"
 )
 
 // Write-back implementation (paper §4.1.2).
@@ -54,14 +56,15 @@ func (t *Tiered) waitStripeRoomLocked(ds *dirtyStripe) (closed bool) {
 	return t.closed.Load()
 }
 
-// setDirtyLocked records key as dirty in ds (nil stored = tombstone),
-// maintaining the cross-stripe count. Caller holds ds.mu.
-func (t *Tiered) setDirtyLocked(ds *dirtyStripe, key string, stored []byte) {
+// setDirtyLocked records key as dirty in ds (nil stored = tombstone; enc
+// marks a typed collection blob), maintaining the cross-stripe count.
+// Caller holds ds.mu.
+func (t *Tiered) setDirtyLocked(ds *dirtyStripe, key string, stored []byte, enc bool) {
 	ds.gen++
 	if _, existed := ds.entries[key]; !existed {
 		t.dirtyCount.Add(1)
 	}
-	ds.entries[key] = &dirtyEntry{val: stored, gen: ds.gen}
+	ds.entries[key] = &dirtyEntry{val: stored, gen: ds.gen, enc: enc}
 }
 
 // wakeFlusher nudges the flush loop without blocking (the channel holds
@@ -74,7 +77,9 @@ func (t *Tiered) wakeFlusher() {
 }
 
 // writeBack applies one write (or delete) under the write-back policy.
-func (t *Tiered) writeBack(key string, val []byte, del bool) error {
+// enc marks val as a typed collection blob; pre marks a propagated outcome
+// already applied to the primary engine (see rmw.go).
+func (t *Tiered) writeBack(key string, val []byte, del, enc, pre bool) error {
 	// Backpressure: hold the writer while ITS stripe of the dirty set is
 	// saturated ("a backpressure mechanism is activated when dirty data
 	// approaches a predefined threshold"). Other stripes' writers are
@@ -92,12 +97,16 @@ func (t *Tiered) writeBack(key string, val []byte, del bool) error {
 			stored = []byte{} // empty value, not a tombstone
 		}
 	}
-	t.setDirtyLocked(ds, key, stored)
+	t.setDirtyLocked(ds, key, stored, enc)
 	ds.mu.Unlock()
 
-	t.applyToCache(key, val, del)
-	if !del {
-		t.maybeEvictKey(key)
+	if pre {
+		t.applyPropagated(key, val, del, enc)
+	} else {
+		t.applyToCache(key, val, del)
+		if !del {
+			t.maybeEvictKey(key)
+		}
 	}
 	if t.dirtyCount.Load() >= int64(t.opts.FlushBatch) {
 		t.wakeFlusher()
@@ -179,7 +188,13 @@ collect:
 				}
 				break collect
 			}
-			batch[k] = e.val
+			v := e.val
+			if !e.enc {
+				// Raw strings escape on the way to storage so they never
+				// collide with typed collection blobs.
+				v = engine.EscapeStringValue(v)
+			}
+			batch[k] = v
 			recs = append(recs, flushRec{key: k, gen: e.gen})
 		}
 		ds.mu.Unlock()

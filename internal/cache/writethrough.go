@@ -1,6 +1,10 @@
 package cache
 
-import "sync"
+import (
+	"sync"
+
+	"tierbase/internal/engine"
+)
 
 // Write-through implementation (paper §4.1.1).
 //
@@ -87,6 +91,8 @@ type wtQueue struct {
 type wtPending struct {
 	val     []byte
 	del     bool
+	enc     bool // val is a typed collection blob (already storage-encoded)
+	pre     bool // outcome already applied to the primary engine (propagated)
 	waiters []chan error
 }
 
@@ -96,10 +102,11 @@ func (t *Tiered) wtStripeFor(key string) *wtStripe {
 }
 
 // writeThrough routes one write (or delete) through the per-key queue on
-// the key's stripe.
-func (t *Tiered) writeThrough(key string, val []byte, del bool) error {
+// the key's stripe. enc marks val as a typed collection blob; pre marks a
+// propagated outcome already applied to the primary engine (see rmw.go).
+func (t *Tiered) writeThrough(key string, val []byte, del, enc, pre bool) error {
 	if t.opts.DisableCoalescing {
-		return t.wtCommit(key, val, del)
+		return t.wtCommit(key, val, del, enc, pre)
 	}
 	st := t.wtStripeFor(key)
 	st.mu.Lock()
@@ -114,7 +121,7 @@ func (t *Tiered) writeThrough(key string, val []byte, del bool) error {
 	if ok {
 		// Piggyback on the in-flight leader: replace the pending value
 		// (coalescing) and wait for the commit that covers us.
-		ch := t.wtEnqueueLocked(q, val, del)
+		ch := t.wtEnqueueLocked(q, val, del, enc, pre)
 		st.mu.Unlock()
 		return <-ch
 	}
@@ -122,7 +129,7 @@ func (t *Tiered) writeThrough(key string, val []byte, del bool) error {
 	st.queues[key] = q
 	st.mu.Unlock()
 
-	err := t.wtCommit(key, val, del)
+	err := t.wtCommit(key, val, del, enc, pre)
 	t.wtFinishLeaderLocked(st, key, true)
 	return err
 }
@@ -131,7 +138,7 @@ func (t *Tiered) writeThrough(key string, val []byte, del bool) error {
 // the pending value is replaced (coalescing) and the caller's ack channel
 // joins the waiters the covering commit will release. Caller holds the
 // stripe lock.
-func (t *Tiered) wtEnqueueLocked(q *wtQueue, val []byte, del bool) chan error {
+func (t *Tiered) wtEnqueueLocked(q *wtQueue, val []byte, del, enc, pre bool) chan error {
 	if q.pending == nil {
 		q.pending = &wtPending{}
 	} else {
@@ -139,6 +146,8 @@ func (t *Tiered) wtEnqueueLocked(q *wtQueue, val []byte, del bool) chan error {
 	}
 	q.pending.val = val
 	q.pending.del = del
+	q.pending.enc = enc
+	q.pending.pre = pre
 	ch := make(chan error, 1)
 	q.pending.waiters = append(q.pending.waiters, ch)
 	return ch
@@ -167,7 +176,7 @@ func (t *Tiered) wtFinishLeaderLocked(st *wtStripe, key string, lock bool) {
 // wtDrain commits coalesced rounds until the queue empties.
 func (t *Tiered) wtDrain(st *wtStripe, key string, q *wtQueue, cur *wtPending) {
 	for {
-		err := t.wtCommit(key, cur.val, cur.del)
+		err := t.wtCommit(key, cur.val, cur.del, cur.enc, cur.pre)
 		for _, ch := range cur.waiters {
 			ch <- err
 		}
@@ -187,16 +196,27 @@ func (t *Tiered) wtDrain(st *wtStripe, key string, q *wtQueue, cur *wtPending) {
 
 // wtCommit performs one synchronous storage write and, on success, applies
 // the result to the cache tier; on failure it invalidates the cache entry.
-func (t *Tiered) wtCommit(key string, val []byte, del bool) error {
+// Raw string values are escaped on the way to storage so they never
+// collide with typed collection blobs; pre-applied (propagated) outcomes
+// skip the primary-engine apply (rmw.go).
+func (t *Tiered) wtCommit(key string, val []byte, del, enc, pre bool) error {
 	var err error
 	if del {
 		err = t.opts.Storage.Delete(key)
 	} else {
-		err = t.opts.Storage.Put(key, val)
+		stored := val
+		if !enc {
+			stored = engine.EscapeStringValue(val)
+		}
+		err = t.opts.Storage.Put(key, stored)
 	}
 	if err != nil {
 		t.invalidate(key)
 		return err
+	}
+	if pre {
+		t.applyPropagated(key, val, del, enc)
+		return nil
 	}
 	t.applyToCache(key, val, del)
 	if !del {
@@ -229,7 +249,7 @@ func (t *Tiered) wtBatchCommit(uniq []string, entries map[string][]byte) error {
 		// A batch of one is a single-key write; skip the marker machinery.
 		k := uniq[0]
 		v := entries[k]
-		return t.writeThrough(k, v, v == nil)
+		return t.writeThrough(k, v, v == nil, false, false)
 	}
 
 	// Admission: one stripe lock per touched stripe. The uncontended fast
@@ -277,14 +297,14 @@ func (t *Tiered) wtBatchCommit(uniq []string, entries map[string][]byte) error {
 		for _, k := range group {
 			if q, ok := st.queues[k]; ok {
 				v := entries[k]
-				waits = append(waits, t.wtEnqueueLocked(q, v, v == nil))
+				waits = append(waits, t.wtEnqueueLocked(q, v, v == nil, false, false))
 				continue
 			}
 			if st.coveredByBatchLocked(k) {
 				q := &wtQueue{inflight: true, batchOwned: true}
 				st.queues[k] = q
 				v := entries[k]
-				waits = append(waits, t.wtEnqueueLocked(q, v, v == nil))
+				waits = append(waits, t.wtEnqueueLocked(q, v, v == nil, false, false))
 				continue
 			}
 			led = append(led, k)
@@ -362,7 +382,7 @@ func (t *Tiered) wtCommitGroup(keys []string, entries map[string][]byte) error {
 	if allDel {
 		err = t.opts.Storage.BatchDelete(keys)
 	} else {
-		err = t.opts.Storage.BatchPut(entries)
+		err = t.opts.Storage.BatchPut(escapeEntries(entries))
 	}
 	if err != nil {
 		for _, k := range keys {
@@ -372,4 +392,29 @@ func (t *Tiered) wtCommitGroup(keys []string, entries map[string][]byte) error {
 	}
 	t.applyBatchToCache(entries)
 	return nil
+}
+
+// escapeEntries returns entries with any typed-marker-colliding string
+// value escaped for storage. The common case (no collisions) returns the
+// input map untouched; otherwise a shallow copy is built so the caller's
+// map — which later applies to the cache tier — keeps the raw values.
+func escapeEntries(entries map[string][]byte) map[string][]byte {
+	var escaped map[string][]byte
+	for k, v := range entries {
+		ev := engine.EscapeStringValue(v)
+		if len(ev) == len(v) {
+			continue
+		}
+		if escaped == nil {
+			escaped = make(map[string][]byte, len(entries))
+			for k2, v2 := range entries {
+				escaped[k2] = v2
+			}
+		}
+		escaped[k] = ev
+	}
+	if escaped != nil {
+		return escaped
+	}
+	return entries
 }

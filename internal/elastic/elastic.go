@@ -42,8 +42,15 @@ type PoolOptions struct {
 	// QueueSize bounds the pending task queue (default 4096).
 	QueueSize int
 	// BoostQueueDepth triggers scale-up when the queue backlog exceeds it
-	// (default QueueSize/8).
+	// (default QueueSize/8). Note that callers which keep at most one task
+	// in flight per connection (the server's command loop) produce a depth
+	// of at most connections-1, so front ends should set this to a small
+	// absolute value rather than relying on the queue-relative default.
 	BoostQueueDepth int
+	// BoostTicks is how many consecutive hot evaluations are needed before
+	// scaling up (boost-side hysteresis; default 1: react on the first
+	// tick that observes a backlog).
+	BoostTicks int
 	// EvalInterval is the controller period (default 10 ms).
 	EvalInterval time.Duration
 	// CooldownTicks is how many consecutive calm evaluations are needed
@@ -67,6 +74,9 @@ func (o *PoolOptions) fill() {
 			o.BoostQueueDepth = 1
 		}
 	}
+	if o.BoostTicks <= 0 {
+		o.BoostTicks = 1
+	}
 	if o.EvalInterval <= 0 {
 		o.EvalInterval = 10 * time.Millisecond
 	}
@@ -78,10 +88,21 @@ func (o *PoolOptions) fill() {
 // ErrStopped is returned by Submit after Stop.
 var ErrStopped = errors.New("elastic: pool stopped")
 
+// Task is one unit of work. Submitting a long-lived Task object (instead
+// of a fresh closure per call) keeps the submission path allocation-free;
+// the server reuses one task per connection this way.
+type Task interface{ Run() }
+
+// funcTask adapts a plain closure to Task. Func values are pointer-shaped,
+// so the interface conversion itself does not allocate.
+type funcTask func()
+
+func (f funcTask) Run() { f() }
+
 // Pool is an elastically sized worker pool processing submitted tasks.
 type Pool struct {
 	opts   PoolOptions
-	tasks  chan func()
+	tasks  chan Task
 	quitCh chan struct{} // one receive per worker retires it
 	stopCh chan struct{}
 	wg     sync.WaitGroup
@@ -92,8 +113,9 @@ type Pool struct {
 	boosts   atomic.Int64 // scale-up events
 	shrinks  atomic.Int64 // scale-down events
 	executed atomic.Int64
-	rate     *metrics.WindowMeter
+	rate     *metrics.WindowCounter
 	calm     int
+	hot      int
 }
 
 // NewPool builds and starts a pool in single mode (or Fixed workers).
@@ -101,10 +123,10 @@ func NewPool(opts PoolOptions) *Pool {
 	opts.fill()
 	p := &Pool{
 		opts:   opts,
-		tasks:  make(chan func(), opts.QueueSize),
+		tasks:  make(chan Task, opts.QueueSize),
 		quitCh: make(chan struct{}, opts.MaxWorkers),
 		stopCh: make(chan struct{}),
-		rate:   metrics.NewWindowMeter(10, 20*time.Millisecond),
+		rate:   metrics.NewWindowCounter(10, 100*time.Millisecond),
 	}
 	start := 1
 	if opts.Fixed > 0 {
@@ -134,7 +156,7 @@ func (p *Pool) spawnWorker() {
 				if !ok {
 					return
 				}
-				task()
+				task.Run()
 				p.executed.Add(1)
 			case <-p.quitCh:
 				return
@@ -146,7 +168,7 @@ func (p *Pool) spawnWorker() {
 						if !ok {
 							return
 						}
-						task()
+						task.Run()
 						p.executed.Add(1)
 					default:
 						return
@@ -157,7 +179,9 @@ func (p *Pool) spawnWorker() {
 	}()
 }
 
-// controlLoop evaluates load and adjusts the worker count with hysteresis.
+// controlLoop evaluates load and adjusts the worker count with hysteresis
+// on both edges: BoostTicks consecutive hot samples before scaling up,
+// CooldownTicks consecutive idle samples before scaling back down.
 func (p *Pool) controlLoop() {
 	defer p.ctlWg.Done()
 	t := time.NewTicker(p.opts.EvalInterval)
@@ -172,7 +196,12 @@ func (p *Pool) controlLoop() {
 		cur := int(p.workers.Load())
 		switch {
 		case depth >= p.opts.BoostQueueDepth && cur < p.opts.MaxWorkers:
-			// Burst detected: add workers aggressively (double).
+			p.calm = 0
+			p.hot++
+			if p.hot < p.opts.BoostTicks {
+				break
+			}
+			// Burst confirmed: add workers aggressively (double).
 			add := cur
 			if cur+add > p.opts.MaxWorkers {
 				add = p.opts.MaxWorkers - cur
@@ -181,8 +210,9 @@ func (p *Pool) controlLoop() {
 				p.spawnWorker()
 			}
 			p.boosts.Add(1)
-			p.calm = 0
+			p.hot = 0
 		case depth == 0 && cur > 1:
+			p.hot = 0
 			p.calm++
 			if p.calm >= p.opts.CooldownTicks {
 				// Calm long enough: retire all extra workers.
@@ -198,23 +228,30 @@ func (p *Pool) controlLoop() {
 			}
 		default:
 			p.calm = 0
+			p.hot = 0
 		}
 	}
 }
 
-// Submit enqueues a task, blocking when the queue is full (natural
-// backpressure that the controller observes as depth).
-func (p *Pool) Submit(task func()) error {
+// SubmitTask enqueues a task, blocking when the queue is full (natural
+// backpressure that the controller observes as depth). Allocation-free
+// when t is a reused object.
+func (p *Pool) SubmitTask(t Task) error {
 	if p.stopped.Load() {
 		return ErrStopped
 	}
 	p.rate.Mark(1)
 	select {
-	case p.tasks <- task:
+	case p.tasks <- t:
 		return nil
 	case <-p.stopCh:
 		return ErrStopped
 	}
+}
+
+// Submit enqueues a plain closure.
+func (p *Pool) Submit(task func()) error {
+	return p.SubmitTask(funcTask(task))
 }
 
 // SubmitWait runs the task through the pool and waits for completion.
@@ -243,25 +280,31 @@ func (p *Pool) Mode() Mode {
 
 // Stats summarizes controller activity.
 type Stats struct {
-	Workers  int
-	Boosts   int64
-	Shrinks  int64
-	Executed int64
-	Backlog  int
+	Workers    int
+	MaxWorkers int
+	Boosts     int64
+	Shrinks    int64
+	Executed   int64
+	Backlog    int
+	SubmitRate float64 // submissions/sec over the recent window
 }
 
 // Stats returns a snapshot.
 func (p *Pool) Stats() Stats {
 	return Stats{
-		Workers:  p.Workers(),
-		Boosts:   p.boosts.Load(),
-		Shrinks:  p.shrinks.Load(),
-		Executed: p.executed.Load(),
-		Backlog:  len(p.tasks),
+		Workers:    p.Workers(),
+		MaxWorkers: p.opts.MaxWorkers,
+		Boosts:     p.boosts.Load(),
+		Shrinks:    p.shrinks.Load(),
+		Executed:   p.executed.Load(),
+		Backlog:    len(p.tasks),
+		SubmitRate: p.rate.Rate(),
 	}
 }
 
-// Stop drains pending tasks and stops all workers.
+// Stop stops the controller and all workers, then drains anything still
+// queued so no SubmitWait caller is left blocked on a task that never
+// runs (a Submit racing Stop can land a task after the workers exit).
 func (p *Pool) Stop() {
 	if p.stopped.Swap(true) {
 		return
@@ -269,4 +312,13 @@ func (p *Pool) Stop() {
 	close(p.stopCh)
 	p.ctlWg.Wait()
 	p.wg.Wait()
+	for {
+		select {
+		case task := <-p.tasks:
+			task.Run()
+			p.executed.Add(1)
+		default:
+			return
+		}
+	}
 }

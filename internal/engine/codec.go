@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Typed-value codec: snapshots collection items (lists, sets, sorted
+// sets, hashes) into self-describing byte blobs so the tiered write path
+// can persist them through the string-only storage tier and reinstall
+// them on a cache miss (including after a process restart).
+//
+// Blob format:
+//
+//	0xFF | kind byte | uvarint count | count × element
+//
+// list element:  uvarint len | bytes
+// set element:   uvarint len | member
+// zset element:  uvarint len | member | 8-byte big-endian float64 bits
+// hash element:  uvarint flen | field | uvarint vlen | value
+//
+// Raw string values share the same storage namespace, so a string that
+// happens to begin with 0xFF is escaped on its way to storage as
+// 0xFF 0x00 <raw>; kind bytes are never 0x00, so escaped strings and
+// typed blobs cannot collide. Strings not starting with 0xFF (the
+// overwhelmingly common case) pass through storage unchanged.
+const (
+	typedMarker = 0xFF
+	escapedKind = 0x00
+)
+
+// ErrBadEncoding reports a corrupt typed-value blob.
+var ErrBadEncoding = errors.New("engine: bad typed-value encoding")
+
+// EscapeStringValue makes a raw string value safe to store alongside
+// typed blobs. Values not beginning with the typed marker are returned
+// unchanged (no copy); marker-prefixed values get a two-byte escape.
+func EscapeStringValue(raw []byte) []byte {
+	if len(raw) == 0 || raw[0] != typedMarker {
+		return raw
+	}
+	out := make([]byte, 0, len(raw)+2)
+	out = append(out, typedMarker, escapedKind)
+	return append(out, raw...)
+}
+
+// UnescapeStringValue undoes EscapeStringValue. The result may alias v.
+func UnescapeStringValue(v []byte) []byte {
+	if len(v) >= 2 && v[0] == typedMarker && v[1] == escapedKind {
+		return v[2:]
+	}
+	return v
+}
+
+// IsTypedValue reports whether a storage value is a typed collection blob
+// (as opposed to a raw or escaped string).
+func IsTypedValue(v []byte) bool {
+	return len(v) >= 2 && v[0] == typedMarker && v[1] != escapedKind
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(b, tmp[:binary.PutUvarint(tmp[:], v)]...)
+}
+
+func appendLenBytes(b, p []byte) []byte {
+	b = appendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendLenString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// EncodeCollection snapshots the collection at key into a typed blob.
+// ok is false when the key is absent, expired, or holds a string (strings
+// travel to storage as themselves, not as blobs).
+func (e *Engine) EncodeCollection(key string) (blob []byte, ok bool) {
+	s := e.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, live := s.getItem(key, e.now())
+	if !live || it.kind == KindString {
+		return nil, false
+	}
+	blob = append(blob, typedMarker, byte(it.kind))
+	switch it.kind {
+	case KindList:
+		blob = appendUvarint(blob, uint64(len(it.list)))
+		for _, v := range it.list {
+			blob = appendLenBytes(blob, v)
+		}
+	case KindSet:
+		blob = appendUvarint(blob, uint64(len(it.set)))
+		for m := range it.set {
+			blob = appendLenString(blob, m)
+		}
+	case KindZSet:
+		blob = appendUvarint(blob, uint64(len(it.zset.sorted)))
+		for _, ent := range it.zset.sorted {
+			blob = appendLenString(blob, ent.member)
+			var fb [8]byte
+			binary.BigEndian.PutUint64(fb[:], math.Float64bits(ent.score))
+			blob = append(blob, fb[:]...)
+		}
+	case KindHash:
+		blob = appendUvarint(blob, uint64(len(it.hash)))
+		for f, v := range it.hash {
+			blob = appendLenString(blob, f)
+			blob = appendLenBytes(blob, v)
+		}
+	default:
+		return nil, false
+	}
+	return blob, true
+}
+
+// readLenBytes decodes one uvarint-length-prefixed element, returning the
+// element (aliasing p) and the remainder.
+func readLenBytes(p []byte) ([]byte, []byte, error) {
+	l, n := binary.Uvarint(p)
+	if n <= 0 || l > uint64(len(p)-n) {
+		return nil, nil, ErrBadEncoding
+	}
+	p = p[n:]
+	return p[:l], p[l:], nil
+}
+
+// LoadEncoded decodes a typed blob (produced by EncodeCollection) and
+// installs it at key, replacing any existing entry. The installed item
+// has no TTL: TTL state is cache-tier-only and does not survive the trip
+// through storage. All element bytes are copied out of blob.
+func (e *Engine) LoadEncoded(key string, blob []byte) error {
+	if !IsTypedValue(blob) {
+		return ErrBadEncoding
+	}
+	kind := Kind(blob[1])
+	p := blob[2:]
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return ErrBadEncoding
+	}
+	p = p[n:]
+	it := &item{kind: kind, memBytes: int64(len(key)) + itemOverhead}
+	switch kind {
+	case KindList:
+		it.list = make([][]byte, 0, count)
+		for i := uint64(0); i < count; i++ {
+			el, rest, err := readLenBytes(p)
+			if err != nil {
+				return err
+			}
+			p = rest
+			it.list = append(it.list, append([]byte(nil), el...))
+			it.memBytes += int64(len(el)) + 24
+		}
+	case KindSet:
+		it.set = make(map[string]struct{}, count)
+		for i := uint64(0); i < count; i++ {
+			el, rest, err := readLenBytes(p)
+			if err != nil {
+				return err
+			}
+			p = rest
+			it.set[string(el)] = struct{}{}
+			it.memBytes += int64(len(el)) + 16
+		}
+	case KindZSet:
+		it.zset = newZSet()
+		for i := uint64(0); i < count; i++ {
+			el, rest, err := readLenBytes(p)
+			if err != nil {
+				return err
+			}
+			if len(rest) < 8 {
+				return ErrBadEncoding
+			}
+			score := math.Float64frombits(binary.BigEndian.Uint64(rest[:8]))
+			p = rest[8:]
+			it.zset.insert(string(el), score)
+			it.memBytes += int64(len(el)) + 32
+		}
+	case KindHash:
+		it.hash = make(map[string][]byte, count)
+		for i := uint64(0); i < count; i++ {
+			f, rest, err := readLenBytes(p)
+			if err != nil {
+				return err
+			}
+			v, rest, err := readLenBytes(rest)
+			if err != nil {
+				return err
+			}
+			p = rest
+			it.hash[string(f)] = append([]byte(nil), v...)
+			it.memBytes += int64(len(f)+len(v)) + 32
+		}
+	default:
+		return ErrBadEncoding
+	}
+	if len(p) != 0 {
+		return ErrBadEncoding
+	}
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, exists := s.items[key]; exists {
+		e.deleteItemLocked(s, key, old)
+	}
+	it.version = s.nextVersion()
+	s.items[key] = it
+	s.memUsed.Add(it.memBytes)
+	return nil
+}

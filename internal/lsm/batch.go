@@ -3,6 +3,7 @@ package lsm
 import (
 	"encoding/binary"
 	"errors"
+	"sync"
 )
 
 // Batch is an ordered set of writes committed as one unit by DB.Apply:
@@ -24,12 +25,17 @@ type batchOp struct {
 	val  []byte
 }
 
-// Put queues key=value.
+// Put queues key=value. Key and value are copied into one combined slab
+// (a single allocation per op). The slab must stay private to this op: the
+// memtable aliases it after Apply, so Reset never recycles it.
 func (b *Batch) Put(key, val []byte) {
+	kv := make([]byte, 0, len(key)+len(val))
+	kv = append(kv, key...)
+	kv = append(kv, val...)
 	b.ops = append(b.ops, batchOp{
 		kind: kindSet,
-		key:  append([]byte(nil), key...),
-		val:  append([]byte(nil), val...),
+		key:  kv[:len(key):len(key)],
+		val:  kv[len(key):],
 	})
 	b.bytes += int64(len(key) + len(val))
 }
@@ -52,10 +58,18 @@ func (b *Batch) Reset() {
 var errEmptyKey = errors.New("lsm: empty key")
 
 // batchWriter is one Apply call waiting in the group-commit queue.
+// Writers are pooled: done is a 1-buffered channel used as a completion
+// token (commitGroup sends exactly one token per writer; each Apply call
+// drains its own token, including the leader's), never closed, so the
+// same writer — and its channel — can be reused by the next Apply.
 type batchWriter struct {
 	b    *Batch
 	err  error
 	done chan struct{}
+}
+
+var writerPool = sync.Pool{
+	New: func() any { return &batchWriter{done: make(chan struct{}, 1)} },
 }
 
 // Apply commits the batch atomically. Concurrent Apply calls coalesce: the
@@ -75,14 +89,21 @@ func (db *DB) Apply(b *Batch) error {
 			return errEmptyKey
 		}
 	}
-	w := &batchWriter{b: b, done: make(chan struct{})}
+	w := writerPool.Get().(*batchWriter)
+	w.b, w.err = b, nil
 	db.pendMu.Lock()
+	if db.pend == nil && db.pendSpare != nil {
+		db.pend, db.pendSpare = db.pendSpare, nil
+	}
 	db.pend = append(db.pend, w)
 	leader := len(db.pend) == 1
 	db.pendMu.Unlock()
 	if !leader {
 		<-w.done
-		return w.err
+		err := w.err
+		w.b = nil
+		writerPool.Put(w)
+		return err
 	}
 	db.commitMu.Lock()
 	db.pendMu.Lock()
@@ -91,7 +112,18 @@ func (db *DB) Apply(b *Batch) error {
 	db.pendMu.Unlock()
 	db.commitGroup(group)
 	db.commitMu.Unlock()
-	return w.err
+	<-w.done // commitGroup already sent our token; never blocks
+	err := w.err
+	w.b = nil
+	writerPool.Put(w)
+	// Recycle the group slice for a future leader. Entries were cleared by
+	// commitGroup, so the spare does not root pooled writers.
+	db.pendMu.Lock()
+	if db.pendSpare == nil {
+		db.pendSpare = group[:0]
+	}
+	db.pendMu.Unlock()
+	return err
 }
 
 // commitGroup commits a group of batches as one unit. Caller holds
@@ -99,9 +131,10 @@ func (db *DB) Apply(b *Batch) error {
 // append fails, nothing reaches the memtable.
 func (db *DB) commitGroup(group []*batchWriter) {
 	finish := func(err error) {
-		for _, w := range group {
+		for i, w := range group {
 			w.err = err
-			close(w.done)
+			w.done <- struct{}{} // completion token; done is 1-buffered
+			group[i] = nil       // don't root pooled writers via pendSpare
 		}
 	}
 	var n int
@@ -128,7 +161,14 @@ func (db *DB) commitGroup(group []*batchWriter) {
 	db.mu.Unlock()
 
 	if db.wlog != nil {
-		if err := db.wlog.Append(encodeBatchRecord(base, group, n, int(bytes))); err != nil {
+		// The encode scratch is guarded by commitMu (held here) and reused
+		// across commits; wal.Append copies the payload out before returning.
+		db.walBuf = encodeBatchRecordInto(db.walBuf[:0], base, group, n, int(bytes))
+		err := db.wlog.Append(db.walBuf)
+		if cap(db.walBuf) > maxWALScratch {
+			db.walBuf = nil // don't pin a huge batch's buffer forever
+		}
+		if err != nil {
 			// The sequence range is burned but unused; replay tolerates gaps.
 			finish(err)
 			return
@@ -174,8 +214,20 @@ const (
 	batchRecVersion = 1
 )
 
+// maxWALScratch caps the retained size of the reused WAL encode buffer.
+const maxWALScratch = 1 << 20
+
 func encodeBatchRecord(base uint64, group []*batchWriter, n, bytes int) []byte {
-	buf := make([]byte, 0, 2+2*binary.MaxVarintLen64+n*(1+2*binary.MaxVarintLen64)+bytes)
+	return encodeBatchRecordInto(nil, base, group, n, bytes)
+}
+
+// encodeBatchRecordInto appends the batch record for group to buf.
+func encodeBatchRecordInto(buf []byte, base uint64, group []*batchWriter, n, bytes int) []byte {
+	if need := 2 + 2*binary.MaxVarintLen64 + n*(1+2*binary.MaxVarintLen64) + bytes; cap(buf)-len(buf) < need {
+		grown := make([]byte, len(buf), len(buf)+need)
+		copy(grown, buf)
+		buf = grown
+	}
 	var tmp [binary.MaxVarintLen64]byte
 	buf = append(buf, batchRecMarker, batchRecVersion)
 	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], base)]...)

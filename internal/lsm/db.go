@@ -120,9 +120,13 @@ type DB struct {
 	cache  *blockCache
 
 	// Write pipeline: pending group-commit queue + the commit lock.
-	pendMu   sync.Mutex
-	pend     []*batchWriter
-	commitMu sync.Mutex
+	// pendSpare recycles the previous group's slice for the next leader;
+	// walBuf is the WAL encode scratch, reused under commitMu.
+	pendMu    sync.Mutex
+	pend      []*batchWriter
+	pendSpare []*batchWriter
+	commitMu  sync.Mutex
+	walBuf    []byte
 
 	// nextFile allocates table file numbers; shared by the background
 	// flusher and the background compactor, so it must be atomic.
@@ -269,19 +273,32 @@ func decodeWALRecord(p []byte) (seq uint64, kind entryKind, key, val []byte, err
 // allocFileNum returns a fresh table file number.
 func (db *DB) allocFileNum() uint64 { return db.nextFile.Add(1) - 1 }
 
+// batchPool recycles the one-op batch envelope used by Put/Delete. Only
+// the Batch struct and its ops slice are reused — the per-op key/value
+// slab is always fresh, because the memtable aliases it after Apply.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
 // Put stores key=value. It is a one-op Apply: singles ride the same group
-// commit as batches, so concurrent Puts coalesce into one WAL record.
+// commit as batches, so concurrent Puts coalesce into one WAL record. The
+// batch envelope is pooled, so a sequential Put costs one allocation (the
+// combined key/value slab).
 func (db *DB) Put(key, value []byte) error {
-	b := &Batch{}
+	b := batchPool.Get().(*Batch)
+	b.Reset()
 	b.Put(key, value)
-	return db.Apply(b)
+	err := db.Apply(b)
+	batchPool.Put(b)
+	return err
 }
 
 // Delete removes key (writes a tombstone).
 func (db *DB) Delete(key []byte) error {
-	b := &Batch{}
+	b := batchPool.Get().(*Batch)
+	b.Reset()
 	b.Delete(key)
-	return db.Apply(b)
+	err := db.Apply(b)
+	batchPool.Put(b)
+	return err
 }
 
 // Get fetches the value for key, or ErrNotFound. The returned slice is a

@@ -7,28 +7,76 @@ package server
 import (
 	"bufio"
 	"errors"
-	"fmt"
 	"io"
+	"net"
 	"strconv"
 )
 
-// RESP2 protocol primitives.
+// RESP2 protocol primitives — the zero-allocation hot path.
+//
+// Parsing: cmdReader owns a per-connection arena. Protocol lines are read
+// with bufio.Reader.ReadSlice (aliasing the reader's internal buffer — no
+// copy, no allocation); bulk payloads land in the arena, and the returned
+// args alias arena memory. Both are valid ONLY until the next ReadCommand
+// on the same connection, which is exactly the command's execution window:
+// command execution is synchronous (the connection goroutine blocks until
+// the shard worker finishes), so nothing downstream can observe a recycled
+// buffer. Every layer below the server copies what it retains (the engine
+// copies on Set, the LSM batch copies on Put), so aliasing is safe.
+//
+// Encoding: replies append into a per-connection output buffer with the
+// append* helpers below (strconv.AppendInt-style), written to the socket
+// in one syscall per pipeline window. No reply objects, no fmt.
 
 var errProtocol = errors.New("resp: protocol error")
 
-// readCommand parses one client command: either a RESP array of bulk
-// strings or an inline space-separated line.
-func readCommand(r *bufio.Reader) ([][]byte, error) {
-	line, err := readLine(r)
+const (
+	maxArgs    = 1024 * 1024
+	maxBulkLen = 512 << 20
+	// maxRetainedArena caps the arena (and line-accumulator) size kept
+	// across commands, so one huge value doesn't pin its buffer forever.
+	maxRetainedArena = 1 << 20
+)
+
+// cmdReader parses commands for one connection into reusable buffers.
+type cmdReader struct {
+	r     *bufio.Reader
+	buf   []byte // arena holding the current command's bulk payloads
+	args  [][]byte
+	spans []span // arg offsets into buf (buf may reallocate while filling)
+}
+
+// span locates one argument inside the arena.
+type span struct{ off, n int }
+
+func newCmdReader(nc net.Conn) *cmdReader {
+	return &cmdReader{r: bufio.NewReaderSize(nc, 16<<10)}
+}
+
+// Buffered reports bytes already read from the socket but not yet parsed
+// (pipelined commands waiting).
+func (c *cmdReader) Buffered() int { return c.r.Buffered() }
+
+// ReadCommand parses one client command: a RESP array of bulk strings or
+// an inline space-separated line. The returned args alias the reader's
+// internal buffers and are valid only until the next ReadCommand.
+func (c *cmdReader) ReadCommand() ([][]byte, error) {
+	line, err := c.readLine()
 	if err != nil {
 		return nil, err
 	}
 	if len(line) == 0 {
 		return nil, errProtocol
 	}
+	c.args = c.args[:0]
+	if cap(c.buf) > maxRetainedArena {
+		c.buf = nil
+	}
+	c.buf = c.buf[:0]
+	c.spans = c.spans[:0]
 	if line[0] != '*' {
-		// Inline command.
-		var args [][]byte
+		// Inline command: one line, so the args may alias the bufio buffer
+		// directly (nothing else is read before the caller is done).
 		start := -1
 		for i := 0; i <= len(line); i++ {
 			if i < len(line) && line[i] != ' ' {
@@ -38,47 +86,70 @@ func readCommand(r *bufio.Reader) ([][]byte, error) {
 				continue
 			}
 			if start >= 0 {
-				args = append(args, line[start:i])
+				c.args = append(c.args, line[start:i])
 				start = -1
 			}
 		}
-		if len(args) == 0 {
+		if len(c.args) == 0 {
 			return nil, errProtocol
 		}
-		return args, nil
+		return c.args, nil
 	}
-	n, err := strconv.Atoi(string(line[1:]))
-	if err != nil || n < 0 || n > 1024*1024 {
+	n := parseSize(line[1:])
+	if n < 0 || n > maxArgs {
 		return nil, errProtocol
 	}
-	args := make([][]byte, 0, n)
 	for i := 0; i < n; i++ {
-		hdr, err := readLine(r)
+		hdr, err := c.readLine()
 		if err != nil {
 			return nil, err
 		}
 		if len(hdr) < 2 || hdr[0] != '$' {
 			return nil, errProtocol
 		}
-		blen, err := strconv.Atoi(string(hdr[1:]))
-		if err != nil || blen < 0 || blen > 512*1024*1024 {
+		blen := parseSize(hdr[1:])
+		if blen < 0 || blen > maxBulkLen {
 			return nil, errProtocol
 		}
-		buf := make([]byte, blen+2)
-		if _, err := io.ReadFull(r, buf); err != nil {
+		off := len(c.buf)
+		need := blen + 2 // payload + CRLF
+		if cap(c.buf)-off < need {
+			grown := make([]byte, off, off+need)
+			copy(grown, c.buf)
+			c.buf = grown
+		}
+		payload := c.buf[off : off+need]
+		if _, err := io.ReadFull(c.r, payload); err != nil {
 			return nil, err
 		}
-		if buf[blen] != '\r' || buf[blen+1] != '\n' {
+		if payload[blen] != '\r' || payload[blen+1] != '\n' {
 			return nil, errProtocol
 		}
-		args = append(args, buf[:blen])
+		c.buf = c.buf[:off+blen] // CRLF stays out of the arena
+		c.spans = append(c.spans, span{off, blen})
 	}
-	return args, nil
+	// Build args only after every payload landed: the arena may have
+	// reallocated while filling, so earlier slices could point at a dead
+	// backing array — the spans don't.
+	for _, sp := range c.spans {
+		c.args = append(c.args, c.buf[sp.off:sp.off+sp.n])
+	}
+	return c.args, nil
 }
 
-// readLine reads one CRLF-terminated line (without the terminator).
-func readLine(r *bufio.Reader) ([]byte, error) {
-	line, err := r.ReadBytes('\n')
+// readLine reads one CRLF-terminated line without the terminator. The
+// result aliases the bufio buffer; a line longer than the buffer falls
+// back to an allocating accumulator (cold path).
+func (c *cmdReader) readLine() ([]byte, error) {
+	line, err := c.r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		acc := append([]byte(nil), line...)
+		for err == bufio.ErrBufferFull {
+			line, err = c.r.ReadSlice('\n')
+			acc = append(acc, line...)
+		}
+		line = acc
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -88,71 +159,173 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 	return line[:len(line)-2], nil
 }
 
-// reply value constructors; each writes itself to a bufio.Writer.
-
-type reply interface{ write(w *bufio.Writer) error }
-
-type simpleReply string
-
-func (s simpleReply) write(w *bufio.Writer) error {
-	_, err := fmt.Fprintf(w, "+%s\r\n", string(s))
-	return err
-}
-
-type errReply string
-
-func (e errReply) write(w *bufio.Writer) error {
-	_, err := fmt.Fprintf(w, "-ERR %s\r\n", string(e))
-	return err
-}
-
-type intReply int64
-
-func (i intReply) write(w *bufio.Writer) error {
-	_, err := fmt.Fprintf(w, ":%d\r\n", int64(i))
-	return err
-}
-
-type bulkReply []byte
-
-func (b bulkReply) write(w *bufio.Writer) error {
-	if b == nil {
-		_, err := w.WriteString("$-1\r\n")
-		return err
+// parseSize parses a non-negative decimal (RESP array/bulk headers),
+// returning -1 on anything else. Manual loop: strconv.Atoi needs a string.
+func parseSize(b []byte) int {
+	if len(b) == 0 {
+		return -1
 	}
-	if _, err := fmt.Fprintf(w, "$%d\r\n", len(b)); err != nil {
-		return err
-	}
-	if _, err := w.Write(b); err != nil {
-		return err
-	}
-	_, err := w.WriteString("\r\n")
-	return err
-}
-
-type arrayReply []reply
-
-func (a arrayReply) write(w *bufio.Writer) error {
-	if a == nil {
-		_, err := w.WriteString("*-1\r\n")
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "*%d\r\n", len(a)); err != nil {
-		return err
-	}
-	for _, el := range a {
-		if err := el.write(w); err != nil {
-			return err
+	n := 0
+	for _, d := range b {
+		if d < '0' || d > '9' {
+			return -1
+		}
+		n = n*10 + int(d-'0')
+		if n > maxBulkLen {
+			return -1
 		}
 	}
-	return nil
+	return n
 }
 
-// bulkStrings builds an array reply of bulk strings.
-func bulkStrings(ss ...string) arrayReply {
-	out := make(arrayReply, len(ss))
-	for i, s := range ss {
-		out[i] = bulkReply([]byte(s))
+// --- reply encoders (append-style) ---
+
+func appendSimple(out []byte, s string) []byte {
+	out = append(out, '+')
+	out = append(out, s...)
+	return append(out, '\r', '\n')
+}
+
+func appendError(out []byte, msg string) []byte {
+	out = append(out, "-ERR "...)
+	out = append(out, msg...)
+	return append(out, '\r', '\n')
+}
+
+func appendInt(out []byte, v int64) []byte {
+	out = append(out, ':')
+	out = strconv.AppendInt(out, v, 10)
+	return append(out, '\r', '\n')
+}
+
+func appendBulk(out, v []byte) []byte {
+	if v == nil {
+		return append(out, "$-1\r\n"...)
 	}
-	return out
+	out = append(out, '$')
+	out = strconv.AppendInt(out, int64(len(v)), 10)
+	out = append(out, '\r', '\n')
+	out = append(out, v...)
+	return append(out, '\r', '\n')
+}
+
+func appendBulkString(out []byte, s string) []byte {
+	out = append(out, '$')
+	out = strconv.AppendInt(out, int64(len(s)), 10)
+	out = append(out, '\r', '\n')
+	out = append(out, s...)
+	return append(out, '\r', '\n')
+}
+
+func appendArrayLen(out []byte, n int) []byte {
+	out = append(out, '*')
+	out = strconv.AppendInt(out, int64(n), 10)
+	return append(out, '\r', '\n')
+}
+
+// canonicalCommand maps a client's command token to its canonical
+// uppercase name without allocating: the token uppercases into scratch
+// and each switch comparison is an alloc-free equality check against a
+// constant; the returned string is that constant, not a conversion.
+// Unknown (or overlong) tokens return "".
+func canonicalCommand(tok []byte, scratch *[16]byte) string {
+	if len(tok) > len(scratch) {
+		return ""
+	}
+	b := scratch[:len(tok)]
+	for i, ch := range tok {
+		if 'a' <= ch && ch <= 'z' {
+			ch -= 'a' - 'A'
+		}
+		b[i] = ch
+	}
+	switch string(b) {
+	case "GET":
+		return "GET"
+	case "SET":
+		return "SET"
+	case "MGET":
+		return "MGET"
+	case "MSET":
+		return "MSET"
+	case "DEL":
+		return "DEL"
+	case "UNLINK":
+		return "UNLINK"
+	case "PING":
+		return "PING"
+	case "ECHO":
+		return "ECHO"
+	case "DBSIZE":
+		return "DBSIZE"
+	case "FLUSHALL":
+		return "FLUSHALL"
+	case "INFO":
+		return "INFO"
+	case "EXISTS":
+		return "EXISTS"
+	case "TYPE":
+		return "TYPE"
+	case "SETNX":
+		return "SETNX"
+	case "INCR":
+		return "INCR"
+	case "DECR":
+		return "DECR"
+	case "INCRBY":
+		return "INCRBY"
+	case "DECRBY":
+		return "DECRBY"
+	case "CAS":
+		return "CAS"
+	case "EXPIRE":
+		return "EXPIRE"
+	case "TTL":
+		return "TTL"
+	case "PERSIST":
+		return "PERSIST"
+	case "LPUSH":
+		return "LPUSH"
+	case "RPUSH":
+		return "RPUSH"
+	case "LPOP":
+		return "LPOP"
+	case "RPOP":
+		return "RPOP"
+	case "LLEN":
+		return "LLEN"
+	case "LRANGE":
+		return "LRANGE"
+	case "SADD":
+		return "SADD"
+	case "SREM":
+		return "SREM"
+	case "SISMEMBER":
+		return "SISMEMBER"
+	case "SCARD":
+		return "SCARD"
+	case "SMEMBERS":
+		return "SMEMBERS"
+	case "ZADD":
+		return "ZADD"
+	case "ZSCORE":
+		return "ZSCORE"
+	case "ZREM":
+		return "ZREM"
+	case "ZCARD":
+		return "ZCARD"
+	case "ZRANGE":
+		return "ZRANGE"
+	case "HSET":
+		return "HSET"
+	case "HGET":
+		return "HGET"
+	case "HDEL":
+		return "HDEL"
+	case "HLEN":
+		return "HLEN"
+	case "HGETALL":
+		return "HGETALL"
+	}
+	return ""
 }

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -39,7 +38,11 @@ type Options struct {
 	// server doesn't own the LSM handles — the tiered store sees only the
 	// Storage interface).
 	StorageStats func() []lsm.Stats
-	// Pool configures each shard's elastic pool.
+	// Pool configures each shard's elastic pool. When BoostQueueDepth is
+	// unset the server picks a small absolute default (see Start): each
+	// connection keeps at most one command in flight, so pool queue depth
+	// equals connections waiting for a worker, and the pool's
+	// queue-relative default would never trip.
 	Pool elastic.PoolOptions
 }
 
@@ -70,6 +73,9 @@ type shard struct {
 func Start(opts Options) (*Server, error) {
 	if opts.Shards <= 0 {
 		opts.Shards = 1
+	}
+	if opts.Pool.BoostQueueDepth <= 0 {
+		opts.Pool.BoostQueueDepth = 4
 	}
 	ln, err := net.Listen("tcp", opts.Addr)
 	if err != nil {
@@ -116,36 +122,229 @@ func (s *Server) shardFor(key []byte) *shard {
 	return s.shards[s.shardIndex(key)]
 }
 
-// submitOne runs fn on shard si's pool and folds pool shutdown and fn
-// errors into an error reply; a nil return means success and the caller
-// assembles its reply. It is the shared single-shard-group fast path of
-// mget/mset/del — when a whole batch lands on one shard there is no
-// fan-out to scaffold.
-func (s *Server) submitOne(si int, fn func(sh *shard) error) reply {
+var errShuttingDown = errors.New("server shutting down")
+
+// submitOne runs fn on shard si's pool, folding pool shutdown into an
+// error. It is the shared single-shard-group path of mget/mset/del.
+func (s *Server) submitOne(si int, fn func(sh *shard) error) error {
 	sh := s.shards[si]
 	var err error
 	if perr := sh.pool.SubmitWait(func() { err = fn(sh) }); perr != nil {
-		return errReply("server shutting down")
+		return errShuttingDown
 	}
-	if err != nil {
-		return errReply(err.Error())
-	}
-	return nil
+	return err
 }
 
-// bulkArray renders values (nil = absent) as an array of bulk replies.
-func bulkArray(vals [][]byte) reply {
-	out := make(arrayReply, len(vals))
-	for i, v := range vals {
-		out[i] = bulkReply(v)
-	}
-	return out
+// --- connection handling ---
+
+// conn is one client connection's state: the command reader (pooled parse
+// buffers), the reply output buffer, and the reusable pool task. One
+// command is in flight at a time, so every buffer here is single-owner at
+// any instant: the conn goroutine owns them between commands, the shard
+// worker owns out (via the task) during execution.
+type conn struct {
+	srv        *Server
+	nc         net.Conn
+	cr         *cmdReader
+	out        []byte
+	cmdScratch [16]byte
+	task       connTask
 }
 
-// mget serves MGET: keys group by shard, each shard runs one batch get on
-// its own pool (in parallel across shards), replies reassemble in request
-// order — the multi-key fan-out the paper's client batching relies on.
-func (s *Server) mget(keyArgs [][]byte) reply {
+const (
+	// flushThreshold forces a socket write mid-pipeline once this much
+	// reply data has accumulated.
+	flushThreshold = 64 << 10
+	// maxRetainedOut caps the reply buffer kept across commands.
+	maxRetainedOut = 1 << 20
+)
+
+// connTask is the connection's reusable elastic.Task: one command
+// execution on a shard worker. Reusing one task object (and its
+// 1-buffered done channel) keeps the submit path allocation-free. The
+// conn goroutine blocks on done until the worker finishes, so the fields
+// — and the parse buffers the args alias — are never reused concurrently.
+type connTask struct {
+	c    *conn
+	sh   *shard
+	cmd  string
+	args [][]byte
+	done chan struct{}
+}
+
+// Run executes the command on the shard worker, appending the reply to
+// the connection's output buffer.
+func (t *connTask) Run() {
+	t.c.out = execute(t.sh, t.cmd, t.args, t.c.out)
+	t.done <- struct{}{}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		s.connWg.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.connWg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		nc.Close()
+	}()
+	c := &conn{srv: s, nc: nc, cr: newCmdReader(nc)}
+	c.task.c = c
+	c.task.done = make(chan struct{}, 1)
+	for {
+		args, err := c.cr.ReadCommand()
+		if err != nil {
+			return
+		}
+		start := time.Now()
+		s.dispatch(c, args)
+		s.Latency.RecordDuration(time.Since(start))
+		s.Throughput.Mark(1)
+		// Write when no more pipelined commands are buffered (one syscall
+		// per pipeline window), or when the window's replies grow large.
+		if c.cr.Buffered() == 0 || len(c.out) >= flushThreshold {
+			if _, err := c.nc.Write(c.out); err != nil {
+				return
+			}
+			if cap(c.out) > maxRetainedOut {
+				c.out = nil
+			} else {
+				c.out = c.out[:0]
+			}
+		}
+	}
+}
+
+// submit runs one command on sh's pool through the connection's reusable
+// task and waits for completion.
+func (s *Server) submit(c *conn, sh *shard, cmd string, args [][]byte) {
+	t := &c.task
+	t.sh, t.cmd, t.args = sh, cmd, args
+	if err := sh.pool.SubmitTask(t); err != nil {
+		c.out = appendError(c.out, "server shutting down")
+		return
+	}
+	<-t.done
+	t.args = nil
+}
+
+// dispatch routes one command, appending its reply to c.out. Server-level
+// commands run inline on the connection goroutine; per-key commands run on
+// the owning shard's pool; multi-key commands fan out per shard.
+func (s *Server) dispatch(c *conn, args [][]byte) {
+	if len(args) == 0 {
+		c.out = appendError(c.out, "empty command")
+		return
+	}
+	cmd := canonicalCommand(args[0], &c.cmdScratch)
+	switch cmd {
+	case "PING":
+		c.out = appendSimple(c.out, "PONG")
+		return
+	case "ECHO":
+		if len(args) != 2 {
+			c.out = appendError(c.out, "wrong number of arguments for 'echo'")
+			return
+		}
+		c.out = appendBulk(c.out, args[1])
+		return
+	case "DBSIZE":
+		var n int64
+		for _, sh := range s.shards {
+			n += int64(sh.eng.Len())
+		}
+		c.out = appendInt(c.out, n)
+		return
+	case "FLUSHALL":
+		for _, sh := range s.shards {
+			sh.eng.FlushAll()
+		}
+		c.out = appendSimple(c.out, "OK")
+		return
+	case "INFO":
+		if len(args) > 2 {
+			c.out = appendError(c.out, "wrong number of arguments for 'info'")
+			return
+		}
+		section := ""
+		if len(args) == 2 {
+			section = strings.ToLower(string(args[1]))
+		}
+		c.out = appendBulkString(c.out, s.info(section))
+		return
+	case "MGET":
+		if len(args) < 2 {
+			c.out = appendError(c.out, "wrong number of arguments for 'mget'")
+			return
+		}
+		if len(args) == 2 {
+			// Single-key MGET (the client's GET vehicle): no fan-out, no
+			// per-key string bookkeeping — straight to the shard pool.
+			s.submit(c, s.shardFor(args[1]), cmd, args)
+			return
+		}
+		s.mget(c, args[1:])
+		return
+	case "MSET":
+		if len(args) < 3 || len(args)%2 != 1 {
+			c.out = appendError(c.out, "wrong number of arguments for 'mset'")
+			return
+		}
+		if len(args) == 3 {
+			// Single pair: identical to SET (both reply +OK).
+			s.submit(c, s.shardFor(args[1]), "SET", args)
+			return
+		}
+		s.mset(c, args[1:])
+		return
+	case "DEL", "UNLINK":
+		if len(args) < 2 {
+			c.out = appendError(c.out, "wrong number of arguments for 'del'")
+			return
+		}
+		if len(args) == 2 {
+			s.submit(c, s.shardFor(args[1]), "DEL", args)
+			return
+		}
+		s.del(c, args[1:])
+		return
+	case "":
+		c.out = append(c.out, "-ERR unknown command '"...)
+		c.out = append(c.out, args[0]...)
+		c.out = append(c.out, "'\r\n"...)
+		return
+	}
+	if len(args) < 2 {
+		c.out = appendError(c.out, "wrong number of arguments")
+		return
+	}
+	s.submit(c, s.shardFor(args[1]), cmd, args)
+}
+
+// mget serves multi-key MGET: keys group by shard, each shard runs one
+// batch get on its own pool (in parallel across shards), replies
+// reassemble in request order — the multi-key fan-out the paper's client
+// batching relies on.
+func (s *Server) mget(c *conn, keyArgs [][]byte) {
 	keys := make([]string, len(keyArgs))
 	groups := make(map[int][]int)
 	for i, k := range keyArgs {
@@ -155,21 +354,22 @@ func (s *Server) mget(keyArgs [][]byte) reply {
 	}
 	vals := make([][]byte, len(keys))
 	if len(groups) == 1 {
-		// Common case (single key, or all keys on one shard — e.g. a
-		// client's one-key MGET): skip the fan-out scaffolding.
+		// All keys on one shard: skip the fan-out scaffolding.
 		for si := range groups {
 			var got map[string][]byte
-			if rep := s.submitOne(si, func(sh *shard) (err error) {
+			if err := s.submitOne(si, func(sh *shard) (err error) {
 				got, err = sh.strMGet(keys)
 				return err
-			}); rep != nil {
-				return rep
+			}); err != nil {
+				c.out = appendError(c.out, err.Error())
+				return
 			}
 			for i, k := range keys {
 				vals[i] = got[k]
 			}
 		}
-		return bulkArray(vals)
+		c.out = appendBulkArray(c.out, vals)
+		return
 	}
 	errs := make([]error, 0, len(groups))
 	var mu sync.Mutex
@@ -203,35 +403,43 @@ func (s *Server) mget(keyArgs [][]byte) reply {
 	}
 	wg.Wait()
 	if len(errs) > 0 {
-		return errReply(errs[0].Error())
+		c.out = appendError(c.out, errs[0].Error())
+		return
 	}
-	return bulkArray(vals)
+	c.out = appendBulkArray(c.out, vals)
 }
 
-// del serves DEL/UNLINK: keys group by shard, each shard runs one tiered
-// BatchDelete on its own pool (in parallel across shards), and the reply
-// is the summed count of keys that existed in any tier. This replaces the
-// old per-key walk, which both paid one tiered call per key and pinned
-// every key to the first key's shard.
-func (s *Server) del(keyArgs [][]byte) reply {
+// appendBulkArray renders values (nil = absent) as an array of bulks.
+func appendBulkArray(out []byte, vals [][]byte) []byte {
+	out = appendArrayLen(out, len(vals))
+	for _, v := range vals {
+		out = appendBulk(out, v)
+	}
+	return out
+}
+
+// del serves multi-key DEL/UNLINK: keys group by shard, each shard runs
+// one tiered BatchDelete on its own pool (in parallel across shards), and
+// the reply is the summed count of keys that existed in any tier.
+func (s *Server) del(c *conn, keyArgs [][]byte) {
 	groups := make(map[int][]string)
 	for _, k := range keyArgs {
 		si := s.shardIndex(k)
 		groups[si] = append(groups[si], string(k))
 	}
 	if len(groups) == 1 {
-		// Common case (single key, or all keys on one shard): skip the
-		// fan-out scaffolding.
 		for si, keys := range groups {
 			var n int64
-			if rep := s.submitOne(si, func(sh *shard) (err error) {
+			if err := s.submitOne(si, func(sh *shard) (err error) {
 				n, err = sh.strBatchDel(keys)
 				return err
-			}); rep != nil {
-				return rep
+			}); err != nil {
+				c.out = appendError(c.out, err.Error())
+				return
 			}
-			return intReply(n)
+			c.out = appendInt(c.out, n)
 		}
+		return
 	}
 	var total int64
 	errs := make([]error, 0, len(groups))
@@ -260,36 +468,38 @@ func (s *Server) del(keyArgs [][]byte) reply {
 	}
 	wg.Wait()
 	if len(errs) > 0 {
-		return errReply(errs[0].Error())
+		c.out = appendError(c.out, errs[0].Error())
+		return
 	}
-	return intReply(total)
+	c.out = appendInt(c.out, total)
 }
 
-// mset serves MSET: pairs group by shard, each shard applies one batch put
-// on its own pool, in parallel across shards.
-func (s *Server) mset(kvArgs [][]byte) reply {
+// mset serves multi-pair MSET: pairs group by shard, each shard applies
+// one batch put on its own pool, in parallel across shards.
+func (s *Server) mset(c *conn, kvArgs [][]byte) {
 	groups := make(map[int]map[string][]byte)
 	for i := 0; i+1 < len(kvArgs); i += 2 {
 		si := s.shardIndex(kvArgs[i])
 		if groups[si] == nil {
 			groups[si] = make(map[string][]byte)
 		}
-		// Copy out of the read buffer; keep empty values non-nil (nil
+		// Copy out of the parse arena; keep empty values non-nil (nil
 		// means delete in BatchPut, and MSET k "" must store "").
 		val := make([]byte, len(kvArgs[i+1]))
 		copy(val, kvArgs[i+1])
 		groups[si][string(kvArgs[i])] = val
 	}
 	if len(groups) == 1 {
-		// Single-shard MSET (or single pair): no fan-out needed.
 		for si, entries := range groups {
-			if rep := s.submitOne(si, func(sh *shard) error {
+			if err := s.submitOne(si, func(sh *shard) error {
 				return sh.strMSet(entries)
-			}); rep != nil {
-				return rep
+			}); err != nil {
+				c.out = appendError(c.out, err.Error())
+				return
 			}
 		}
-		return simpleReply("OK")
+		c.out = appendSimple(c.out, "OK")
+		return
 	}
 	errs := make([]error, 0, len(groups))
 	var mu sync.Mutex
@@ -312,123 +522,10 @@ func (s *Server) mset(kvArgs [][]byte) reply {
 	}
 	wg.Wait()
 	if len(errs) > 0 {
-		return errReply(errs[0].Error())
+		c.out = appendError(c.out, errs[0].Error())
+		return
 	}
-	return simpleReply("OK")
-}
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.connWg.Add(1)
-		go s.serveConn(conn)
-	}
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	defer s.connWg.Done()
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		conn.Close()
-	}()
-	r := bufio.NewReaderSize(conn, 16<<10)
-	w := bufio.NewWriterSize(conn, 16<<10)
-	for {
-		args, err := readCommand(r)
-		if err != nil {
-			return
-		}
-		start := time.Now()
-		rep := s.dispatch(args)
-		s.Latency.RecordDuration(time.Since(start))
-		s.Throughput.Mark(1)
-		if err := rep.write(w); err != nil {
-			return
-		}
-		// Flush when no more pipelined commands are buffered.
-		if r.Buffered() == 0 {
-			if err := w.Flush(); err != nil {
-				return
-			}
-		}
-	}
-}
-
-// dispatch routes one command to its shard pool and waits for the reply.
-func (s *Server) dispatch(args [][]byte) reply {
-	if len(args) == 0 {
-		return errReply("empty command")
-	}
-	cmd := strings.ToUpper(string(args[0]))
-	switch cmd {
-	case "PING":
-		return simpleReply("PONG")
-	case "ECHO":
-		if len(args) != 2 {
-			return errReply("wrong number of arguments for 'echo'")
-		}
-		return bulkReply(args[1])
-	case "DBSIZE":
-		var n int64
-		for _, sh := range s.shards {
-			n += int64(sh.eng.Len())
-		}
-		return intReply(n)
-	case "FLUSHALL":
-		for _, sh := range s.shards {
-			sh.eng.FlushAll()
-		}
-		return simpleReply("OK")
-	case "INFO":
-		if len(args) > 2 {
-			return errReply("wrong number of arguments for 'info'")
-		}
-		section := ""
-		if len(args) == 2 {
-			section = strings.ToLower(string(args[1]))
-		}
-		return bulkReply([]byte(s.info(section)))
-	case "MGET":
-		if len(args) < 2 {
-			return errReply("wrong number of arguments for 'mget'")
-		}
-		return s.mget(args[1:])
-	case "MSET":
-		if len(args) < 3 || len(args)%2 != 1 {
-			return errReply("wrong number of arguments for 'mset'")
-		}
-		return s.mset(args[1:])
-	case "DEL", "UNLINK":
-		if len(args) < 2 {
-			return errReply("wrong number of arguments for 'del'")
-		}
-		return s.del(args[1:])
-	}
-	if len(args) < 2 {
-		return errReply("wrong number of arguments")
-	}
-	key := args[1]
-	sh := s.shardFor(key)
-	var rep reply
-	err := sh.pool.SubmitWait(func() { rep = execute(sh, cmd, args) })
-	if err != nil {
-		return errReply("server shutting down")
-	}
-	return rep
+	c.out = appendSimple(c.out, "OK")
 }
 
 // info renders INFO output. section filters to one section ("server",
@@ -443,8 +540,15 @@ func (s *Server) info(section string) string {
 			st := sh.eng.Stats()
 			keys += st.Keys
 			mem += st.MemBytes
-			fmt.Fprintf(&b, "shard%d_workers:%d\r\nshard%d_mode:%s\r\n",
-				i, sh.pool.Workers(), i, sh.pool.Mode())
+			ps := sh.pool.Stats()
+			fmt.Fprintf(&b, "shard%d_workers:%d\r\n", i, ps.Workers)
+			fmt.Fprintf(&b, "shard%d_max_workers:%d\r\n", i, ps.MaxWorkers)
+			fmt.Fprintf(&b, "shard%d_mode:%s\r\n", i, sh.pool.Mode())
+			fmt.Fprintf(&b, "shard%d_boosts:%d\r\n", i, ps.Boosts)
+			fmt.Fprintf(&b, "shard%d_shrinks:%d\r\n", i, ps.Shrinks)
+			fmt.Fprintf(&b, "shard%d_queue_depth:%d\r\n", i, ps.Backlog)
+			fmt.Fprintf(&b, "shard%d_tasks:%d\r\n", i, ps.Executed)
+			fmt.Fprintf(&b, "shard%d_submit_rate:%.1f\r\n", i, ps.SubmitRate)
 		}
 		fmt.Fprintf(&b, "keys:%d\r\nmem_bytes:%d\r\n", keys, mem)
 		fmt.Fprintf(&b, "p99_ns:%d\r\n", s.Latency.P99())
@@ -635,332 +739,495 @@ func (sh *shard) strMSet(entries map[string][]byte) error {
 	return sh.eng.MSet(kvs)
 }
 
+// warm faults a tiered key into the engine before an engine-level op, so
+// commands that read or mutate engine state compose with values that were
+// evicted to storage or predate a restart.
+func (sh *shard) warm(key string) {
+	if sh.tiered != nil {
+		sh.tiered.Warm(key)
+	}
+}
+
+// rmw runs op — an engine mutation plus its storage propagation — with
+// cross-tier discipline on tiered shards: the key is warmed first, then
+// op runs under the key's RMW stripe lock so the propagation enqueues in
+// engine order (see cache/rmw.go). Cache-only shards run op directly.
+func (sh *shard) rmw(key string, op func() error) error {
+	if sh.tiered == nil {
+		return op()
+	}
+	sh.tiered.Warm(key)
+	return sh.tiered.Locked(key, op)
+}
+
+// propagateString pushes an engine-applied string outcome to storage.
+func (sh *shard) propagateString(key string, val []byte) error {
+	if sh.tiered == nil {
+		return nil
+	}
+	return sh.tiered.PropagateString(key, val)
+}
+
+// propagateCollection pushes key's current collection state — or its
+// deletion, when the op emptied it — to the storage tier.
+func (sh *shard) propagateCollection(key string) error {
+	if sh.tiered == nil {
+		return nil
+	}
+	if blob, ok := sh.eng.EncodeCollection(key); ok {
+		return sh.tiered.PropagateEncoded(key, blob)
+	}
+	return sh.tiered.PropagateDelete(key)
+}
+
 func notFoundish(err error) bool {
 	return errors.Is(err, engine.ErrNotFound) || errors.Is(err, cache.ErrNotFound)
 }
 
-func execute(sh *shard, cmd string, args [][]byte) reply {
+// execute runs one per-key command on its shard, appending the RESP reply
+// to out. args alias the connection's parse buffers: safe to read for the
+// duration of the call (execution is synchronous), copied by any layer
+// that retains them.
+func execute(sh *shard, cmd string, args [][]byte, out []byte) []byte {
 	eng := sh.eng
 	key := string(args[1])
 	switch cmd {
 	case "SET":
 		if len(args) != 3 {
-			return errReply("wrong number of arguments for 'set'")
+			return appendError(out, "wrong number of arguments for 'set'")
 		}
 		if err := sh.strSet(key, args[2]); err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		return simpleReply("OK")
+		return appendSimple(out, "OK")
 	case "GET":
 		v, err := sh.strGet(key)
 		if notFoundish(err) {
-			return bulkReply(nil)
+			return appendBulk(out, nil)
 		}
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		return bulkReply(v)
+		return appendBulk(out, v)
+	case "MGET":
+		// Single-key fast path (dispatch fans multi-key MGET out itself):
+		// same element semantics as the batch path — absent and
+		// wrong-typed keys report nil.
+		v, err := sh.strGet(key)
+		if err != nil {
+			if !notFoundish(err) && !errors.Is(err, engine.ErrWrongType) {
+				return appendError(out, err.Error())
+			}
+			v = nil
+		}
+		out = appendArrayLen(out, 1)
+		return appendBulk(out, v)
+	case "DEL":
+		// Single-key fast path; multi-key DEL fans out in dispatch.
+		n, err := sh.strBatchDel([]string{key})
+		if err != nil {
+			return appendError(out, err.Error())
+		}
+		return appendInt(out, n)
 	case "EXISTS":
+		sh.warm(key)
 		if eng.Exists(key) {
-			return intReply(1)
+			return appendInt(out, 1)
 		}
-		return intReply(0)
+		return appendInt(out, 0)
 	case "TYPE":
-		return simpleReply(eng.Type(key).String())
+		sh.warm(key)
+		return appendSimple(out, eng.Type(key).String())
 	case "SETNX":
 		if len(args) != 3 {
-			return errReply("wrong number of arguments for 'setnx'")
+			return appendError(out, "wrong number of arguments for 'setnx'")
 		}
-		ok, err := eng.SetNX(key, args[2])
+		var created bool
+		err := sh.rmw(key, func() error {
+			var err error
+			created, err = eng.SetNX(key, args[2])
+			if err != nil || !created {
+				return err
+			}
+			return sh.propagateString(key, args[2])
+		})
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		if ok {
-			return intReply(1)
+		if created {
+			return appendInt(out, 1)
 		}
-		return intReply(0)
+		return appendInt(out, 0)
 	case "INCR", "DECR", "INCRBY", "DECRBY":
 		delta := int64(1)
 		if cmd == "INCRBY" || cmd == "DECRBY" {
 			if len(args) != 3 {
-				return errReply("wrong number of arguments")
+				return appendError(out, "wrong number of arguments")
 			}
 			d, err := strconv.ParseInt(string(args[2]), 10, 64)
 			if err != nil {
-				return errReply("value is not an integer or out of range")
+				return appendError(out, "value is not an integer or out of range")
 			}
 			delta = d
 		}
 		if cmd == "DECR" || cmd == "DECRBY" {
 			delta = -delta
 		}
-		v, err := eng.IncrBy(key, delta)
+		var v int64
+		err := sh.rmw(key, func() error {
+			var err error
+			v, err = eng.IncrBy(key, delta)
+			if err != nil {
+				return err
+			}
+			return sh.propagateString(key, strconv.AppendInt(nil, v, 10))
+		})
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		return intReply(v)
+		return appendInt(out, v)
 	case "CAS":
 		// CAS key oldval newval — the paper's compare-and-set extension.
 		if len(args) != 4 {
-			return errReply("wrong number of arguments for 'cas'")
+			return appendError(out, "wrong number of arguments for 'cas'")
 		}
-		err := eng.CompareAndSet(key, args[2], args[3])
+		err := sh.rmw(key, func() error {
+			if err := eng.CompareAndSet(key, args[2], args[3]); err != nil {
+				return err
+			}
+			return sh.propagateString(key, args[3])
+		})
 		if err == engine.ErrCASMismatch {
-			return intReply(0)
+			return appendInt(out, 0)
 		}
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		return intReply(1)
+		return appendInt(out, 1)
 	case "EXPIRE":
 		if len(args) != 3 {
-			return errReply("wrong number of arguments for 'expire'")
+			return appendError(out, "wrong number of arguments for 'expire'")
 		}
 		secs, err := strconv.ParseInt(string(args[2]), 10, 64)
 		if err != nil {
-			return errReply("value is not an integer or out of range")
+			return appendError(out, "value is not an integer or out of range")
 		}
+		sh.warm(key)
 		if eng.Expire(key, time.Duration(secs)*time.Second) {
-			return intReply(1)
+			return appendInt(out, 1)
 		}
-		return intReply(0)
+		return appendInt(out, 0)
 	case "TTL":
+		sh.warm(key)
 		d, ok := eng.TTL(key)
 		if !ok {
 			if eng.Exists(key) {
-				return intReply(-1)
+				return appendInt(out, -1)
 			}
-			return intReply(-2)
+			return appendInt(out, -2)
 		}
-		return intReply(int64(d / time.Second))
+		return appendInt(out, int64(d/time.Second))
 	case "PERSIST":
+		sh.warm(key)
 		if eng.Persist(key) {
-			return intReply(1)
+			return appendInt(out, 1)
 		}
-		return intReply(0)
+		return appendInt(out, 0)
 	case "LPUSH", "RPUSH":
 		if len(args) < 3 {
-			return errReply("wrong number of arguments")
+			return appendError(out, "wrong number of arguments")
 		}
 		vals := args[2:]
 		var n int
-		var err error
-		if cmd == "LPUSH" {
-			n, err = eng.LPush(key, vals...)
-		} else {
-			n, err = eng.RPush(key, vals...)
-		}
+		err := sh.rmw(key, func() error {
+			var err error
+			if cmd == "LPUSH" {
+				n, err = eng.LPush(key, vals...)
+			} else {
+				n, err = eng.RPush(key, vals...)
+			}
+			if err != nil {
+				return err
+			}
+			return sh.propagateCollection(key)
+		})
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		return intReply(int64(n))
+		return appendInt(out, int64(n))
 	case "LPOP", "RPOP":
 		var v []byte
-		var err error
-		if cmd == "LPOP" {
-			v, err = eng.LPop(key)
-		} else {
-			v, err = eng.RPop(key)
-		}
+		err := sh.rmw(key, func() error {
+			var err error
+			if cmd == "LPOP" {
+				v, err = eng.LPop(key)
+			} else {
+				v, err = eng.RPop(key)
+			}
+			if err != nil {
+				return err
+			}
+			return sh.propagateCollection(key)
+		})
 		if notFoundish(err) {
-			return bulkReply(nil)
+			return appendBulk(out, nil)
 		}
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		return bulkReply(v)
+		return appendBulk(out, v)
 	case "LLEN":
+		sh.warm(key)
 		n, err := eng.LLen(key)
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		return intReply(int64(n))
+		return appendInt(out, int64(n))
 	case "LRANGE":
 		if len(args) != 4 {
-			return errReply("wrong number of arguments for 'lrange'")
+			return appendError(out, "wrong number of arguments for 'lrange'")
 		}
 		start, err1 := strconv.Atoi(string(args[2]))
 		stop, err2 := strconv.Atoi(string(args[3]))
 		if err1 != nil || err2 != nil {
-			return errReply("value is not an integer or out of range")
+			return appendError(out, "value is not an integer or out of range")
 		}
+		sh.warm(key)
 		vals, err := eng.LRange(key, start, stop)
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		out := make(arrayReply, len(vals))
-		for i, v := range vals {
-			out[i] = bulkReply(v)
+		out = appendArrayLen(out, len(vals))
+		for _, v := range vals {
+			out = appendBulk(out, v)
 		}
 		return out
 	case "SADD", "SREM":
 		if len(args) < 3 {
-			return errReply("wrong number of arguments")
+			return appendError(out, "wrong number of arguments")
 		}
 		members := make([]string, len(args)-2)
 		for i, a := range args[2:] {
 			members[i] = string(a)
 		}
 		var n int
-		var err error
-		if cmd == "SADD" {
-			n, err = eng.SAdd(key, members...)
-		} else {
-			n, err = eng.SRem(key, members...)
-		}
+		err := sh.rmw(key, func() error {
+			var err error
+			if cmd == "SADD" {
+				n, err = eng.SAdd(key, members...)
+			} else {
+				n, err = eng.SRem(key, members...)
+			}
+			if err != nil || n == 0 {
+				return err // n == 0: nothing changed, skip the storage write
+			}
+			return sh.propagateCollection(key)
+		})
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		return intReply(int64(n))
+		return appendInt(out, int64(n))
 	case "SISMEMBER":
 		if len(args) != 3 {
-			return errReply("wrong number of arguments for 'sismember'")
+			return appendError(out, "wrong number of arguments for 'sismember'")
 		}
+		sh.warm(key)
 		ok, err := eng.SIsMember(key, string(args[2]))
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
 		if ok {
-			return intReply(1)
+			return appendInt(out, 1)
 		}
-		return intReply(0)
+		return appendInt(out, 0)
 	case "SCARD":
+		sh.warm(key)
 		n, err := eng.SCard(key)
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		return intReply(int64(n))
+		return appendInt(out, int64(n))
 	case "SMEMBERS":
+		sh.warm(key)
 		members, err := eng.SMembers(key)
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		return bulkStrings(members...)
+		out = appendArrayLen(out, len(members))
+		for _, m := range members {
+			out = appendBulkString(out, m)
+		}
+		return out
 	case "ZADD":
 		if len(args) != 4 {
-			return errReply("wrong number of arguments for 'zadd'")
+			return appendError(out, "wrong number of arguments for 'zadd'")
 		}
 		score, err := strconv.ParseFloat(string(args[2]), 64)
 		if err != nil {
-			return errReply("value is not a valid float")
+			return appendError(out, "value is not a valid float")
 		}
-		isNew, err := eng.ZAdd(key, string(args[3]), score)
-		if err != nil {
-			return errReply(err.Error())
+		member := string(args[3])
+		var isNew bool
+		rerr := sh.rmw(key, func() error {
+			var err error
+			isNew, err = eng.ZAdd(key, member, score)
+			if err != nil {
+				return err
+			}
+			// Propagate even when !isNew: the score may have changed.
+			return sh.propagateCollection(key)
+		})
+		if rerr != nil {
+			return appendError(out, rerr.Error())
 		}
 		if isNew {
-			return intReply(1)
+			return appendInt(out, 1)
 		}
-		return intReply(0)
+		return appendInt(out, 0)
 	case "ZSCORE":
 		if len(args) != 3 {
-			return errReply("wrong number of arguments for 'zscore'")
+			return appendError(out, "wrong number of arguments for 'zscore'")
 		}
+		sh.warm(key)
 		sc, err := eng.ZScore(key, string(args[2]))
 		if notFoundish(err) {
-			return bulkReply(nil)
+			return appendBulk(out, nil)
 		}
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		return bulkReply([]byte(strconv.FormatFloat(sc, 'g', -1, 64)))
+		return appendBulkString(out, strconv.FormatFloat(sc, 'g', -1, 64))
 	case "ZREM":
 		if len(args) != 3 {
-			return errReply("wrong number of arguments for 'zrem'")
+			return appendError(out, "wrong number of arguments for 'zrem'")
 		}
-		ok, err := eng.ZRem(key, string(args[2]))
+		member := string(args[2])
+		var removed bool
+		err := sh.rmw(key, func() error {
+			var err error
+			removed, err = eng.ZRem(key, member)
+			if err != nil || !removed {
+				return err
+			}
+			return sh.propagateCollection(key)
+		})
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		if ok {
-			return intReply(1)
+		if removed {
+			return appendInt(out, 1)
 		}
-		return intReply(0)
+		return appendInt(out, 0)
 	case "ZCARD":
+		sh.warm(key)
 		n, err := eng.ZCard(key)
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		return intReply(int64(n))
+		return appendInt(out, int64(n))
 	case "ZRANGE":
 		if len(args) < 4 {
-			return errReply("wrong number of arguments for 'zrange'")
+			return appendError(out, "wrong number of arguments for 'zrange'")
 		}
 		start, err1 := strconv.Atoi(string(args[2]))
 		stop, err2 := strconv.Atoi(string(args[3]))
 		if err1 != nil || err2 != nil {
-			return errReply("value is not an integer or out of range")
+			return appendError(out, "value is not an integer or out of range")
 		}
 		withScores := len(args) == 5 && strings.EqualFold(string(args[4]), "WITHSCORES")
+		sh.warm(key)
 		members, err := eng.ZRange(key, start, stop)
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		var out arrayReply
+		n := len(members)
+		if withScores {
+			n *= 2
+		}
+		out = appendArrayLen(out, n)
 		for _, m := range members {
-			out = append(out, bulkReply([]byte(m.Member)))
+			out = appendBulkString(out, m.Member)
 			if withScores {
-				out = append(out, bulkReply([]byte(strconv.FormatFloat(m.Score, 'g', -1, 64))))
+				out = appendBulkString(out, strconv.FormatFloat(m.Score, 'g', -1, 64))
 			}
-		}
-		if out == nil {
-			out = arrayReply{}
 		}
 		return out
 	case "HSET":
 		if len(args) != 4 {
-			return errReply("wrong number of arguments for 'hset'")
+			return appendError(out, "wrong number of arguments for 'hset'")
 		}
-		isNew, err := eng.HSet(key, string(args[2]), args[3])
+		field := string(args[2])
+		var isNew bool
+		err := sh.rmw(key, func() error {
+			var err error
+			isNew, err = eng.HSet(key, field, args[3])
+			if err != nil {
+				return err
+			}
+			// Propagate even when !isNew: the field value changed.
+			return sh.propagateCollection(key)
+		})
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
 		if isNew {
-			return intReply(1)
+			return appendInt(out, 1)
 		}
-		return intReply(0)
+		return appendInt(out, 0)
 	case "HGET":
 		if len(args) != 3 {
-			return errReply("wrong number of arguments for 'hget'")
+			return appendError(out, "wrong number of arguments for 'hget'")
 		}
+		sh.warm(key)
 		v, err := eng.HGet(key, string(args[2]))
 		if notFoundish(err) {
-			return bulkReply(nil)
+			return appendBulk(out, nil)
 		}
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		return bulkReply(v)
+		return appendBulk(out, v)
 	case "HDEL":
 		if len(args) < 3 {
-			return errReply("wrong number of arguments for 'hdel'")
+			return appendError(out, "wrong number of arguments for 'hdel'")
 		}
 		fields := make([]string, len(args)-2)
 		for i, a := range args[2:] {
 			fields[i] = string(a)
 		}
-		n, err := eng.HDel(key, fields...)
+		var n int
+		err := sh.rmw(key, func() error {
+			var err error
+			n, err = eng.HDel(key, fields...)
+			if err != nil || n == 0 {
+				return err // nothing removed: skip the storage write
+			}
+			return sh.propagateCollection(key)
+		})
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		return intReply(int64(n))
+		return appendInt(out, int64(n))
 	case "HLEN":
+		sh.warm(key)
 		n, err := eng.HLen(key)
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		return intReply(int64(n))
+		return appendInt(out, int64(n))
 	case "HGETALL":
+		sh.warm(key)
 		fields, err := eng.HGetAll(key)
 		if err != nil {
-			return errReply(err.Error())
+			return appendError(out, err.Error())
 		}
-		out := make(arrayReply, 0, len(fields)*2)
+		out = appendArrayLen(out, len(fields)*2)
 		for _, f := range fields {
-			out = append(out, bulkReply([]byte(f.Field)), bulkReply(f.Value))
+			out = appendBulkString(out, f.Field)
+			out = appendBulk(out, f.Value)
 		}
 		return out
 	default:
-		return errReply(fmt.Sprintf("unknown command '%s'", cmd))
+		return appendError(out, "unknown command")
 	}
 }
