@@ -13,6 +13,7 @@
 //	tierbase-bench -experiment fig10
 //	tierbase-bench -experiment all -scale 2.0
 //	tierbase-bench -addr 127.0.0.1:6380 -clients 64 -conns 1 -ops 200000
+//	tierbase-bench -coordinator 127.0.0.1:7000 -clients 32 -ops 200000
 package main
 
 import (
@@ -39,8 +40,9 @@ func main() {
 		dir        = flag.String("dir", "", "scratch directory (default: temp)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 
-		// Networked-mode flags (active when -addr is set).
+		// Networked-mode flags (active when -addr or -coordinator is set).
 		addr     = flag.String("addr", "", "drive a live RESP server at this address instead of running experiments")
+		coord    = flag.String("coordinator", "", "drive a live cluster via this coordinator's routing table (slot-aware, survives failover)")
 		clients  = flag.Int("clients", 64, "networked: concurrent caller goroutines")
 		conns    = flag.Int("conns", 1, "networked: multiplexed connections shared round-robin by the callers")
 		ops      = flag.Int("ops", 100000, "networked: total operations")
@@ -57,9 +59,9 @@ func main() {
 		return
 	}
 
-	if *addr != "" {
+	if *addr != "" || *coord != "" {
 		if err := runNetBench(netOpts{
-			addr: *addr, clients: *clients, conns: *conns, ops: *ops,
+			addr: *addr, coordinator: *coord, clients: *clients, conns: *conns, ops: *ops,
 			readPct: *readPct, keyspace: *keyspace, valSize: *valSize,
 		}); err != nil {
 			log.Fatalf("tierbase-bench: %v", err)
@@ -105,37 +107,70 @@ func main() {
 // --- networked load mode ---
 
 type netOpts struct {
-	addr     string
-	clients  int
-	conns    int
-	ops      int
-	readPct  int
-	keyspace int
-	valSize  int
+	addr        string
+	coordinator string
+	clients     int
+	conns       int
+	ops         int
+	readPct     int
+	keyspace    int
+	valSize     int
 }
 
-// runNetBench drives a live server: N caller goroutines share M
-// multiplexed connections round-robin, every per-op latency lands in one
-// metrics histogram, and the mux counters show how far the drain windows
-// amortized the round trips.
+// kvCaller is the per-op surface both networked backends share: the
+// single-node mux client and the slot-routed cluster client.
+type kvCaller interface {
+	Set(key, val string) error
+	Get(key string) (string, error)
+	MSet(pairs map[string]string) error
+}
+
+// runNetBench drives a live deployment: N caller goroutines share M
+// multiplexed connections round-robin (single-node mode) or one
+// slot-routed cluster client (-coordinator mode); every per-op latency
+// lands in one metrics histogram.
+//
+// In cluster mode failed ops are expected during a failover blackout —
+// the run keeps going, counts them, and reports the longest contiguous
+// unavailability window (first failed op to next successful op) instead
+// of aborting, so a master kill under live traffic yields a blackout
+// measurement rather than a dead bench.
 func runNetBench(o netOpts) error {
 	if o.clients < 1 || o.conns < 1 || o.ops < 1 || o.keyspace < 1 {
 		return fmt.Errorf("clients, conns, ops and keyspace must be positive")
 	}
-	muxes := make([]*client.Client, o.conns)
-	for i := range muxes {
-		c, err := client.Dial(o.addr)
+	if o.addr != "" && o.coordinator != "" {
+		return fmt.Errorf("-addr and -coordinator are mutually exclusive")
+	}
+
+	var muxes []*client.Client // single-node mode only
+	var callers []kvCaller     // indexed by goroutine % len
+	if o.coordinator != "" {
+		rc, err := client.NewCluster(o.coordinator)
 		if err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		defer rc.Close()
+		callers = []kvCaller{rc}
+		fmt.Printf("cluster bench: coordinator=%s clients=%d ops=%d read%%=%d keyspace=%d valsize=%d\n",
+			o.coordinator, o.clients, o.ops, o.readPct, o.keyspace, o.valSize)
+	} else {
+		muxes = make([]*client.Client, o.conns)
+		for i := range muxes {
+			c, err := client.Dial(o.addr)
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			muxes[i] = c
+			callers = append(callers, c)
+		}
+		if err := muxes[0].Ping(); err != nil {
 			return err
 		}
-		defer c.Close()
-		muxes[i] = c
+		fmt.Printf("networked bench: addr=%s clients=%d conns=%d ops=%d read%%=%d keyspace=%d valsize=%d\n",
+			o.addr, o.clients, o.conns, o.ops, o.readPct, o.keyspace, o.valSize)
 	}
-	if err := muxes[0].Ping(); err != nil {
-		return err
-	}
-	fmt.Printf("networked bench: addr=%s clients=%d conns=%d ops=%d read%%=%d keyspace=%d valsize=%d\n",
-		o.addr, o.clients, o.conns, o.ops, o.readPct, o.keyspace, o.valSize)
 
 	key := func(i int) string { return fmt.Sprintf("netbench:%08d", i) }
 	value := make([]byte, o.valSize)
@@ -156,7 +191,7 @@ func runNetBench(o netOpts) error {
 		for i := lo; i < hi; i++ {
 			pairs[key(i)] = val
 		}
-		if err := muxes[lo/chunk%o.conns].MSet(pairs); err != nil {
+		if err := callers[lo/chunk%len(callers)].MSet(pairs); err != nil {
 			return fmt.Errorf("prefill: %w", err)
 		}
 	}
@@ -165,6 +200,10 @@ func runNetBench(o netOpts) error {
 	hist := metrics.NewHistogram()
 	var opErrs atomic.Int64
 	var cursor atomic.Int64
+	// Blackout tracking: firstFail holds the unixnano of the first failed
+	// op in the current failure run (0 = healthy); the next successful op
+	// closes the window and folds its width into maxBlackout.
+	var firstFail, maxBlackout atomic.Int64
 	var wg sync.WaitGroup
 	// Client-process allocation gauge: the mux client's hot path is meant
 	// to be allocation-light, so the per-op malloc count is a regression
@@ -178,7 +217,7 @@ func runNetBench(o netOpts) error {
 		go func(g int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g)*7919 + 1))
-			c := muxes[g%o.conns]
+			c := callers[g%len(callers)]
 			for {
 				if int(cursor.Add(1)) > o.ops {
 					return
@@ -191,14 +230,22 @@ func runNetBench(o netOpts) error {
 				} else {
 					err = c.Set(k, val)
 				}
-				if err != nil {
+				now := time.Now()
+				if err != nil && err != client.Nil {
 					// Failed ops (e.g. fast-fails on a sticky-broken
-					// connection) must not pollute the latency
-					// distribution or count as served throughput.
+					// connection, or refused dials mid-failover) must not
+					// pollute the latency distribution or count as served
+					// throughput.
 					opErrs.Add(1)
+					firstFail.CompareAndSwap(0, now.UnixNano())
 					continue
 				}
-				hist.RecordDuration(time.Since(opStart))
+				if ff := firstFail.Swap(0); ff != 0 {
+					if gap := now.UnixNano() - ff; gap > maxBlackout.Load() {
+						maxBlackout.Store(gap)
+					}
+				}
+				hist.RecordDuration(now.Sub(opStart))
 			}
 		}(g)
 	}
@@ -213,6 +260,12 @@ func runNetBench(o netOpts) error {
 		float64(okOps)/elapsed.Seconds(), okOps, opErrs.Load(), elapsed.Round(time.Millisecond))
 	fmt.Printf("latency: %s p90=%s p999=%s\n",
 		snap.String(), time.Duration(snap.P90), time.Duration(snap.P999))
+	if o.coordinator != "" {
+		fmt.Printf("max blackout: %s\n", time.Duration(maxBlackout.Load()).Round(time.Millisecond))
+		// Failover blackouts make some failed ops legitimate in cluster
+		// mode; the counts above are the report, not a run failure.
+		return nil
+	}
 	var agg client.MuxStats
 	for _, c := range muxes {
 		st := c.Stats()

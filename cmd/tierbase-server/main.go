@@ -43,6 +43,15 @@ func main() {
 		queueSize   = flag.Int("queue-size", 0, "pending task queue bound per shard (0 = default)")
 		cooldown    = flag.Int("cooldown-ticks", 0, "calm evaluations before shrinking back to single mode (0 = default)")
 		evalEvery   = flag.Duration("eval-interval", 0, "elastic controller period (0 = default)")
+
+		nodeID        = flag.String("node-id", "", "cluster node id (enables replication)")
+		advertise     = flag.String("advertise", "", "address other nodes reach this one at (default: listen addr)")
+		replicaOf     = flag.String("replicaof", "", "start as a replica of host:port")
+		coordinator   = flag.String("coordinator", "", "coordinator address to register with and heartbeat to")
+		semiSyncAcks  = flag.Int("semisync-acks", 0, "replicas that must ack each write (0 = async)")
+		ackTimeout    = flag.Duration("ack-timeout", 0, "semi-sync wait bound (0 = default 2s)")
+		replLogCap    = flag.Int("repl-log-cap", 0, "retained op-log window (0 = default)")
+		heartbeatTick = flag.Duration("heartbeat-interval", 0, "coordinator heartbeat period (0 = default 500ms)")
 	)
 	flag.Parse()
 
@@ -61,7 +70,8 @@ func main() {
 		log.Printf("compression: %s pre-trained on %s samples", c.Name(), ds.Name())
 	}
 
-	opts := server.Options{
+	// Everything the process needs lives in one validated server.Config.
+	opts := server.Config{
 		Addr:          *addr,
 		Shards:        *shards,
 		EngineOptions: engOpts,
@@ -72,9 +82,22 @@ func main() {
 			CooldownTicks:   *cooldown,
 			EvalInterval:    *evalEvery,
 		},
+		Replication: server.ReplicationConfig{
+			NodeID:            *nodeID,
+			AdvertiseAddr:     *advertise,
+			MasterAddr:        *replicaOf,
+			CoordinatorAddr:   *coordinator,
+			SemiSyncAcks:      *semiSyncAcks,
+			AckTimeout:        *ackTimeout,
+			LogCap:            *replLogCap,
+			HeartbeatInterval: *heartbeatTick,
+		},
 	}
 	if !*elasticOn {
 		opts.Pool.Fixed = 1
+	}
+	if err := opts.Validate(); err != nil {
+		log.Fatalf("tierbase-server: %v", err)
 	}
 
 	var cachePolicy cache.Policy
@@ -125,7 +148,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("tierbase-server: %v", err)
 	}
-	log.Printf("tierbase-server listening on %s (%d shards, %s policy)", srv.Addr(), *shards, *policy)
+	role := ""
+	if *nodeID != "" {
+		role = " as master " + *nodeID
+		if *replicaOf != "" {
+			role = fmt.Sprintf(" as replica %s of %s", *nodeID, *replicaOf)
+		}
+	}
+	log.Printf("tierbase-server listening on %s (%d shards, %s policy)%s", srv.Addr(), *shards, *policy, role)
 
 	// Periodic monitor line (the Monitor component of §3).
 	go func() {

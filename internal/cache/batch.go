@@ -149,13 +149,15 @@ func (t *Tiered) BatchPut(entries map[string][]byte) error {
 		return ErrClosed
 	}
 	t.reqs.Add(int64(len(entries)))
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
 	switch t.opts.Policy {
 	case WriteThrough:
-		keys := make([]string, 0, len(entries))
-		for k := range entries {
-			keys = append(keys, k)
+		if err := t.wtBatchCommit(keys, entries); err != nil {
+			return err
 		}
-		return t.wtBatchCommit(keys, entries)
 	case WriteBack:
 		if err := t.wbBatchMark(entries); err != nil {
 			return err
@@ -167,6 +169,7 @@ func (t *Tiered) BatchPut(entries map[string][]byte) error {
 	default:
 		t.applyBatchToCache(entries)
 	}
+	t.replicateBatch(keys, entries)
 	return nil
 }
 
@@ -271,6 +274,7 @@ func (t *Tiered) BatchDelete(keys []string) (int, error) {
 			r.BatchDel(uniq)
 		}
 		t.forgetBatch(uniq)
+		t.replicateBatch(uniq, nil)
 		return n, nil
 	}
 
@@ -323,6 +327,7 @@ func (t *Tiered) BatchDelete(keys []string) (int, error) {
 		if err := t.wtBatchCommit(uniq, dels); err != nil {
 			return 0, err
 		}
+		t.replicateBatch(uniq, nil)
 		return n, nil
 	case WriteBack:
 		// Tombstones admit through wbBatchMark (nil value = tombstone),
@@ -347,6 +352,7 @@ func (t *Tiered) BatchDelete(keys []string) (int, error) {
 		r.BatchDel(uniq)
 	}
 	t.forgetBatch(uniq)
+	t.replicateBatch(uniq, nil)
 	return n, nil
 }
 

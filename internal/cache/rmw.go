@@ -46,9 +46,14 @@ func (t *Tiered) Locked(key string, fn func() error) error {
 
 // PropagateString routes an engine-applied string outcome (INCR result,
 // SETNX/CAS value) to the storage tier through the configured write path.
+// The sink is fed before the policy switch — the engine already holds
+// the outcome, and CacheOnly deployments replicate too.
 func (t *Tiered) PropagateString(key string, val []byte) error {
 	if t.closed.Load() {
 		return ErrClosed
+	}
+	if t.sink != nil {
+		t.sink.ReplicateSet(key, val, false)
 	}
 	switch t.opts.Policy {
 	case WriteThrough:
@@ -65,6 +70,9 @@ func (t *Tiered) PropagateEncoded(key string, blob []byte) error {
 	if t.closed.Load() {
 		return ErrClosed
 	}
+	if t.sink != nil {
+		t.sink.ReplicateSet(key, blob, true)
+	}
 	switch t.opts.Policy {
 	case WriteThrough:
 		return t.writeThrough(key, blob, false, true, true)
@@ -79,6 +87,9 @@ func (t *Tiered) PropagateEncoded(key string, blob []byte) error {
 func (t *Tiered) PropagateDelete(key string) error {
 	if t.closed.Load() {
 		return ErrClosed
+	}
+	if t.sink != nil {
+		t.sink.ReplicateDelete(key)
 	}
 	switch t.opts.Policy {
 	case WriteThrough:

@@ -1,0 +1,57 @@
+package cache
+
+// OpSink receives every logical mutation the tiered store commits — the
+// replication seam. The server installs one sink per shard engine and
+// feeds its op log from it (see internal/replication).
+//
+// Contract:
+//   - Single-key calls happen under the mutated key's RMW stripe lock,
+//     so per-key (and per-stripe) sink order matches engine apply order
+//     — the property semi-sync replication needs. Batch writes append
+//     per stripe group under that stripe's lock, but the batch's
+//     storage commit happens after the locks drop, so a batch racing a
+//     single-key write on the same key has a residual ordering window
+//     (documented in ROADMAP.md).
+//   - Values may alias buffers the caller reuses (RESP parse arenas):
+//     implementations must copy anything they retain.
+//   - Implementations must not call back into the Tiered store and
+//     should return quickly (they run inside the write path's critical
+//     sections).
+//
+// Cache fills (singleflight miss population) and capacity evictions are
+// NOT reported: they don't change the logical key space, and replicas
+// manage their own residency.
+type OpSink interface {
+	// ReplicateSet reports a committed write. encoded=true means val is
+	// a typed collection blob (engine codec format) rather than a raw
+	// string value.
+	ReplicateSet(key string, val []byte, encoded bool)
+	// ReplicateDelete reports a committed deletion.
+	ReplicateDelete(key string)
+}
+
+// SetSink installs the replication sink. It must be called before the
+// store serves traffic (the field is read without synchronization on
+// the write path).
+func (t *Tiered) SetSink(s OpSink) { t.sink = s }
+
+// replicateBatch reports a batch mutation to the sink, one stripe group
+// at a time under that stripe's RMW lock. entries==nil (or a nil value)
+// means delete. Called only after the batch committed.
+func (t *Tiered) replicateBatch(keys []string, entries map[string][]byte) {
+	if t.sink == nil {
+		return
+	}
+	t.eng.GroupKeysByShard(keys, func(si int, group []string) {
+		mu := &t.rmw[si]
+		mu.Lock()
+		for _, k := range group {
+			if v, ok := entries[k]; ok && v != nil {
+				t.sink.ReplicateSet(k, v, false)
+			} else {
+				t.sink.ReplicateDelete(k)
+			}
+		}
+		mu.Unlock()
+	})
+}

@@ -1,0 +1,212 @@
+package cache
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"tierbase/internal/engine"
+)
+
+// recordingSink captures the replicated op stream (with value copies —
+// the contract says values may alias reusable buffers).
+type recordingSink struct {
+	mu  sync.Mutex
+	ops []sinkOp
+}
+
+type sinkOp struct {
+	key     string
+	val     []byte
+	del     bool
+	encoded bool
+}
+
+func (r *recordingSink) ReplicateSet(key string, val []byte, encoded bool) {
+	r.mu.Lock()
+	r.ops = append(r.ops, sinkOp{key: key, val: append([]byte(nil), val...), encoded: encoded})
+	r.mu.Unlock()
+}
+
+func (r *recordingSink) ReplicateDelete(key string) {
+	r.mu.Lock()
+	r.ops = append(r.ops, sinkOp{key: key, del: true})
+	r.mu.Unlock()
+}
+
+func (r *recordingSink) snapshot() []sinkOp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]sinkOp(nil), r.ops...)
+}
+
+func newSinkStore(t *testing.T, policy Policy) (*Tiered, *recordingSink) {
+	t.Helper()
+	opts := Options{Policy: policy, Engine: engine.New(engine.Options{})}
+	if policy != CacheOnly {
+		opts.Storage = NewMapStorage()
+	}
+	ts, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{}
+	ts.SetSink(sink)
+	t.Cleanup(func() { ts.Close() })
+	return ts, sink
+}
+
+func TestSinkSeesAllMutationKinds(t *testing.T) {
+	for _, policy := range []Policy{CacheOnly, WriteThrough, WriteBack} {
+		t.Run(policy.String(), func(t *testing.T) {
+			ts, sink := newSinkStore(t, policy)
+			if err := ts.Set("a", []byte("1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := ts.PropagateString("b", []byte("2")); err != nil {
+				t.Fatal(err)
+			}
+			if err := ts.PropagateEncoded("c", []byte{0xFF, 1, 1, 1, 'x'}); err != nil {
+				t.Fatal(err)
+			}
+			if err := ts.Delete("a"); err != nil {
+				t.Fatal(err)
+			}
+			if err := ts.PropagateDelete("b"); err != nil {
+				t.Fatal(err)
+			}
+			if err := ts.BatchPut(map[string][]byte{"d": []byte("4")}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ts.BatchDelete([]string{"d"}); err != nil {
+				t.Fatal(err)
+			}
+			ops := sink.snapshot()
+			want := []sinkOp{
+				{key: "a", val: []byte("1")},
+				{key: "b", val: []byte("2")},
+				{key: "c", val: []byte{0xFF, 1, 1, 1, 'x'}, encoded: true},
+				{key: "a", del: true},
+				{key: "b", del: true},
+				{key: "d", val: []byte("4")},
+				{key: "d", del: true},
+			}
+			if len(ops) != len(want) {
+				t.Fatalf("got %d ops %+v, want %d", len(ops), ops, len(want))
+			}
+			for i, w := range want {
+				g := ops[i]
+				if g.key != w.key || g.del != w.del || g.encoded != w.encoded || string(g.val) != string(w.val) {
+					t.Fatalf("op %d = %+v, want %+v", i, g, w)
+				}
+			}
+		})
+	}
+}
+
+func TestSinkIgnoresFillsAndEvictions(t *testing.T) {
+	eng := engine.New(engine.Options{})
+	st := NewMapStorage()
+	st.Put("cold", []byte("v"))
+	ts, err := New(Options{Policy: WriteThrough, Engine: eng, Storage: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	sink := &recordingSink{}
+	ts.SetSink(sink)
+	if v, err := ts.Get("cold"); err != nil || string(v) != "v" {
+		t.Fatalf("Get cold = %q, %v", v, err)
+	}
+	if ops := sink.snapshot(); len(ops) != 0 {
+		t.Fatalf("cache fill replicated: %+v", ops)
+	}
+}
+
+// TestSinkOrderMatchesEngineOrder hammers one key with concurrent SETs
+// and RMW-style propagations (the INCR shape) and asserts the sink's
+// final op for the key matches the engine's final value — the property
+// the PR 6 known gap broke (SET didn't take the stripe lock, so storage
+// and any log could see the race loser last).
+func TestSinkOrderMatchesEngineOrder(t *testing.T) {
+	for _, policy := range []Policy{CacheOnly, WriteThrough, WriteBack} {
+		t.Run(policy.String(), func(t *testing.T) {
+			ts, sink := newSinkStore(t, policy)
+			eng := ts.opts.Engine
+			const key = "contended"
+			const rounds = 200
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() { // writer: plain SETs
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					if err := ts.Set(key, []byte("set-"+strconv.Itoa(i))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+			go func() { // RMW: engine op + propagate under Locked
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					err := ts.Locked(key, func() error {
+						val := []byte("rmw-" + strconv.Itoa(i))
+						eng.Set(key, val)
+						return ts.PropagateString(key, val)
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+			wg.Wait()
+
+			final, err := eng.Get(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops := sink.snapshot()
+			var last sinkOp
+			found := false
+			for _, op := range ops {
+				if op.key == key {
+					last, found = op, true
+				}
+			}
+			if !found {
+				t.Fatal("no sink ops for contended key")
+			}
+			if last.del || string(last.val) != string(final) {
+				t.Fatalf("last sink op %+v diverges from engine value %q", last, final)
+			}
+		})
+	}
+}
+
+func TestSetStillWorksUnderStripeContention(t *testing.T) {
+	// Many goroutines, many keys on few stripes: the new Set locking must
+	// not deadlock against write-through queue piggybacking.
+	eng := engine.New(engine.Options{Shards: 2})
+	ts, err := New(Options{Policy: WriteThrough, Engine: eng, Storage: NewMapStorage()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := fmt.Sprintf("k%d", i%10)
+				if err := ts.Set(k, []byte{byte(g)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -132,7 +132,11 @@ type Tiered struct {
 	flights map[string]*flight
 
 	// Per-stripe RMW locks serializing op+propagate pairs (see rmw.go).
+	// Set/Delete take them too, so plain writes order against RMW ops.
 	rmw []sync.Mutex
+
+	// Replication sink (see sink.go); nil when replication is off.
+	sink OpSink
 
 	// Deferred cache-fetch batcher.
 	fetchCh chan fetchReq
@@ -564,38 +568,61 @@ func (t *Tiered) fetchCoalesced(key string) ([]byte, error) {
 // --- writes (dispatch by policy) ---
 
 // Set stores key=val according to the configured policy.
+//
+// Set holds the key's RMW stripe lock for the whole write (like
+// INCR/SETNX/CAS do via Locked), so a SET racing an RMW op on the same
+// key reaches the engine, the storage write path and the replication
+// sink in one consistent order. This closes the ordering gap found in
+// PR 6 (storage could transiently hold the race loser); replication
+// correctness depends on per-key sink order matching engine order.
 func (t *Tiered) Set(key string, val []byte) error {
 	if t.closed.Load() {
 		return ErrClosed
 	}
 	t.reqs.Add(1)
+	mu := &t.rmw[t.eng.ShardIndex(key)]
+	mu.Lock()
+	defer mu.Unlock()
+	var err error
 	switch t.opts.Policy {
 	case WriteThrough:
-		return t.writeThrough(key, val, false, false, false)
+		err = t.writeThrough(key, val, false, false, false)
 	case WriteBack:
-		return t.writeBack(key, val, false, false, false)
+		err = t.writeBack(key, val, false, false, false)
 	default:
 		t.applyToCache(key, val, false)
 		t.maybeEvictKey(key)
-		return nil
 	}
+	if err == nil && t.sink != nil {
+		t.sink.ReplicateSet(key, val, false)
+	}
+	return err
 }
 
-// Delete removes key according to the configured policy.
+// Delete removes key according to the configured policy. Like Set it
+// holds the key's RMW stripe lock so deletes order against RMW ops and
+// the replication sink sees engine order.
 func (t *Tiered) Delete(key string) error {
 	if t.closed.Load() {
 		return ErrClosed
 	}
 	t.reqs.Add(1)
+	mu := &t.rmw[t.eng.ShardIndex(key)]
+	mu.Lock()
+	defer mu.Unlock()
+	var err error
 	switch t.opts.Policy {
 	case WriteThrough:
-		return t.writeThrough(key, nil, true, false, false)
+		err = t.writeThrough(key, nil, true, false, false)
 	case WriteBack:
-		return t.writeBack(key, nil, true, false, false)
+		err = t.writeBack(key, nil, true, false, false)
 	default:
 		t.applyToCache(key, nil, true)
-		return nil
 	}
+	if err == nil && t.sink != nil {
+		t.sink.ReplicateDelete(key)
+	}
+	return err
 }
 
 // Update is the read-modify-write entry point: fn receives the current

@@ -24,7 +24,7 @@ var Nil = errors.New("client: nil reply")
 func Dial(addr string) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+		return nil, &ConnError{Err: fmt.Errorf("dial %s: %w", addr, err)}
 	}
 	return newClient(conn), nil
 }

@@ -369,6 +369,15 @@ func (c *Client) readLoop() {
 // error. A possibly-desynced stream is never reused: all later calls fail
 // fast until the caller re-dials.
 func (c *Client) fail(cause error) {
+	// Transport-level failures become typed ConnErrors so routed callers
+	// can classify them (refresh + retry); an explicit Close stays
+	// ErrClosed.
+	if cause != ErrClosed {
+		var ce *ConnError
+		if !errors.As(cause, &ce) {
+			cause = &ConnError{Err: cause}
+		}
+	}
 	c.mu.Lock()
 	if c.err == nil {
 		c.err = cause
@@ -428,7 +437,7 @@ func readReply(r *bufio.Reader) (v interface{}, replyErr, ioErr error) {
 	case '+':
 		return body, nil, nil
 	case '-':
-		return nil, errors.New(body), nil
+		return nil, parseReplyError(body), nil
 	case ':':
 		n, err := strconv.ParseInt(body, 10, 64)
 		if err != nil {

@@ -27,6 +27,11 @@ type stubServer struct {
 	// closeAfter, when > 0, makes the server close each connection after
 	// serving that many commands on it — a misbehaving-peer injector.
 	closeAfter int
+
+	// hook, when set, gets first crack at every command (under s.mu); a
+	// non-empty return is written verbatim as the reply. Lets redirect
+	// tests inject -MOVED/-ASK responses per key.
+	hook func(args []string) string
 }
 
 func startStub(t *testing.T) *stubServer {
@@ -128,6 +133,12 @@ func (s *stubServer) reply(w *bufio.Writer, args []string) {
 	cmd := strings.ToUpper(args[0])
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.hook != nil {
+		if reply := s.hook(args); reply != "" {
+			w.WriteString(reply)
+			return
+		}
+	}
 	switch cmd {
 	case "PING":
 		fmt.Fprintf(w, "+PONG\r\n")

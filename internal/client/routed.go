@@ -3,12 +3,22 @@ package client
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // Router resolves a key to a server address (cluster.RoutingTable fits).
 type Router interface {
 	AddrFor(key string) string
 }
+
+// maxRedirects bounds how many times one logical operation follows
+// MOVED/ASK redirects or retries through a topology refresh before
+// surfacing the last error.
+const maxRedirects = 4
+
+// refreshMinInterval rate-limits routing-table refetches: a thundering
+// herd of redirected callers collapses into one refresh per interval.
+const refreshMinInterval = 50 * time.Millisecond
 
 // Routed is a cluster-aware client: one multiplexed connection per node,
 // commands routed by key. It mirrors "TierBase clients ... retrieve
@@ -18,12 +28,25 @@ type Router interface {
 // does on a plain Client. Dials happen outside the routing lock with
 // per-address singleflight: while one node is unreachable, only callers
 // of that node wait on the dial — routing to healthy nodes never blocks.
+//
+// Redirect handling is typed (errors.As, no reply-text sniffing): a
+// *MovedError triggers a routing refresh (when the Router supports it)
+// and a follow to the named address; an *AskError follows once without
+// refreshing; a *ConnError (node died mid-traffic) refreshes and
+// re-routes. Plain server errors (WRONGTYPE, ...) surface immediately.
 type Routed struct {
 	router Router
 	mu     sync.Mutex
 	conns  map[string]*Client
 	dials  map[string]*dialFlight
 	closed bool
+
+	// refreshFn refetches routing state (set by NewCluster; nil for a
+	// static Router). refreshMu serializes refreshes; lastRefresh
+	// rate-limits them.
+	refreshFn   func() error
+	refreshMu   sync.Mutex
+	lastRefresh time.Time
 }
 
 // dialFlight is the per-address singleflight state: the first caller
@@ -95,22 +118,124 @@ func (rc *Routed) clientForAddr(addr string) (*Client, error) {
 	return c, err
 }
 
-// Set routes a SET by key.
-func (rc *Routed) Set(key, val string) error {
-	c, err := rc.clientFor(key)
-	if err != nil {
-		return err
+// Refresh refetches the routing table immediately (no rate limit).
+// No-op for a static Router.
+func (rc *Routed) Refresh() error {
+	if rc.refreshFn == nil {
+		return nil
 	}
-	return c.Set(key, val)
+	rc.refreshMu.Lock()
+	defer rc.refreshMu.Unlock()
+	err := rc.refreshFn()
+	if err == nil {
+		rc.lastRefresh = time.Now()
+	}
+	return err
 }
 
-// Get routes a GET by key.
-func (rc *Routed) Get(key string) (string, error) {
-	c, err := rc.clientFor(key)
-	if err != nil {
-		return "", err
+// maybeRefresh refetches the routing table unless one landed within
+// refreshMinInterval (redirect storms collapse into one fetch).
+func (rc *Routed) maybeRefresh() {
+	if rc.refreshFn == nil {
+		return
 	}
-	return c.Get(key)
+	rc.refreshMu.Lock()
+	defer rc.refreshMu.Unlock()
+	if time.Since(rc.lastRefresh) < refreshMinInterval {
+		return
+	}
+	if err := rc.refreshFn(); err == nil {
+		rc.lastRefresh = time.Now()
+	}
+}
+
+// doRouted runs one single-key operation with redirect handling:
+// MOVED → refresh + follow, ASK → follow once, ConnError/dial failure →
+// refresh + re-route, server errors → surface.
+func (rc *Routed) doRouted(key string, fn func(c *Client) error) error {
+	addrOverride := ""
+	var lastErr error
+	for attempt := 0; attempt <= maxRedirects; attempt++ {
+		if attempt > 0 && addrOverride == "" {
+			// Re-routing after a transient failure: give a promotion in
+			// progress a beat before hammering the same (stale) address.
+			time.Sleep(time.Duration(attempt) * 20 * time.Millisecond)
+		}
+		var c *Client
+		var err error
+		if addrOverride != "" {
+			addr := addrOverride
+			addrOverride = ""
+			c, err = rc.clientForAddr(addr)
+		} else {
+			c, err = rc.clientFor(key)
+		}
+		if err == nil {
+			err = fn(c)
+		}
+		if err == nil || err == Nil {
+			return err
+		}
+		var mv *MovedError
+		var ask *AskError
+		switch {
+		case errors.As(err, &mv):
+			rc.maybeRefresh()
+			addrOverride = mv.Addr
+		case errors.As(err, &ask):
+			addrOverride = ask.Addr
+		case isTransient(err):
+			rc.maybeRefresh()
+		default:
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// retryTopology runs a whole-batch operation, retrying through routing
+// refreshes on redirects and transport failures. Batches re-split by the
+// (refreshed) table instead of following a single redirect address.
+func (rc *Routed) retryTopology(op func() error) error {
+	var lastErr error
+	for attempt := 0; attempt <= maxRedirects; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 20 * time.Millisecond)
+		}
+		err := op()
+		if err == nil || err == Nil {
+			return err
+		}
+		var mv *MovedError
+		var ask *AskError
+		switch {
+		case errors.As(err, &mv), errors.As(err, &ask), isTransient(err):
+			rc.maybeRefresh()
+		default:
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// Set routes a SET by key, following redirects.
+func (rc *Routed) Set(key, val string) error {
+	return rc.doRouted(key, func(c *Client) error {
+		return c.Set(key, val)
+	})
+}
+
+// Get routes a GET by key, following redirects.
+func (rc *Routed) Get(key string) (string, error) {
+	var out string
+	err := rc.doRouted(key, func(c *Client) error {
+		v, err := c.Get(key)
+		out = v
+		return err
+	})
+	return out, err
 }
 
 // batchRouter is the optional fast path a Router can provide for grouping
@@ -140,8 +265,19 @@ func (rc *Routed) groupByAddr(keys []string) map[string][]string {
 
 // MGet fetches many keys across the cluster: keys group by owning node,
 // each node receives one MGET, and the node round trips run in parallel.
-// Absent keys are omitted from the result.
+// Absent keys are omitted from the result. Redirects and node failures
+// re-split the batch against a refreshed table.
 func (rc *Routed) MGet(keys ...string) (map[string]string, error) {
+	var out map[string]string
+	err := rc.retryTopology(func() error {
+		var err error
+		out, err = rc.mgetOnce(keys)
+		return err
+	})
+	return out, err
+}
+
+func (rc *Routed) mgetOnce(keys []string) (map[string]string, error) {
 	groups := rc.groupByAddr(keys)
 	// Validate routing before spawning anything: returning mid-iteration
 	// would orphan per-node goroutines already in flight.
@@ -182,8 +318,15 @@ func (rc *Routed) MGet(keys ...string) (map[string]string, error) {
 }
 
 // MSet stores many pairs across the cluster: pairs group by owning node,
-// one MSET per node, node round trips in parallel.
+// one MSET per node, node round trips in parallel. Redirects and node
+// failures re-split the batch against a refreshed table.
 func (rc *Routed) MSet(pairs map[string]string) error {
+	return rc.retryTopology(func() error {
+		return rc.msetOnce(pairs)
+	})
+}
+
+func (rc *Routed) msetOnce(pairs map[string]string) error {
 	var groups map[string]map[string]string
 	if pr, ok := rc.router.(pairRouter); ok {
 		groups = pr.GroupPairsByAddr(pairs)
@@ -230,8 +373,19 @@ func (rc *Routed) MSet(pairs map[string]string) error {
 
 // Del removes keys across the cluster: keys group by owning node, each
 // node receives one DEL, node round trips run in parallel, and the
-// deleted counts sum.
+// deleted counts sum. Redirects and node failures re-split the batch
+// against a refreshed table.
 func (rc *Routed) Del(keys ...string) (int64, error) {
+	var total int64
+	err := rc.retryTopology(func() error {
+		var err error
+		total, err = rc.delOnce(keys)
+		return err
+	})
+	return total, err
+}
+
+func (rc *Routed) delOnce(keys []string) (int64, error) {
 	groups := rc.groupByAddr(keys)
 	if _, hole := groups[""]; hole {
 		return 0, errors.New("client: no node for key")

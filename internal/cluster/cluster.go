@@ -45,9 +45,14 @@ type Node struct {
 	ID       string
 	Addr     string
 	Role     Role
-	MasterID string // for replicas: whom they follow
-	lastSeen time.Time
-	alive    bool
+	MasterID string // for replicas: whom they follow (node ID)
+	// MasterAddr is the replica's master by address — what a data node
+	// actually knows from its -replicaof flag before any IDs are
+	// exchanged. Failover matches replicas to a dead master by either
+	// MasterID or MasterAddr.
+	MasterAddr string
+	lastSeen   time.Time
+	alive      bool
 }
 
 // RoutingTable maps slots to master node IDs; clients cache it and refresh
@@ -203,13 +208,39 @@ func (c *Coordinator) Table() RoutingTable {
 	return cp
 }
 
+// Failover describes one master failure handled by CheckFailuresDetail.
+// PromotedID/PromotedAddr are empty when the master had no live replica
+// (its slots redistribute across the surviving masters).
+type Failover struct {
+	FailedID     string
+	FailedAddr   string
+	PromotedID   string
+	PromotedAddr string
+}
+
 // CheckFailures scans heartbeats, promotes replicas of dead masters, and
 // returns the IDs of masters failed over. Call periodically.
 func (c *Coordinator) CheckFailures() []string {
+	events := c.CheckFailuresDetail()
+	ids := make([]string, 0, len(events))
+	for _, ev := range events {
+		ids = append(ids, ev.FailedID)
+	}
+	return ids
+}
+
+// CheckFailuresDetail scans heartbeats and handles dead masters:
+// the lowest-ID live replica of each (matched by MasterID or
+// MasterAddr) is promoted in the coordinator's state, surviving
+// replicas of the dead master are re-pointed at the promotee, and the
+// routing table rebalances. Returns one event per failed master so a
+// serving loop can push role changes (REPLICAOF NO ONE) to the live
+// processes.
+func (c *Coordinator) CheckFailuresDetail() []Failover {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.Clock()
-	var failed []string
+	var events []Failover
 	changed := false
 	for id, n := range c.nodes {
 		if !n.alive || now.Sub(n.lastSeen) <= c.HeartbeatTimeout {
@@ -219,10 +250,12 @@ func (c *Coordinator) CheckFailures() []string {
 		if n.Role != RoleMaster {
 			continue
 		}
-		// Find a live replica of this master to promote.
+		ev := Failover{FailedID: id, FailedAddr: n.Addr}
+		// Find live replicas of this master to promote one of.
 		var candidates []string
 		for rid, r := range c.nodes {
-			if r.Role == RoleReplica && r.MasterID == id && r.alive {
+			if r.Role == RoleReplica && r.alive &&
+				(r.MasterID == id || (r.MasterAddr != "" && r.MasterAddr == n.Addr)) {
 				candidates = append(candidates, rid)
 			}
 		}
@@ -231,19 +264,23 @@ func (c *Coordinator) CheckFailures() []string {
 			promoted := c.nodes[candidates[0]]
 			promoted.Role = RoleMaster
 			promoted.MasterID = ""
-			failed = append(failed, id)
+			promoted.MasterAddr = ""
+			ev.PromotedID = promoted.ID
+			ev.PromotedAddr = promoted.Addr
+			for _, rid := range candidates[1:] {
+				c.nodes[rid].MasterID = promoted.ID
+				c.nodes[rid].MasterAddr = promoted.Addr
+			}
 			c.failovers++
-			changed = true
-		} else {
-			// No replica: the master's slots will be redistributed.
-			failed = append(failed, id)
-			changed = true
 		}
+		// With no replica the master's slots redistribute on rebalance.
+		events = append(events, ev)
+		changed = true
 	}
 	if changed {
 		c.rebalanceLocked()
 	}
-	return failed
+	return events
 }
 
 // Failovers reports the number of promotions performed.

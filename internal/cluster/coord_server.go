@@ -1,0 +1,369 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// CoordServer serves a Coordinator over RESP so live tierbase-server
+// processes can register and heartbeat, clients can fetch the routing
+// table, and a background failover loop can push promotions
+// (`REPLICAOF NO ONE`) to the surviving processes.
+//
+// Commands:
+//
+//	PING
+//	CLUSTER REGISTER <id> <addr> <master|replica> <masterAddr|->
+//	CLUSTER HEARTBEAT <id>
+//	CLUSTER DEREGISTER <id>
+//	CLUSTER TABLE   -> bulk JSON of RoutingTable
+//	CLUSTER EPOCH   -> :<epoch>
+//	CLUSTER NODES   -> bulk text, one node per line
+//
+// This file speaks raw RESP on purpose: internal/client imports this
+// package for RoutingTable, so the coordinator cannot import the client
+// back.
+type CoordServer struct {
+	coord *Coordinator
+	ln    net.Listener
+
+	// CheckInterval is how often the failover loop scans heartbeats.
+	checkInterval time.Duration
+
+	// NotifyTimeout bounds each promotion push dial+reply.
+	NotifyTimeout time.Duration
+
+	// Logf receives coordinator events (promotions, notify failures);
+	// defaults to log.Printf.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// StartCoordServer listens on addr and starts the accept and failover
+// loops. checkInterval <= 0 disables the failover loop (tests that step
+// CheckFailuresDetail manually).
+func StartCoordServer(addr string, coord *Coordinator, checkInterval time.Duration) (*CoordServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cs := &CoordServer{
+		coord:         coord,
+		ln:            ln,
+		checkInterval: checkInterval,
+		NotifyTimeout: 2 * time.Second,
+		Logf:          log.Printf,
+		conns:         make(map[net.Conn]struct{}),
+		stop:          make(chan struct{}),
+	}
+	cs.wg.Add(1)
+	go cs.acceptLoop()
+	if checkInterval > 0 {
+		cs.wg.Add(1)
+		go cs.failoverLoop()
+	}
+	return cs, nil
+}
+
+// Addr returns the bound listen address.
+func (cs *CoordServer) Addr() string { return cs.ln.Addr().String() }
+
+// Close stops the loops and closes every connection.
+func (cs *CoordServer) Close() error {
+	cs.mu.Lock()
+	if cs.closed {
+		cs.mu.Unlock()
+		return nil
+	}
+	cs.closed = true
+	close(cs.stop)
+	for c := range cs.conns {
+		c.Close()
+	}
+	cs.mu.Unlock()
+	err := cs.ln.Close()
+	cs.wg.Wait()
+	return err
+}
+
+func (cs *CoordServer) acceptLoop() {
+	defer cs.wg.Done()
+	for {
+		nc, err := cs.ln.Accept()
+		if err != nil {
+			return
+		}
+		cs.mu.Lock()
+		if cs.closed {
+			cs.mu.Unlock()
+			nc.Close()
+			return
+		}
+		cs.conns[nc] = struct{}{}
+		cs.mu.Unlock()
+		cs.wg.Add(1)
+		go cs.serveConn(nc)
+	}
+}
+
+func (cs *CoordServer) serveConn(nc net.Conn) {
+	defer cs.wg.Done()
+	defer func() {
+		cs.mu.Lock()
+		delete(cs.conns, nc)
+		cs.mu.Unlock()
+		nc.Close()
+	}()
+	br := bufio.NewReader(nc)
+	bw := bufio.NewWriter(nc)
+	for {
+		args, err := readCommand(br)
+		if err != nil {
+			return
+		}
+		if len(args) == 0 {
+			continue
+		}
+		cs.dispatch(bw, args)
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (cs *CoordServer) dispatch(bw *bufio.Writer, args []string) {
+	switch strings.ToUpper(args[0]) {
+	case "PING":
+		writeSimple(bw, "PONG")
+	case "CLUSTER":
+		if len(args) < 2 {
+			writeErr(bw, "ERR wrong number of arguments for CLUSTER")
+			return
+		}
+		cs.cluster(bw, args[1:])
+	default:
+		writeErr(bw, "ERR unknown command '"+args[0]+"'")
+	}
+}
+
+func (cs *CoordServer) cluster(bw *bufio.Writer, args []string) {
+	switch strings.ToUpper(args[0]) {
+	case "REGISTER":
+		if len(args) != 5 {
+			writeErr(bw, "ERR usage: CLUSTER REGISTER id addr role masterAddr|-")
+			return
+		}
+		role := RoleMaster
+		if strings.EqualFold(args[3], "replica") {
+			role = RoleReplica
+		}
+		masterAddr := args[4]
+		if masterAddr == "-" {
+			masterAddr = ""
+		}
+		cs.coord.Register(Node{ID: args[1], Addr: args[2], Role: role, MasterAddr: masterAddr})
+		writeSimple(bw, "OK")
+	case "HEARTBEAT":
+		if len(args) != 2 {
+			writeErr(bw, "ERR usage: CLUSTER HEARTBEAT id")
+			return
+		}
+		if err := cs.coord.Heartbeat(args[1]); err != nil {
+			writeErr(bw, "UNKNOWNNODE "+args[1])
+			return
+		}
+		writeSimple(bw, "OK")
+	case "DEREGISTER":
+		if len(args) != 2 {
+			writeErr(bw, "ERR usage: CLUSTER DEREGISTER id")
+			return
+		}
+		cs.coord.Deregister(args[1])
+		writeSimple(bw, "OK")
+	case "TABLE":
+		table := cs.coord.Table()
+		blob, err := json.Marshal(&table)
+		if err != nil {
+			writeErr(bw, "ERR encoding table: "+err.Error())
+			return
+		}
+		writeBulk(bw, blob)
+	case "EPOCH":
+		table := cs.coord.Table()
+		fmt.Fprintf(bw, ":%d\r\n", table.Epoch)
+	case "NODES":
+		var sb strings.Builder
+		for _, n := range cs.coord.Nodes() {
+			fmt.Fprintf(&sb, "%s %s %s master=%s\n", n.ID, n.Addr, n.Role, n.MasterID)
+		}
+		writeBulk(bw, []byte(sb.String()))
+	default:
+		writeErr(bw, "ERR unknown CLUSTER subcommand '"+args[0]+"'")
+	}
+}
+
+// failoverLoop periodically scans heartbeats and pushes promotions to
+// the affected processes: the chosen replica gets `REPLICAOF NO ONE`,
+// re-pointed surviving replicas get `REPLICAOF <newMaster>`.
+func (cs *CoordServer) failoverLoop() {
+	defer cs.wg.Done()
+	t := time.NewTicker(cs.checkInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-cs.stop:
+			return
+		case <-t.C:
+		}
+		events := cs.coord.CheckFailuresDetail()
+		for _, ev := range events {
+			if ev.PromotedAddr == "" {
+				cs.Logf("cluster: master %s (%s) failed with no replica; slots redistributed", ev.FailedID, ev.FailedAddr)
+				continue
+			}
+			cs.Logf("cluster: master %s (%s) failed; promoting %s (%s)", ev.FailedID, ev.FailedAddr, ev.PromotedID, ev.PromotedAddr)
+			if err := cs.notify(ev.PromotedAddr, "REPLICAOF", "NO", "ONE"); err != nil {
+				cs.Logf("cluster: promotion notify %s: %v", ev.PromotedAddr, err)
+			}
+			// Re-point surviving replicas of the promotee at it.
+			host, port, splitErr := net.SplitHostPort(ev.PromotedAddr)
+			if splitErr != nil {
+				continue
+			}
+			for _, n := range cs.coord.Nodes() {
+				if n.Role == RoleReplica && n.MasterID == ev.PromotedID && n.ID != ev.PromotedID {
+					if err := cs.notify(n.Addr, "REPLICAOF", host, port); err != nil {
+						cs.Logf("cluster: re-point notify %s: %v", n.Addr, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// notify dials addr, sends one RESP command and checks for a non-error
+// reply, retrying a couple of times — promotion must survive a replica
+// that is briefly busy tearing down its dead master link.
+func (cs *CoordServer) notify(addr string, args ...string) error {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-cs.stop:
+				return lastErr
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+		reply, err := sendRESP(addr, cs.NotifyTimeout, args...)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if strings.HasPrefix(reply, "-") {
+			lastErr = errors.New(strings.TrimPrefix(reply, "-"))
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// sendRESP dials addr, writes one command as a RESP array of bulk
+// strings and returns the raw first reply line (including the type
+// byte). Deliberately tiny — this file cannot import internal/client.
+func sendRESP(addr string, timeout time.Duration, args ...string) (string, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return "", err
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(timeout))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "*%d\r\n", len(args))
+	for _, a := range args {
+		fmt.Fprintf(&sb, "$%d\r\n%s\r\n", len(a), a)
+	}
+	if _, err := io.WriteString(nc, sb.String()); err != nil {
+		return "", err
+	}
+	line, err := bufio.NewReader(nc).ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// --- minimal RESP command reader / reply writers ---
+
+// readCommand parses one RESP array-of-bulk-strings command (inline
+// commands are also accepted for debugging with netcat).
+func readCommand(br *bufio.Reader) ([]string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if line == "" {
+		return nil, nil
+	}
+	if line[0] != '*' {
+		return strings.Fields(line), nil // inline command
+	}
+	n, err := strconv.Atoi(line[1:])
+	if err != nil || n < 0 || n > 1024 {
+		return nil, fmt.Errorf("cluster: bad array header %q", line)
+	}
+	args := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		hdr, err := br.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		hdr = strings.TrimRight(hdr, "\r\n")
+		if len(hdr) == 0 || hdr[0] != '$' {
+			return nil, fmt.Errorf("cluster: bad bulk header %q", hdr)
+		}
+		l, err := strconv.Atoi(hdr[1:])
+		if err != nil || l < 0 || l > 1<<20 {
+			return nil, fmt.Errorf("cluster: bad bulk length %q", hdr)
+		}
+		buf := make([]byte, l+2)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		args = append(args, string(buf[:l]))
+	}
+	return args, nil
+}
+
+func writeSimple(bw *bufio.Writer, s string) {
+	bw.WriteByte('+')
+	bw.WriteString(s)
+	bw.WriteString("\r\n")
+}
+
+func writeErr(bw *bufio.Writer, msg string) {
+	bw.WriteByte('-')
+	bw.WriteString(msg)
+	bw.WriteString("\r\n")
+}
+
+func writeBulk(bw *bufio.Writer, b []byte) {
+	fmt.Fprintf(bw, "$%d\r\n", len(b))
+	bw.Write(b)
+	bw.WriteString("\r\n")
+}

@@ -85,6 +85,12 @@ func (e *Engine) EncodeCollection(key string) (blob []byte, ok bool) {
 	if !live || it.kind == KindString {
 		return nil, false
 	}
+	return encodeCollectionLocked(it)
+}
+
+// encodeCollectionLocked builds the typed blob for a non-string item.
+// The caller holds the item's shard lock (read or write).
+func encodeCollectionLocked(it *item) (blob []byte, ok bool) {
 	blob = append(blob, typedMarker, byte(it.kind))
 	switch it.kind {
 	case KindList:

@@ -650,6 +650,52 @@ func (e *Engine) ForEachString(fn func(key string, val []byte) bool) error {
 	return nil
 }
 
+// ForEachEncoded visits every live key of every kind: strings yield
+// their value with encoded=false, collections yield a typed blob
+// (EncodeCollection format) with encoded=true. Each shard is
+// snapshotted under its read lock (collections are serialized inside
+// the critical section — their internals are mutable), so the view is
+// per-shard consistent, like ForEachString. Used for replication
+// full-sync snapshots.
+func (e *Engine) ForEachEncoded(fn func(key string, val []byte, encoded bool) bool) error {
+	type ekv struct {
+		k   string
+		sv  storedVal // strings: decoded outside the lock
+		eb  []byte    // collections: blob built under the lock
+		enc bool
+	}
+	for _, s := range e.shards {
+		s.mu.RLock()
+		now := e.now()
+		snapshot := make([]ekv, 0, len(s.items))
+		for k, it := range s.items {
+			if it.expiredAt(now) {
+				continue
+			}
+			if it.kind == KindString {
+				snapshot = append(snapshot, ekv{k: k, sv: it.str})
+			} else if blob, ok := encodeCollectionLocked(it); ok {
+				snapshot = append(snapshot, ekv{k: k, eb: blob, enc: true})
+			}
+		}
+		s.mu.RUnlock()
+		for _, p := range snapshot {
+			val := p.eb
+			if !p.enc {
+				var err error
+				val, err = e.decodeValue(p.sv)
+				if err != nil {
+					return err
+				}
+			}
+			if !fn(p.k, val, p.enc) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
 // FlushAll removes every key (FLUSHALL analog, used by tests/benches).
 // Each shard is cleared under its own lock; readers of other shards
 // proceed while one stripe flushes.

@@ -4,235 +4,374 @@
 // different reliability requirements"; §4.1.2 relies on it to protect
 // dirty data under write-back).
 //
-// The master applies each mutation locally, appends it to a bounded
-// operation log, and streams it to attached replicas. Replicas that fall
-// behind the log window are re-seeded with a full snapshot (full sync)
-// before resuming the stream. The master can be configured to wait for k
-// replica acknowledgements before acking a write (semi-synchronous mode),
-// which is the durability knob write-back caching needs.
+// The package is a transport-agnostic seam: the master appends every
+// logical mutation to a bounded, sequenced OpLog; any number of Stream
+// subscribers (one per attached replica connection) cursor over the log
+// and block for new ops; an AckTracker records how far each replica has
+// acknowledged so semi-synchronous writes can wait for k replicas before
+// acking the client. Framing for the network leg (length-prefixed binary
+// op/ack/snapshot frames) lives in wire.go; the server package owns the
+// sockets and the handshake. See README.md for the full contract.
 package replication
 
 import (
 	"errors"
-	"fmt"
 	"sync"
-
-	"tierbase/internal/engine"
+	"time"
 )
 
 // OpKind enumerates replicated operations.
 type OpKind uint8
 
-// Replicated operation kinds.
+// Replicated operation kinds. Every op carries the full resulting state
+// of its key (RMW outcomes replicate as the value they produced), so
+// replaying a window of ops over a newer snapshot converges.
 const (
+	// OpSet stores a raw string value.
 	OpSet OpKind = iota
+	// OpSetEncoded stores a typed collection blob (engine codec format):
+	// the full post-mutation state of a list/set/zset/hash.
+	OpSetEncoded
+	// OpDel removes a key.
 	OpDel
 )
 
-// Op is one replicated mutation.
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpSet:
+		return "set"
+	case OpSetEncoded:
+		return "set-encoded"
+	case OpDel:
+		return "del"
+	}
+	return "unknown"
+}
+
+// Op is one replicated mutation. Ops are immutable once appended: Val
+// must not be modified by any reader.
 type Op struct {
 	Seq  uint64
 	Kind OpKind
 	Key  string
-	Val  []byte
+	Val  []byte // nil for OpDel
 }
 
-// Replica is a destination for the replication stream.
-type Replica struct {
-	eng  *engine.Engine
-	mu   sync.Mutex
-	last uint64 // last applied sequence
+// Log errors.
+var (
+	// ErrLogTrimmed means the requested position fell out of the log's
+	// retained window; the subscriber needs a full sync.
+	ErrLogTrimmed = errors.New("replication: position trimmed from op log")
+	// ErrSeqGap is returned by AppendAt when the op skips sequences.
+	ErrSeqGap = errors.New("replication: sequence gap")
+	// ErrClosed is returned by Stream.Recv after the log closes.
+	ErrClosed = errors.New("replication: op log closed")
+	// ErrCanceled is returned by Stream.Recv after Cancel.
+	ErrCanceled = errors.New("replication: stream canceled")
+)
+
+// DefaultLogCap is the default retained op window.
+const DefaultLogCap = 65536
+
+// OpLog is a bounded, sequenced in-memory operation log with blocking
+// subscribers. A master Appends (assigning sequence numbers); a replica
+// mirrors its master's log with AppendAt so promotion simply continues
+// the sequence. Subscribers that fall out of the retained window get
+// ErrLogTrimmed and must full-sync.
+type OpLog struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ops   []Op   // retained window; ops[0].Seq == start
+	start uint64 // seq of ops[0] (== seq+1 when empty)
+	seq   uint64 // last appended sequence (0 = none)
+	cap   int
+	close bool
 }
 
-// NewReplica wraps an engine as a replication target.
-func NewReplica(eng *engine.Engine) *Replica { return &Replica{eng: eng} }
-
-// Engine exposes the underlying engine (reads, promotion).
-func (r *Replica) Engine() *engine.Engine { return r.eng }
-
-// LastApplied returns the replica's replication offset.
-func (r *Replica) LastApplied() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.last
+// NewOpLog creates a log retaining up to capacity ops (<=0 uses
+// DefaultLogCap).
+func NewOpLog(capacity int) *OpLog {
+	if capacity <= 0 {
+		capacity = DefaultLogCap
+	}
+	l := &OpLog{start: 1, cap: capacity}
+	l.cond = sync.NewCond(&l.mu)
+	return l
 }
 
-// apply applies one op; ops must arrive in sequence order.
-func (r *Replica) apply(op Op) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if op.Seq <= r.last {
-		return nil // duplicate delivery is idempotent
+// Append assigns the next sequence to a new op and appends it, waking
+// subscribers. val is copied (callers may pass buffers they reuse, e.g.
+// RESP parse arenas). Returns the assigned sequence.
+func (l *OpLog) Append(kind OpKind, key string, val []byte) uint64 {
+	var v []byte
+	if kind != OpDel && val != nil {
+		v = make([]byte, len(val))
+		copy(v, val)
 	}
-	if op.Seq != r.last+1 {
-		return fmt.Errorf("replication: gap: have %d got %d", r.last, op.Seq)
+	l.mu.Lock()
+	l.seq++
+	l.ops = append(l.ops, Op{Seq: l.seq, Kind: kind, Key: key, Val: v})
+	l.trimLocked()
+	seq := l.seq
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return seq
+}
+
+// AppendAt appends an op that already carries its sequence (a replica
+// mirroring its master's stream). Duplicate delivery (op.Seq <= Seq())
+// is ignored; a gap is an error. AppendAt takes ownership of op.Val.
+func (l *OpLog) AppendAt(op Op) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if op.Seq <= l.seq {
+		return nil // idempotent redelivery
 	}
-	switch op.Kind {
-	case OpSet:
-		r.eng.Set(op.Key, op.Val)
-	case OpDel:
-		r.eng.Del(op.Key)
+	if op.Seq != l.seq+1 {
+		return ErrSeqGap
 	}
-	r.last = op.Seq
+	l.seq = op.Seq
+	l.ops = append(l.ops, op)
+	l.trimLocked()
+	l.cond.Broadcast()
 	return nil
 }
 
-// fullSync seeds the replica from a snapshot ending at seq.
-func (r *Replica) fullSync(snapshot map[string][]byte, seq uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.eng.FlushAll()
-	for k, v := range snapshot {
-		r.eng.Set(k, v)
+// trimLocked drops the oldest ops past the retained capacity. The head
+// slices forward; append's eventual reallocation reclaims the dead
+// prefix, so memory stays O(window).
+func (l *OpLog) trimLocked() {
+	if len(l.ops) > l.cap {
+		drop := len(l.ops) - l.cap
+		l.ops = l.ops[drop:]
+		l.start += uint64(drop)
 	}
-	r.last = seq
 }
 
-// Master replicates mutations applied through it to attached replicas.
-type Master struct {
-	eng *engine.Engine
-
-	mu       sync.Mutex
-	seq      uint64
-	log      []Op // window of recent ops; log[0].Seq == logStart
-	logStart uint64
-	logCap   int
-	replicas []*Replica
-
-	// AckReplicas is how many replicas must apply a write before Set/Del
-	// return (0 = fully asynchronous). With in-process replicas the apply
-	// is immediate; the knob models the protocol choice and is honored by
-	// the error path (a gap forces full sync before the ack).
-	AckReplicas int
-
-	fullSyncs int64
+// Reset discards the window and restarts the sequence at seq (a replica
+// installing a full-sync snapshot that ends at seq).
+func (l *OpLog) Reset(seq uint64) {
+	l.mu.Lock()
+	l.ops = nil
+	l.seq = seq
+	l.start = seq + 1
+	l.cond.Broadcast()
+	l.mu.Unlock()
 }
 
-// NewMaster wraps an engine as a replication source. logCap bounds the
-// retained op window (older replicas need a full sync); default 4096.
-func NewMaster(eng *engine.Engine, logCap int) *Master {
-	if logCap <= 0 {
-		logCap = 4096
+// Seq returns the last appended sequence (0 when empty).
+func (l *OpLog) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// StartSeq returns the oldest retained sequence (Seq()+1 when empty).
+func (l *OpLog) StartSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.start
+}
+
+// Close wakes all subscribers; subsequent Recv calls return ErrClosed
+// once they drain.
+func (l *OpLog) Close() {
+	l.mu.Lock()
+	l.close = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Stream opens a subscriber cursor positioned after sequence `after`
+// (0 = from the beginning). ErrLogTrimmed means `after` predates the
+// retained window and the subscriber needs a full sync first.
+func (l *OpLog) Stream(after uint64) (*Stream, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if after+1 < l.start {
+		return nil, ErrLogTrimmed
 	}
-	return &Master{eng: eng, logCap: logCap, logStart: 1}
+	return &Stream{log: l, next: after + 1}, nil
 }
 
-// Engine exposes the master engine.
-func (m *Master) Engine() *engine.Engine { return m.eng }
-
-// Attach connects a replica, bringing it up to date via full sync.
-func (m *Master) Attach(r *Replica) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.syncReplicaLocked(r)
-	m.replicas = append(m.replicas, r)
+// Stream is one subscriber's cursor over an OpLog.
+type Stream struct {
+	log      *OpLog
+	next     uint64
+	canceled bool
 }
 
-// Detach removes a replica from the stream.
-func (m *Master) Detach(r *Replica) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for i, x := range m.replicas {
-		if x == r {
-			m.replicas = append(m.replicas[:i], m.replicas[i+1:]...)
-			return
+// Recv blocks until at least one op at or past the cursor is available,
+// then returns a batch of up to cap(buf) ops (buf is reused; pass nil
+// for a fresh default-sized buffer). Errors: ErrClosed after the log
+// closes and the cursor drains, ErrCanceled after Cancel, ErrLogTrimmed
+// if the cursor fell out of the retained window (subscriber too slow —
+// full sync needed).
+func (s *Stream) Recv(buf []Op) ([]Op, error) {
+	l := s.log
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if s.canceled {
+			return nil, ErrCanceled
 		}
+		if s.next < l.start {
+			return nil, ErrLogTrimmed
+		}
+		if s.next <= l.seq {
+			break
+		}
+		if l.close {
+			return nil, ErrClosed
+		}
+		l.cond.Wait()
 	}
+	if cap(buf) == 0 {
+		buf = make([]Op, 0, 256)
+	}
+	idx := int(s.next - l.start)
+	n := int(l.seq - s.next + 1)
+	if n > cap(buf) {
+		n = cap(buf)
+	}
+	buf = append(buf[:0], l.ops[idx:idx+n]...)
+	s.next += uint64(n)
+	return buf, nil
 }
 
-// syncReplicaLocked brings a replica to the master's current state.
-func (m *Master) syncReplicaLocked(r *Replica) {
-	behind := r.LastApplied()
-	if behind+1 >= m.logStart && behind <= m.seq {
-		// Partial sync from the log window.
-		for _, op := range m.log {
-			if op.Seq > behind {
-				if err := r.apply(op); err != nil {
-					break // falls through to full sync below
-				}
-			}
-		}
-		if r.LastApplied() == m.seq {
-			return
-		}
-	}
-	// Full sync: snapshot the master engine.
-	snapshot := map[string][]byte{}
-	m.eng.ForEachString(func(k string, v []byte) bool {
-		snapshot[k] = v
-		return true
-	})
-	r.fullSync(snapshot, m.seq)
-	m.fullSyncs++
+// Cancel unblocks any pending Recv with ErrCanceled (connection
+// teardown).
+func (s *Stream) Cancel() {
+	l := s.log
+	l.mu.Lock()
+	s.canceled = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
 }
 
-// FullSyncs reports how many full re-seeds have happened.
-func (m *Master) FullSyncs() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.fullSyncs
-}
+// --- semi-synchronous acknowledgement tracking ---
 
 // ErrNotEnoughAcks is returned in semi-sync mode when too few replicas
-// confirmed the write.
+// acknowledged the write before the timeout.
 var ErrNotEnoughAcks = errors.New("replication: not enough replica acks")
 
-// Set applies and replicates a SET.
-func (m *Master) Set(key string, val []byte) error {
-	return m.replicate(Op{Kind: OpSet, Key: key, Val: append([]byte(nil), val...)})
+// AckTracker records each replica's acknowledged sequence and lets
+// writers wait until k replicas reach a sequence — the semi-synchronous
+// durability knob write-back caching needs (paper §4.1.2).
+type AckTracker struct {
+	mu      sync.Mutex
+	acked   map[string]uint64
+	waiters map[*ackWaiter]struct{}
 }
 
-// Del applies and replicates a DEL.
-func (m *Master) Del(key string) error {
-	return m.replicate(Op{Kind: OpDel, Key: key})
+type ackWaiter struct {
+	seq  uint64
+	need int
+	ch   chan struct{}
 }
 
-func (m *Master) replicate(op Op) error {
-	m.mu.Lock()
-	m.seq++
-	op.Seq = m.seq
-	switch op.Kind {
-	case OpSet:
-		m.eng.Set(op.Key, op.Val)
-	case OpDel:
-		m.eng.Del(op.Key)
+// NewAckTracker creates an empty tracker.
+func NewAckTracker() *AckTracker {
+	return &AckTracker{
+		acked:   make(map[string]uint64),
+		waiters: make(map[*ackWaiter]struct{}),
 	}
-	m.log = append(m.log, op)
-	if len(m.log) > m.logCap {
-		drop := len(m.log) - m.logCap
-		m.log = m.log[drop:]
-		m.logStart = m.log[0].Seq
-	}
-	acks := 0
-	for _, r := range m.replicas {
-		if err := r.apply(op); err != nil {
-			// Stream broken (gap): repair with a sync.
-			m.syncReplicaLocked(r)
-		}
-		if r.LastApplied() >= op.Seq {
-			acks++
+}
+
+// Attach registers replica id with nothing acknowledged yet. A freshly
+// attached replica counts toward waiters at sequence 0 (a write that
+// produced no ops waits on the current sequence, which may be 0), and
+// Ack only ever moves it forward.
+func (t *AckTracker) Attach(id string) {
+	t.mu.Lock()
+	if _, ok := t.acked[id]; !ok {
+		t.acked[id] = 0
+		for w := range t.waiters {
+			if t.countLocked(w.seq) >= w.need {
+				close(w.ch)
+				delete(t.waiters, w)
+			}
 		}
 	}
-	need := m.AckReplicas
-	m.mu.Unlock()
-	if need > 0 && acks < need {
+	t.mu.Unlock()
+}
+
+// Ack records replica id as having applied everything up to seq.
+func (t *AckTracker) Ack(id string, seq uint64) {
+	t.mu.Lock()
+	if seq > t.acked[id] {
+		t.acked[id] = seq
+	}
+	for w := range t.waiters {
+		if t.countLocked(w.seq) >= w.need {
+			close(w.ch)
+			delete(t.waiters, w)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Detach removes a replica (disconnect); waiters it was counted toward
+// re-evaluate at their timeout.
+func (t *AckTracker) Detach(id string) {
+	t.mu.Lock()
+	delete(t.acked, id)
+	t.mu.Unlock()
+}
+
+// countLocked counts replicas at or past seq.
+func (t *AckTracker) countLocked(seq uint64) int {
+	n := 0
+	for _, a := range t.acked {
+		if a >= seq {
+			n++
+		}
+	}
+	return n
+}
+
+// Wait blocks until at least need replicas acknowledged seq, or returns
+// ErrNotEnoughAcks at the timeout. need <= 0 returns immediately.
+func (t *AckTracker) Wait(seq uint64, need int, timeout time.Duration) error {
+	if need <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	if t.countLocked(seq) >= need {
+		t.mu.Unlock()
+		return nil
+	}
+	w := &ackWaiter{seq: seq, need: need, ch: make(chan struct{})}
+	t.waiters[w] = struct{}{}
+	t.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-w.ch:
+		return nil
+	case <-timer.C:
+		t.mu.Lock()
+		if _, still := t.waiters[w]; !still {
+			// Ack raced the timeout and completed us.
+			t.mu.Unlock()
+			return nil
+		}
+		delete(t.waiters, w)
+		t.mu.Unlock()
 		return ErrNotEnoughAcks
 	}
-	return nil
 }
 
-// Seq returns the master's replication offset.
-func (m *Master) Seq() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.seq
-}
-
-// Promote turns a replica into a fresh master (failover). The returned
-// master starts a new log window at the replica's applied offset.
-func Promote(r *Replica, logCap int) *Master {
-	m := NewMaster(r.eng, logCap)
-	m.seq = r.LastApplied()
-	m.logStart = m.seq + 1
-	return m
+// Snapshot returns a copy of the per-replica acked sequences (INFO
+// replication).
+func (t *AckTracker) Snapshot() map[string]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]uint64, len(t.acked))
+	for id, seq := range t.acked {
+		out[id] = seq
+	}
+	return out
 }

@@ -1,168 +1,324 @@
 package replication
 
 import (
-	"fmt"
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"sync"
 	"testing"
-
-	"tierbase/internal/engine"
+	"time"
 )
 
-func TestBasicReplication(t *testing.T) {
-	m := NewMaster(engine.New(engine.Options{}), 0)
-	r := NewReplica(engine.New(engine.Options{}))
-	m.Attach(r)
-	m.Set("k", []byte("v"))
-	v, err := r.Engine().Get("k")
-	if err != nil || string(v) != "v" {
-		t.Fatalf("replica: %q %v", v, err)
+func TestOpLogAppendAndStream(t *testing.T) {
+	l := NewOpLog(16)
+	if got := l.Append(OpSet, "a", []byte("1")); got != 1 {
+		t.Fatalf("first seq = %d, want 1", got)
 	}
-	m.Del("k")
-	if _, err := r.Engine().Get("k"); err != engine.ErrNotFound {
-		t.Fatalf("replica delete: %v", err)
-	}
-	if r.LastApplied() != m.Seq() {
-		t.Fatalf("offsets: %d vs %d", r.LastApplied(), m.Seq())
-	}
-}
+	l.Append(OpDel, "b", nil)
+	l.Append(OpSetEncoded, "c", []byte{0xFF, 1})
 
-func TestAttachLateReplicaFullSync(t *testing.T) {
-	m := NewMaster(engine.New(engine.Options{}), 0)
-	for i := 0; i < 100; i++ {
-		m.Set(fmt.Sprintf("k%02d", i), []byte("v"))
-	}
-	r := NewReplica(engine.New(engine.Options{}))
-	m.Attach(r)
-	if r.Engine().Len() != 100 {
-		t.Fatalf("late replica has %d keys", r.Engine().Len())
-	}
-	if r.LastApplied() != m.Seq() {
-		t.Fatal("late replica offset behind")
-	}
-	// Stream continues after sync.
-	m.Set("new", []byte("n"))
-	if _, err := r.Engine().Get("new"); err != nil {
-		t.Fatal("stream broken after full sync")
-	}
-}
-
-func TestLogWindowPartialSync(t *testing.T) {
-	m := NewMaster(engine.New(engine.Options{}), 1000)
-	r := NewReplica(engine.New(engine.Options{}))
-	m.Attach(r)
-	m.Set("a", []byte("1"))
-	m.Detach(r)
-	// Master advances while replica is detached (within log window).
-	m.Set("b", []byte("2"))
-	m.Set("c", []byte("3"))
-	before := m.FullSyncs()
-	m.Attach(r)
-	if m.FullSyncs() != before {
-		t.Fatal("partial sync should not require full sync")
-	}
-	if _, err := r.Engine().Get("c"); err != nil {
-		t.Fatal("partial sync incomplete")
-	}
-}
-
-func TestFullSyncWhenLogRotated(t *testing.T) {
-	m := NewMaster(engine.New(engine.Options{}), 4) // tiny window
-	r := NewReplica(engine.New(engine.Options{}))
-	m.Attach(r)
-	m.Detach(r)
-	for i := 0; i < 50; i++ {
-		m.Set(fmt.Sprintf("k%02d", i), []byte("v"))
-	}
-	before := m.FullSyncs()
-	m.Attach(r)
-	if m.FullSyncs() != before+1 {
-		t.Fatal("rotated log must force full sync")
-	}
-	if r.Engine().Len() != 50 {
-		t.Fatalf("replica has %d keys after full sync", r.Engine().Len())
-	}
-}
-
-func TestSemiSyncAcks(t *testing.T) {
-	m := NewMaster(engine.New(engine.Options{}), 0)
-	m.AckReplicas = 1
-	// No replicas attached: semi-sync must fail.
-	if err := m.Set("k", []byte("v")); err != ErrNotEnoughAcks {
-		t.Fatalf("want ErrNotEnoughAcks, got %v", err)
-	}
-	r := NewReplica(engine.New(engine.Options{}))
-	m.Attach(r)
-	if err := m.Set("k", []byte("v")); err != nil {
-		t.Fatalf("with replica: %v", err)
-	}
-}
-
-func TestDuplicateApplyIdempotent(t *testing.T) {
-	r := NewReplica(engine.New(engine.Options{}))
-	op := Op{Seq: 1, Kind: OpSet, Key: "k", Val: []byte("v")}
-	if err := r.apply(op); err != nil {
+	s, err := l.Stream(0)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.apply(op); err != nil {
-		t.Fatalf("duplicate: %v", err)
+	ops, err := s.Recv(nil)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if r.LastApplied() != 1 {
-		t.Fatal("offset moved on duplicate")
+	if len(ops) != 3 {
+		t.Fatalf("got %d ops, want 3", len(ops))
+	}
+	if ops[0].Key != "a" || ops[0].Kind != OpSet || string(ops[0].Val) != "1" {
+		t.Fatalf("op0 = %+v", ops[0])
+	}
+	if ops[1].Kind != OpDel || ops[1].Val != nil {
+		t.Fatalf("op1 = %+v", ops[1])
+	}
+	if ops[2].Kind != OpSetEncoded || ops[2].Seq != 3 {
+		t.Fatalf("op2 = %+v", ops[2])
 	}
 }
 
-func TestGapDetected(t *testing.T) {
-	r := NewReplica(engine.New(engine.Options{}))
-	r.apply(Op{Seq: 1, Kind: OpSet, Key: "a", Val: []byte("1")})
-	if err := r.apply(Op{Seq: 3, Kind: OpSet, Key: "c", Val: []byte("3")}); err == nil {
-		t.Fatal("gap not detected")
+func TestOpLogAppendCopiesValue(t *testing.T) {
+	l := NewOpLog(4)
+	buf := []byte("orig")
+	l.Append(OpSet, "k", buf)
+	copy(buf, "XXXX") // caller reuses its buffer (RESP arena behavior)
+	s, _ := l.Stream(0)
+	ops, _ := s.Recv(nil)
+	if string(ops[0].Val) != "orig" {
+		t.Fatalf("val aliased caller buffer: %q", ops[0].Val)
 	}
 }
 
-func TestPromote(t *testing.T) {
-	m := NewMaster(engine.New(engine.Options{}), 0)
-	r := NewReplica(engine.New(engine.Options{}))
-	m.Attach(r)
+func TestOpLogStreamBlocksUntilAppend(t *testing.T) {
+	l := NewOpLog(16)
+	s, _ := l.Stream(0)
+	got := make(chan []Op, 1)
+	go func() {
+		ops, err := s.Recv(nil)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- ops
+	}()
+	time.Sleep(20 * time.Millisecond)
+	l.Append(OpSet, "k", []byte("v"))
+	select {
+	case ops := <-got:
+		if len(ops) != 1 || ops[0].Key != "k" {
+			t.Fatalf("ops = %+v", ops)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not wake on Append")
+	}
+}
+
+func TestOpLogTrim(t *testing.T) {
+	l := NewOpLog(4)
 	for i := 0; i < 10; i++ {
-		m.Set(fmt.Sprintf("k%d", i), []byte("v"))
+		l.Append(OpSet, "k", []byte("v"))
 	}
-	// Failover: replica becomes master, keeps data, accepts writes.
-	nm := Promote(r, 0)
-	if nm.Engine().Len() != 10 {
-		t.Fatalf("promoted master has %d keys", nm.Engine().Len())
+	if start := l.StartSeq(); start != 7 {
+		t.Fatalf("start = %d, want 7 (cap 4, seq 10)", start)
 	}
-	if nm.Seq() != 10 {
-		t.Fatalf("promoted seq %d", nm.Seq())
+	if _, err := l.Stream(0); !errors.Is(err, ErrLogTrimmed) {
+		t.Fatalf("Stream(0) err = %v, want ErrLogTrimmed", err)
 	}
-	if err := nm.Set("post-failover", []byte("v")); err != nil {
+	s, err := l.Stream(6) // exactly at the window edge
+	if err != nil {
 		t.Fatal(err)
 	}
-	// A new replica can attach to the promoted master.
-	r2 := NewReplica(engine.New(engine.Options{}))
-	nm.Attach(r2)
-	if r2.Engine().Len() != 11 {
-		t.Fatalf("new replica keys %d", r2.Engine().Len())
+	ops, _ := s.Recv(nil)
+	if len(ops) != 4 || ops[0].Seq != 7 {
+		t.Fatalf("ops = %+v", ops)
 	}
 }
 
-func TestMultipleReplicasConverge(t *testing.T) {
-	m := NewMaster(engine.New(engine.Options{}), 0)
-	var reps []*Replica
-	for i := 0; i < 3; i++ {
-		r := NewReplica(engine.New(engine.Options{}))
-		m.Attach(r)
-		reps = append(reps, r)
+func TestOpLogStreamTrimmedWhileWaiting(t *testing.T) {
+	l := NewOpLog(2)
+	l.Append(OpSet, "a", nil)
+	s, _ := l.Stream(0)
+	if _, err := s.Recv(nil); err != nil { // drain seq 1
+		t.Fatal(err)
 	}
-	for i := 0; i < 200; i++ {
-		if i%10 == 9 {
-			m.Del(fmt.Sprintf("k%03d", i-5))
-		} else {
-			m.Set(fmt.Sprintf("k%03d", i), []byte(fmt.Sprint(i)))
+	// Push the window past the cursor while it is idle.
+	for i := 0; i < 5; i++ {
+		l.Append(OpSet, "b", nil)
+	}
+	if _, err := s.Recv(nil); !errors.Is(err, ErrLogTrimmed) {
+		t.Fatalf("err = %v, want ErrLogTrimmed", err)
+	}
+}
+
+func TestOpLogAppendAt(t *testing.T) {
+	l := NewOpLog(16)
+	if err := l.AppendAt(Op{Seq: 1, Kind: OpSet, Key: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendAt(Op{Seq: 1, Kind: OpSet, Key: "a"}); err != nil {
+		t.Fatalf("duplicate redelivery should be ignored: %v", err)
+	}
+	if err := l.AppendAt(Op{Seq: 3, Kind: OpSet, Key: "c"}); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("gap err = %v, want ErrSeqGap", err)
+	}
+	if err := l.AppendAt(Op{Seq: 2, Kind: OpSet, Key: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Seq() != 2 {
+		t.Fatalf("seq = %d, want 2", l.Seq())
+	}
+	// Promotion continues the mirrored sequence.
+	if got := l.Append(OpSet, "d", nil); got != 3 {
+		t.Fatalf("post-promotion seq = %d, want 3", got)
+	}
+}
+
+func TestOpLogReset(t *testing.T) {
+	l := NewOpLog(16)
+	l.Append(OpSet, "a", nil)
+	l.Reset(100)
+	if l.Seq() != 100 || l.StartSeq() != 101 {
+		t.Fatalf("seq=%d start=%d after Reset(100)", l.Seq(), l.StartSeq())
+	}
+	if err := l.AppendAt(Op{Seq: 101, Kind: OpSet, Key: "b"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpLogCloseAndCancel(t *testing.T) {
+	l := NewOpLog(16)
+	s, _ := l.Stream(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Recv(nil)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+
+	l2 := NewOpLog(16)
+	s2, _ := l2.Stream(0)
+	go func() {
+		_, err := s2.Recv(nil)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s2.Cancel()
+	if err := <-done; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestOpLogConcurrentAppendStream(t *testing.T) {
+	l := NewOpLog(1 << 16)
+	const n = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			l.Append(OpSet, "k", []byte("v"))
+		}
+	}()
+	s, _ := l.Stream(0)
+	var seen uint64
+	var buf []Op
+	for seen < n {
+		ops, err := s.Recv(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range ops {
+			seen++
+			if op.Seq != seen {
+				t.Fatalf("seq %d out of order (want %d)", op.Seq, seen)
+			}
+		}
+		buf = ops
+	}
+	wg.Wait()
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	var netBuf bytes.Buffer
+	w := bufio.NewWriter(&netBuf)
+	ops := []Op{
+		{Seq: 1, Kind: OpSet, Key: "k1", Val: []byte("v1")},
+		{Seq: 2, Kind: OpDel, Key: "gone"},
+		{Seq: 3, Kind: OpSetEncoded, Key: "list", Val: []byte{0xFF, 0x01, 0x02}},
+	}
+	if err := WriteSnapBegin(w, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapEntry(w, "s1", []byte("raw"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapEntry(w, "s2", []byte{0xFF, 9}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapEnd(w, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if err := WriteOp(w, op); err != nil {
+			t.Fatal(err)
 		}
 	}
-	want := m.Engine().Len()
-	for i, r := range reps {
-		if r.Engine().Len() != want {
-			t.Fatalf("replica %d has %d keys, master %d", i, r.Engine().Len(), want)
+	if err := WriteAck(w, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := bufio.NewReader(&netBuf)
+	f, err := ReadFrame(r)
+	if err != nil || !f.IsSnapBegin() || f.Seq != 3 {
+		t.Fatalf("snap-begin = %+v, err %v", f, err)
+	}
+	f, _ = ReadFrame(r)
+	if !f.IsSnapEntry() || f.Key != "s1" || string(f.Val) != "raw" || f.Encoded {
+		t.Fatalf("snap-entry 1 = %+v", f)
+	}
+	f, _ = ReadFrame(r)
+	if !f.IsSnapEntry() || f.Key != "s2" || !f.Encoded {
+		t.Fatalf("snap-entry 2 = %+v", f)
+	}
+	f, _ = ReadFrame(r)
+	if !f.IsSnapEnd() || f.Seq != 3 {
+		t.Fatalf("snap-end = %+v", f)
+	}
+	for i, want := range ops {
+		f, err := ReadFrame(r)
+		if err != nil {
+			t.Fatal(err)
 		}
+		if !f.IsOp() {
+			t.Fatalf("frame %d not an op: %+v", i, f)
+		}
+		got := f.Op
+		if got.Seq != want.Seq || got.Kind != want.Kind || got.Key != want.Key || !bytes.Equal(got.Val, want.Val) {
+			t.Fatalf("op %d = %+v, want %+v", i, got, want)
+		}
+	}
+	f, _ = ReadFrame(r)
+	if !f.IsAck() || f.Seq != 3 {
+		t.Fatalf("ack = %+v", f)
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("trailing read err = %v, want io.EOF", err)
+	}
+}
+
+func TestWireTornFrame(t *testing.T) {
+	var netBuf bytes.Buffer
+	w := bufio.NewWriter(&netBuf)
+	if err := WriteOp(w, Op{Seq: 1, Kind: OpSet, Key: "key", Val: []byte("value")}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	torn := netBuf.Bytes()[:netBuf.Len()-3]
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(torn))); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn frame err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestAckTrackerWait(t *testing.T) {
+	a := NewAckTracker()
+	if err := a.Wait(5, 0, 0); err != nil {
+		t.Fatalf("need=0 should not wait: %v", err)
+	}
+	if err := a.Wait(5, 1, 20*time.Millisecond); !errors.Is(err, ErrNotEnoughAcks) {
+		t.Fatalf("err = %v, want ErrNotEnoughAcks", err)
+	}
+	a.Ack("r1", 5)
+	if err := a.Wait(5, 1, 0); err != nil {
+		t.Fatalf("already acked: %v", err)
+	}
+	if err := a.Wait(5, 2, 20*time.Millisecond); !errors.Is(err, ErrNotEnoughAcks) {
+		t.Fatalf("two replicas required, one acked: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- a.Wait(10, 2, 2*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	a.Ack("r1", 10)
+	a.Ack("r2", 12)
+	if err := <-done; err != nil {
+		t.Fatalf("wait should complete on acks: %v", err)
+	}
+
+	a.Detach("r1")
+	snap := a.Snapshot()
+	if _, ok := snap["r1"]; ok {
+		t.Fatal("detached replica still in snapshot")
+	}
+	if snap["r2"] != 12 {
+		t.Fatalf("snapshot = %+v", snap)
 	}
 }

@@ -1,0 +1,238 @@
+package replication
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire framing for the network leg of replication. After the RESP
+// handshake (`SYNC <lastApplied> <nodeID>` answered by `+CONTINUE` or
+// `+FULLSYNC`), the connection switches to these length-prefixed binary
+// frames: master→replica carries snapshot entries and ops, replica→master
+// carries cumulative acks. Integers are uvarints; keys and values are
+// length-prefixed byte strings.
+//
+//	op        : 'o' seq kind klen key [vlen val]   (val omitted for OpDel)
+//	ack       : 'a' seq
+//	snap-begin: 'b' seq        (log position the snapshot will end at)
+//	snap-entry: 's' enc klen key vlen val          (enc: 0 raw, 1 encoded)
+//	snap-end  : 'e' seq        (replica resets its log to seq)
+const (
+	frameOp        = 'o'
+	frameAck       = 'a'
+	frameSnapBegin = 'b'
+	frameSnapEntry = 's'
+	frameSnapEnd   = 'e'
+)
+
+// maxFrameLen bounds a single key or value length on the read side so a
+// corrupt stream fails fast instead of allocating gigabytes.
+const maxFrameLen = 1 << 30
+
+// Frame is one decoded replication frame.
+type Frame struct {
+	Type byte
+	Op   Op     // frameOp
+	Seq  uint64 // frameAck, frameSnapBegin, frameSnapEnd
+	// frameSnapEntry:
+	Key     string
+	Val     []byte
+	Encoded bool
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeBytes(w *bufio.Writer, b []byte) error {
+	if err := writeUvarint(w, uint64(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+// WriteOp frames one op. The caller flushes.
+func WriteOp(w *bufio.Writer, op Op) error {
+	if err := w.WriteByte(frameOp); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, op.Seq); err != nil {
+		return err
+	}
+	if err := w.WriteByte(byte(op.Kind)); err != nil {
+		return err
+	}
+	if err := writeString(w, op.Key); err != nil {
+		return err
+	}
+	if op.Kind == OpDel {
+		return nil
+	}
+	return writeBytes(w, op.Val)
+}
+
+// WriteAck frames a cumulative acknowledgement. The caller flushes.
+func WriteAck(w *bufio.Writer, seq uint64) error {
+	if err := w.WriteByte(frameAck); err != nil {
+		return err
+	}
+	return writeUvarint(w, seq)
+}
+
+// WriteSnapBegin opens a full-sync snapshot that will end at seq.
+func WriteSnapBegin(w *bufio.Writer, seq uint64) error {
+	if err := w.WriteByte(frameSnapBegin); err != nil {
+		return err
+	}
+	return writeUvarint(w, seq)
+}
+
+// WriteSnapEntry frames one snapshot key (encoded=true for typed
+// collection blobs in engine codec format).
+func WriteSnapEntry(w *bufio.Writer, key string, val []byte, encoded bool) error {
+	if err := w.WriteByte(frameSnapEntry); err != nil {
+		return err
+	}
+	enc := byte(0)
+	if encoded {
+		enc = 1
+	}
+	if err := w.WriteByte(enc); err != nil {
+		return err
+	}
+	if err := writeString(w, key); err != nil {
+		return err
+	}
+	return writeBytes(w, val)
+}
+
+// WriteSnapEnd closes a full-sync snapshot; the replica resets its op
+// log to seq and streams from there.
+func WriteSnapEnd(w *bufio.Writer, seq uint64) error {
+	if err := w.WriteByte(frameSnapEnd); err != nil {
+		return err
+	}
+	return writeUvarint(w, seq)
+}
+
+func readLen(r *bufio.Reader) (int, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, err
+	}
+	if v > maxFrameLen {
+		return 0, fmt.Errorf("replication: frame length %d exceeds limit", v)
+	}
+	return int(v), nil
+}
+
+func readBytes(r *bufio.Reader) ([]byte, error) {
+	n, err := readLen(r)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ReadFrame decodes the next frame. Byte slices in the result are
+// freshly allocated (safe to retain). io.EOF surfaces unchanged when the
+// stream ends cleanly between frames.
+func ReadFrame(r *bufio.Reader) (Frame, error) {
+	t, err := r.ReadByte()
+	if err != nil {
+		return Frame{}, err
+	}
+	f := Frame{Type: t}
+	switch t {
+	case frameOp:
+		seq, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Frame{}, unexpectedEOF(err)
+		}
+		kind, err := r.ReadByte()
+		if err != nil {
+			return Frame{}, unexpectedEOF(err)
+		}
+		key, err := readBytes(r)
+		if err != nil {
+			return Frame{}, unexpectedEOF(err)
+		}
+		f.Op = Op{Seq: seq, Kind: OpKind(kind), Key: string(key)}
+		if OpKind(kind) != OpDel {
+			val, err := readBytes(r)
+			if err != nil {
+				return Frame{}, unexpectedEOF(err)
+			}
+			f.Op.Val = val
+		}
+	case frameAck, frameSnapBegin, frameSnapEnd:
+		seq, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Frame{}, unexpectedEOF(err)
+		}
+		f.Seq = seq
+	case frameSnapEntry:
+		enc, err := r.ReadByte()
+		if err != nil {
+			return Frame{}, unexpectedEOF(err)
+		}
+		key, err := readBytes(r)
+		if err != nil {
+			return Frame{}, unexpectedEOF(err)
+		}
+		val, err := readBytes(r)
+		if err != nil {
+			return Frame{}, unexpectedEOF(err)
+		}
+		f.Key = string(key)
+		f.Val = val
+		f.Encoded = enc != 0
+	default:
+		return Frame{}, fmt.Errorf("replication: unknown frame type %q", t)
+	}
+	return f, nil
+}
+
+// unexpectedEOF maps a mid-frame EOF to io.ErrUnexpectedEOF so callers
+// can distinguish a clean between-frames close from a torn frame.
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Frame type predicates (exported for the server's handshake loops).
+
+// IsOp reports an op frame.
+func (f Frame) IsOp() bool { return f.Type == frameOp }
+
+// IsAck reports an ack frame.
+func (f Frame) IsAck() bool { return f.Type == frameAck }
+
+// IsSnapBegin reports a snapshot-begin frame.
+func (f Frame) IsSnapBegin() bool { return f.Type == frameSnapBegin }
+
+// IsSnapEntry reports a snapshot-entry frame.
+func (f Frame) IsSnapEntry() bool { return f.Type == frameSnapEntry }
+
+// IsSnapEnd reports a snapshot-end frame.
+func (f Frame) IsSnapEnd() bool { return f.Type == frameSnapEnd }

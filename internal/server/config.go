@@ -1,0 +1,140 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tierbase/internal/cache"
+	"tierbase/internal/elastic"
+	"tierbase/internal/engine"
+	"tierbase/internal/lsm"
+	"tierbase/internal/replication"
+)
+
+// Config is the single consolidated server configuration: everything
+// cmd/tierbase-server's flags (and every test harness) can set lives
+// here, validated in one place. Zero values mean "use the default" —
+// normalize fills them and Validate rejects contradictions, so callers
+// build one Config and hand it to Start.
+type Config struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// Shards is the number of data nodes in this process (default 1).
+	// Keys are hash-partitioned across shards; each shard has its own
+	// engine and elastic worker pool, reproducing "one instance might
+	// switch to multi-threaded mode while others remain in single-threaded
+	// mode within the same container" (§4.4).
+	Shards int
+	// EngineOptions configures each shard's engine (compression, PMem...).
+	EngineOptions engine.Options
+	// TieredFactory, when set, builds the tiered store for each shard
+	// (write-through/write-back against a storage tier). When nil, shards
+	// run cache-only — except under replication, which installs a
+	// cache-only tiered wrapper so every mutation crosses the op-sink seam.
+	TieredFactory func(eng *engine.Engine) (*cache.Tiered, error)
+	// StorageStats, when set, reports the storage tier's per-shard LSM
+	// stats for the INFO "storage" section. The deployment wires it (the
+	// server doesn't own the LSM handles — the tiered store sees only the
+	// Storage interface).
+	StorageStats func() []lsm.Stats
+	// Pool configures each shard's elastic pool. When BoostQueueDepth is
+	// unset the server picks a small absolute default (see Start): each
+	// connection keeps at most one command in flight, so pool queue depth
+	// equals connections waiting for a worker, and the pool's
+	// queue-relative default would never trip.
+	Pool elastic.PoolOptions
+	// Replication configures the replication/cluster role of this
+	// process. Replication is enabled iff Replication.NodeID is set.
+	Replication ReplicationConfig
+}
+
+// Options is the historical name of Config, kept as an alias so existing
+// callers (tests, benches, deployments) compile unchanged.
+type Options = Config
+
+// ReplicationConfig configures a node's place in a cluster: its
+// identity, its initial role, the op-log window, the semi-sync
+// durability knob, and the coordinator it reports to. The whole section
+// is inert unless NodeID is set.
+type ReplicationConfig struct {
+	// NodeID is this node's cluster identity. Setting it enables the
+	// replication machinery (op log, SYNC serving, REPLICAOF, role-aware
+	// command dispatch).
+	NodeID string
+	// AdvertiseAddr is the address other nodes and clients reach this
+	// node at; defaults to the bound listen address.
+	AdvertiseAddr string
+	// MasterAddr, when set, starts the node as a replica of that address
+	// (the -replicaof flag). Empty starts it as a master.
+	MasterAddr string
+	// LogCap is the retained op-log window (default
+	// replication.DefaultLogCap). A replica reconnecting within the
+	// window resumes incrementally; outside it, full sync.
+	LogCap int
+	// SemiSyncAcks, when > 0, makes every write wait until that many
+	// replicas acknowledged it (or AckTimeout passes, which fails the
+	// write with -NOREPLICAS) before replying — the semi-synchronous
+	// protocol of paper §4.1.2. 0 replicates asynchronously.
+	SemiSyncAcks int
+	// AckTimeout bounds a semi-sync wait (default 2s).
+	AckTimeout time.Duration
+	// CoordinatorAddr, when set, makes the node register with and
+	// heartbeat to the coordinator cluster (failure detection +
+	// promotion, paper §3).
+	CoordinatorAddr string
+	// HeartbeatInterval is the coordinator heartbeat period (default
+	// 500ms).
+	HeartbeatInterval time.Duration
+}
+
+// Enabled reports whether the replication machinery is on.
+func (rc *ReplicationConfig) Enabled() bool { return rc.NodeID != "" }
+
+// normalize fills defaulted fields in place.
+func (c *Config) normalize() {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Pool.BoostQueueDepth <= 0 {
+		c.Pool.BoostQueueDepth = 4
+	}
+	r := &c.Replication
+	if r.LogCap <= 0 {
+		r.LogCap = replication.DefaultLogCap
+	}
+	if r.AckTimeout <= 0 {
+		r.AckTimeout = 2 * time.Second
+	}
+	if r.HeartbeatInterval <= 0 {
+		r.HeartbeatInterval = 500 * time.Millisecond
+	}
+}
+
+// Validate rejects contradictory configuration. Start calls it after
+// normalize; cmd/tierbase-server calls it to fail fast on bad flags.
+func (c *Config) Validate() error {
+	if c.Shards < 0 {
+		return fmt.Errorf("server: negative shard count %d", c.Shards)
+	}
+	r := &c.Replication
+	if r.SemiSyncAcks < 0 {
+		return fmt.Errorf("server: negative semi-sync ack count %d", r.SemiSyncAcks)
+	}
+	if !r.Enabled() {
+		if r.MasterAddr != "" {
+			return errors.New("server: replicaof requires a node id")
+		}
+		if r.CoordinatorAddr != "" {
+			return errors.New("server: coordinator registration requires a node id")
+		}
+		if r.SemiSyncAcks > 0 {
+			return errors.New("server: semi-sync requires a node id")
+		}
+		return nil
+	}
+	if r.MasterAddr != "" && r.SemiSyncAcks > 0 {
+		return errors.New("server: a replica cannot require semi-sync acks")
+	}
+	return nil
+}

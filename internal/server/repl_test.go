@@ -1,0 +1,335 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tierbase/internal/client"
+)
+
+// startMaster starts a replication-enabled master node.
+func startMaster(t *testing.T, mod func(*Config)) (*Server, *client.Client) {
+	t.Helper()
+	cfg := Config{Replication: ReplicationConfig{NodeID: "m1"}}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return startTestServer(t, cfg)
+}
+
+// startReplicaOf starts a replica following master.
+func startReplicaOf(t *testing.T, master *Server, id string, mod func(*Config)) (*Server, *client.Client) {
+	t.Helper()
+	cfg := Config{Replication: ReplicationConfig{NodeID: id, MasterAddr: master.Addr()}}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return startTestServer(t, cfg)
+}
+
+// waitFor polls cond until it holds or the deadline fails the test.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// infoField extracts "field:value" from an INFO blob.
+func infoField(t *testing.T, c *client.Client, section, field string) string {
+	t.Helper()
+	v, err := c.Do("INFO", section)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(v.(string), "\r\n") {
+		if rest, ok := strings.CutPrefix(line, field+":"); ok {
+			return rest
+		}
+	}
+	return ""
+}
+
+func TestReplicationStreamsWrites(t *testing.T) {
+	ms, mc := startMaster(t, nil)
+	_, rc := startReplicaOf(t, ms, "r1", nil)
+
+	for i := 0; i < 50; i++ {
+		if err := mc.Set(fmt.Sprintf("key%02d", i), fmt.Sprintf("v%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := mc.Incr("counter"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Do("LPUSH", "list", "a", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Del("key00"); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "replica catch-up", func() bool {
+		v, err := rc.Get("key49")
+		return err == nil && v == "v49"
+	})
+	waitFor(t, "delete replication", func() bool {
+		_, err := rc.Get("key00")
+		return err == client.Nil
+	})
+	if v, err := rc.Get("counter"); err != nil || v != "1" {
+		t.Fatalf("counter on replica: %q %v", v, err)
+	}
+	waitFor(t, "collection replication", func() bool {
+		v, err := rc.Do("LLEN", "list")
+		return err == nil && v == int64(3)
+	})
+
+	if got := infoField(t, mc, "replication", "role"); got != "master" {
+		t.Fatalf("master role = %q", got)
+	}
+	if got := infoField(t, mc, "replication", "connected_replicas"); got != "1" {
+		t.Fatalf("connected_replicas = %q", got)
+	}
+	if got := infoField(t, rc, "replication", "role"); got != "replica" {
+		t.Fatalf("replica role = %q", got)
+	}
+	waitFor(t, "master link up", func() bool {
+		return infoField(t, rc, "replication", "master_link") == "up"
+	})
+}
+
+func TestReplicaRejectsWritesWithTypedMoved(t *testing.T) {
+	ms, mc := startMaster(t, nil)
+	_, rc := startReplicaOf(t, ms, "r1", nil)
+
+	if err := mc.Set("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "replica catch-up", func() bool {
+		v, err := rc.Get("k")
+		return err == nil && v == "v"
+	})
+
+	err := rc.Set("k", "nope")
+	var mv *client.MovedError
+	if !errors.As(err, &mv) {
+		t.Fatalf("replica write error not a MovedError: %#v", err)
+	}
+	if mv.Addr != ms.Addr() {
+		t.Fatalf("MOVED points at %q, master is %q", mv.Addr, ms.Addr())
+	}
+	// Reads still serve.
+	if v, err := rc.Get("k"); err != nil || v != "v" {
+		t.Fatalf("replica read after rejected write: %q %v", v, err)
+	}
+	// Master value untouched.
+	if v, err := mc.Get("k"); err != nil || v != "v" {
+		t.Fatalf("master value: %q %v", v, err)
+	}
+}
+
+func TestFullSyncBootstrap(t *testing.T) {
+	// A tiny log window forces the late-joining replica out of the
+	// incremental path: it must bootstrap from an engine snapshot.
+	ms, mc := startMaster(t, func(c *Config) { c.Replication.LogCap = 8 })
+	for i := 0; i < 100; i++ {
+		if err := mc.Set(fmt.Sprintf("key%03d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := mc.Do("LPUSH", "list", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rc := startReplicaOf(t, ms, "r1", nil)
+	waitFor(t, "full-sync bootstrap", func() bool {
+		v, err := rc.Get("key000")
+		return err == nil && v == "v"
+	})
+	if v, err := rc.Get("key099"); err != nil || v != "v" {
+		t.Fatalf("late key: %q %v", v, err)
+	}
+	waitFor(t, "collection snapshot", func() bool {
+		v, err := rc.Do("LLEN", "list")
+		return err == nil && v == int64(2)
+	})
+	if got := infoField(t, rc, "replication", "full_syncs_done"); got != "1" {
+		t.Fatalf("full_syncs_done = %q", got)
+	}
+	// And the stream continues past the snapshot.
+	if err := mc.Set("after-snap", "x"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-snapshot stream", func() bool {
+		v, err := rc.Get("after-snap")
+		return err == nil && v == "x"
+	})
+}
+
+func TestSemiSyncAckGate(t *testing.T) {
+	ms, mc := startMaster(t, func(c *Config) {
+		c.Replication.SemiSyncAcks = 1
+		c.Replication.AckTimeout = 200 * time.Millisecond
+	})
+
+	// No replica attached: the write applies locally but fails semi-sync.
+	err := mc.Set("k", "v")
+	if err == nil || !strings.HasPrefix(err.Error(), "NOREPLICAS") {
+		t.Fatalf("semi-sync with no replicas = %v, want NOREPLICAS", err)
+	}
+
+	_, rc := startReplicaOf(t, ms, "r1", nil)
+	waitFor(t, "replica attach", func() bool {
+		return mc.Set("k2", "v2") == nil
+	})
+	// Semi-sync acked means the replica already has it: no polling.
+	if err := mc.Set("k3", "v3"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := rc.Get("k3"); err != nil || v != "v3" {
+		t.Fatalf("acked write not on replica: %q %v", v, err)
+	}
+}
+
+func TestPromotionContinuesSequence(t *testing.T) {
+	ms, mc := startMaster(t, nil)
+	r1s, r1c := startReplicaOf(t, ms, "r1", nil)
+	_, r2c := startReplicaOf(t, ms, "r2", nil)
+
+	for i := 0; i < 20; i++ {
+		if err := mc.Set(fmt.Sprintf("pre%02d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "both replicas caught up", func() bool {
+		v1, e1 := r1c.Get("pre19")
+		v2, e2 := r2c.Get("pre19")
+		return e1 == nil && v1 == "v" && e2 == nil && v2 == "v"
+	})
+
+	// Kill the master; promote r1; re-point r2 (what the coordinator's
+	// failover push does against live processes).
+	ms.Close()
+	if _, err := r1c.Do("REPLICAOF", "NO", "ONE"); err != nil {
+		t.Fatal(err)
+	}
+	if got := infoField(t, r1c, "replication", "role"); got != "master" {
+		t.Fatalf("promoted role = %q", got)
+	}
+	host, port, ok := strings.Cut(r1s.Addr(), ":")
+	if !ok {
+		t.Fatal("bad addr")
+	}
+	if _, err := r2c.Do("REPLICAOF", host, port); err != nil {
+		t.Fatal(err)
+	}
+
+	// New master accepts writes; r2 resumes incrementally (the mirrored
+	// log continues the old master's sequence numbers).
+	if err := r1c.Set("post", "promoted"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "r2 follows new master", func() bool {
+		v, err := r2c.Get("post")
+		return err == nil && v == "promoted"
+	})
+	// Pre-failover data survives on both.
+	for _, c := range []*client.Client{r1c, r2c} {
+		if v, err := c.Get("pre00"); err != nil || v != "v" {
+			t.Fatalf("pre-failover key lost: %q %v", v, err)
+		}
+	}
+	// r2 did not need a full sync to follow the promoted node.
+	if got := infoField(t, r2c, "replication", "full_syncs_done"); got != "0" {
+		t.Fatalf("full_syncs_done on r2 = %q, want 0 (incremental continuation)", got)
+	}
+}
+
+// TestSetIncrOrderingConverges hammers one key with interleaved SET and
+// INCR from many goroutines: because SET now takes the RMW stripe lock,
+// the op log observes the same per-key order the engine applied, so the
+// replica converges to exactly the master's final value.
+func TestSetIncrOrderingConverges(t *testing.T) {
+	ms, mc := startMaster(t, nil)
+	_, rc := startReplicaOf(t, ms, "r1", nil)
+
+	const writers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(ms.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 50; i++ {
+				if w%2 == 0 {
+					if err := c.Set("hot", fmt.Sprintf("%d", w*1000+i)); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if _, err := c.Incr("hot"); err != nil {
+					// INCR on a non-integer SET value is a legal error.
+					if !strings.Contains(err.Error(), "integer") {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	final, err := mc.Get("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "replica converges to master's final value", func() bool {
+		v, err := rc.Get("hot")
+		return err == nil && v == final
+	})
+	// And stays there: no late ops reordering past the end.
+	time.Sleep(50 * time.Millisecond)
+	if v, err := rc.Get("hot"); err != nil || v != final {
+		t.Fatalf("replica diverged after settle: %q vs %q (%v)", v, final, err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Replication: ReplicationConfig{MasterAddr: "127.0.0.1:1"}},
+		{Replication: ReplicationConfig{CoordinatorAddr: "127.0.0.1:1"}},
+		{Replication: ReplicationConfig{SemiSyncAcks: 1}},
+		{Replication: ReplicationConfig{NodeID: "n", MasterAddr: "127.0.0.1:1", SemiSyncAcks: 1}},
+	}
+	for i, cfg := range bad {
+		cfg.normalize()
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %d should fail validation", i)
+		}
+	}
+	good := Config{Replication: ReplicationConfig{NodeID: "n", SemiSyncAcks: 1}}
+	good.normalize()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.Replication.AckTimeout != 2*time.Second {
+		t.Fatalf("AckTimeout default = %v", good.Replication.AckTimeout)
+	}
+	if good.Shards != 1 {
+		t.Fatalf("Shards default = %d", good.Shards)
+	}
+}

@@ -1,0 +1,823 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tierbase/internal/client"
+	"tierbase/internal/cluster"
+	"tierbase/internal/replication"
+)
+
+// Server-side replication: the network leg over the replication
+// package's transport seam (paper §3's master→replica op streaming and
+// §4.1.2's semi-synchronous acks).
+//
+// Masters: every mutation crosses the cache tier's OpSink seam into a
+// sequenced OpLog (ReplicateSet/ReplicateDelete below, called under the
+// key's RMW stripe lock so log order matches engine order per key). A
+// replica connects as a normal RESP client, sends
+// `SYNC <lastApplied> <nodeID>`, and the connection is hijacked: the
+// master answers `+CONTINUE` (incremental, the log still covers the
+// replica's position) or `+FULLSYNC` (engine snapshot first), then
+// streams length-prefixed op frames forever; cumulative acks ride back
+// on the same socket into the AckTracker. With SemiSyncAcks > 0, every
+// write waits for that many replica acks before replying (timeout →
+// -NOREPLICAS, the write is applied locally but not acknowledged).
+//
+// Replicas: an applier loop dials the master, handshakes, applies the
+// stream through the tiered store (the sink is inert while the role is
+// replica), and mirrors each op into the local log with AppendAt — so a
+// promoted replica continues the master's sequence numbers and surviving
+// replicas can resume from it incrementally. Client writes are rejected
+// with `-MOVED <slot> <masterAddr>` so routed clients refresh and follow.
+//
+// Known gaps (see ROADMAP.md): FLUSHALL/EXPIRE/PERSIST are not
+// replicated (writes of them are still rejected on replicas); a full
+// sync clears the replica's cache tier but not its private storage tier;
+// batch writes enter the log per stripe after commit, so a concurrent
+// single-key RMW can order differently across stripes than on the
+// master.
+
+const (
+	roleMaster int32 = iota
+	roleReplica
+)
+
+// serverRepl owns a node's replication state and implements
+// cache.OpSink.
+type serverRepl struct {
+	s   *Server
+	cfg ReplicationConfig
+
+	log  *replication.OpLog
+	acks *replication.AckTracker
+
+	role            atomic.Int32
+	lastApplied     atomic.Uint64 // replica: last op applied from the master
+	masterLinkUp    atomic.Bool
+	reregister      atomic.Bool // role changed: refresh coordinator registration
+	fullSyncsServed atomic.Int64
+	fullSyncsDone   atomic.Int64
+	applyErrors     atomic.Int64
+
+	mu         sync.Mutex
+	masterAddr string
+	sessions   map[string]*replSession
+	applier    *replApplier
+	closed     bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newServerRepl(s *Server, cfg ReplicationConfig) *serverRepl {
+	return &serverRepl{
+		s:        s,
+		cfg:      cfg,
+		log:      replication.NewOpLog(cfg.LogCap),
+		acks:     replication.NewAckTracker(),
+		sessions: make(map[string]*replSession),
+		stop:     make(chan struct{}),
+	}
+}
+
+// start brings up the configured role and the coordinator heartbeat.
+// Called once from Start after the shards (and their sinks) exist.
+func (r *serverRepl) start() {
+	if r.cfg.MasterAddr != "" {
+		r.role.Store(roleReplica)
+		r.mu.Lock()
+		r.masterAddr = r.cfg.MasterAddr
+		r.mu.Unlock()
+		r.startApplier(r.cfg.MasterAddr)
+	}
+	if r.cfg.CoordinatorAddr != "" {
+		r.wg.Add(1)
+		go r.heartbeatLoop()
+	}
+}
+
+// close stops the applier, all replica sessions, the heartbeat, and the
+// op log (unblocking hijacked SYNC connections).
+func (r *serverRepl) close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	ap := r.applier
+	r.applier = nil
+	sess := make([]*replSession, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		sess = append(sess, s)
+	}
+	r.mu.Unlock()
+	close(r.stop)
+	if ap != nil {
+		ap.close()
+	}
+	for _, s := range sess {
+		s.close()
+	}
+	r.log.Close()
+	r.wg.Wait()
+}
+
+func (r *serverRepl) isReplica() bool { return r.role.Load() == roleReplica }
+
+func (r *serverRepl) currentMasterAddr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.masterAddr
+}
+
+func (r *serverRepl) advertiseAddr() string {
+	if r.cfg.AdvertiseAddr != "" {
+		return r.cfg.AdvertiseAddr
+	}
+	return r.s.Addr()
+}
+
+// --- OpSink (the cache tier reports mutations here) ---
+
+// ReplicateSet appends a store op to the log. Called under the key's RMW
+// stripe lock; val aliases a caller buffer and is copied by Append.
+// Inert on replicas: the applier mirrors the master's stream itself.
+func (r *serverRepl) ReplicateSet(key string, val []byte, encoded bool) {
+	if r.isReplica() {
+		return
+	}
+	kind := replication.OpSet
+	if encoded {
+		kind = replication.OpSetEncoded
+	}
+	r.log.Append(kind, key, val)
+}
+
+// ReplicateDelete appends a delete op to the log.
+func (r *serverRepl) ReplicateDelete(key string) {
+	if r.isReplica() {
+		return
+	}
+	r.log.Append(replication.OpDel, key, nil)
+}
+
+// --- role-aware dispatch ---
+
+// isWriteCommand reports commands that mutate state — rejected on
+// replicas and gated by the semi-sync wait on masters.
+func isWriteCommand(cmd string) bool {
+	switch cmd {
+	case "SET", "MSET", "DEL", "UNLINK", "SETNX", "INCR", "DECR",
+		"INCRBY", "DECRBY", "CAS", "EXPIRE", "PERSIST", "FLUSHALL",
+		"LPUSH", "RPUSH", "LPOP", "RPOP", "SADD", "SREM",
+		"ZADD", "ZREM", "HSET", "HDEL":
+		return true
+	}
+	return false
+}
+
+// intercept gives the replication layer first crack at a command.
+// Returns true when the command was fully handled (reply appended or
+// connection hijacked); false falls through to plain dispatch.
+func (r *serverRepl) intercept(c *conn, cmd string, args [][]byte) bool {
+	switch cmd {
+	case "REPLICAOF":
+		r.cmdReplicaof(c, args)
+		return true
+	case "SYNC":
+		r.cmdSync(c, args)
+		return true
+	case "CLUSTER":
+		r.cmdCluster(c, args)
+		return true
+	}
+	if !isWriteCommand(cmd) {
+		return false
+	}
+	if r.isReplica() {
+		// Role-aware rejection: point the client at the master. The slot
+		// comes from the first key so routed clients can cross-check; the
+		// address is what matters for following the redirect.
+		slot := 0
+		if len(args) > 1 {
+			slot = cluster.SlotFor(string(args[1]))
+		}
+		c.out = appendRawError(c.out, fmt.Sprintf("MOVED %d %s", slot, r.currentMasterAddr()))
+		return true
+	}
+	if r.cfg.SemiSyncAcks > 0 {
+		r.semiSync(c, cmd, args)
+		return true
+	}
+	return false
+}
+
+// semiSync executes a write and holds the reply until SemiSyncAcks
+// replicas acknowledged the log position it produced. On timeout the
+// reply is replaced with -NOREPLICAS: the write is applied locally but
+// the client must treat it as unacknowledged (it may or may not survive
+// a failover).
+func (r *serverRepl) semiSync(c *conn, cmd string, args [][]byte) {
+	mark := len(c.out)
+	r.s.dispatchCmd(c, cmd, args)
+	if len(c.out) > mark && c.out[mark] == '-' {
+		return // the write itself failed; nothing to wait for
+	}
+	// Waiting on the log head (not just this command's ops) is
+	// conservative under concurrency but always covers this write.
+	err := r.acks.Wait(r.log.Seq(), r.cfg.SemiSyncAcks, r.cfg.AckTimeout)
+	if err != nil {
+		c.out = c.out[:mark]
+		c.out = appendRawError(c.out, fmt.Sprintf(
+			"NOREPLICAS write not acknowledged by %d replica(s) within %v",
+			r.cfg.SemiSyncAcks, r.cfg.AckTimeout))
+	}
+}
+
+// cmdReplicaof serves REPLICAOF host port | NO ONE — the coordinator's
+// promotion/re-point push, also available to operators.
+func (r *serverRepl) cmdReplicaof(c *conn, args [][]byte) {
+	if len(args) != 3 {
+		c.out = appendError(c.out, "wrong number of arguments for 'replicaof'")
+		return
+	}
+	host, port := string(args[1]), string(args[2])
+	if strings.EqualFold(host, "no") && strings.EqualFold(port, "one") {
+		r.promote()
+		c.out = appendSimple(c.out, "OK")
+		return
+	}
+	if _, err := strconv.Atoi(port); err != nil {
+		c.out = appendError(c.out, "invalid replicaof port")
+		return
+	}
+	r.follow(net.JoinHostPort(host, port))
+	c.out = appendSimple(c.out, "OK")
+}
+
+// promote turns a replica into a master: stop applying, flip the role,
+// keep the mirrored log so surviving replicas resume incrementally from
+// the same sequence numbers.
+func (r *serverRepl) promote() {
+	r.mu.Lock()
+	ap := r.applier
+	r.applier = nil
+	r.mu.Unlock()
+	if ap != nil {
+		ap.close() // waits: no apply is in flight after this
+	}
+	r.role.Store(roleMaster)
+	r.mu.Lock()
+	r.masterAddr = ""
+	r.mu.Unlock()
+	r.masterLinkUp.Store(false)
+	r.reregister.Store(true)
+}
+
+// follow (re)points this node at a master, restarting the applier. A
+// master demoting drops its replica sessions — they must resync from the
+// new master.
+func (r *serverRepl) follow(addr string) {
+	r.mu.Lock()
+	ap := r.applier
+	r.applier = nil
+	sess := make([]*replSession, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		sess = append(sess, s)
+	}
+	r.mu.Unlock()
+	if ap != nil {
+		ap.close()
+	}
+	for _, s := range sess {
+		s.close()
+	}
+	r.role.Store(roleReplica)
+	r.mu.Lock()
+	r.masterAddr = addr
+	r.mu.Unlock()
+	r.reregister.Store(true)
+	r.startApplier(addr)
+}
+
+// cmdCluster serves the data-node CLUSTER subcommands (identity and
+// routing introspection; the table itself lives on the coordinator).
+func (r *serverRepl) cmdCluster(c *conn, args [][]byte) {
+	if len(args) < 2 {
+		c.out = appendError(c.out, "wrong number of arguments for 'cluster'")
+		return
+	}
+	sub := strings.ToUpper(string(args[1]))
+	switch sub {
+	case "MYID":
+		c.out = appendBulkString(c.out, r.cfg.NodeID)
+	case "ROLE":
+		role := "master"
+		if r.isReplica() {
+			role = "replica"
+		}
+		c.out = appendSimple(c.out, role)
+	case "SLOT":
+		if len(args) != 3 {
+			c.out = appendError(c.out, "CLUSTER SLOT needs a key")
+			return
+		}
+		c.out = appendInt(c.out, int64(cluster.SlotFor(string(args[2]))))
+	default:
+		c.out = appendError(c.out, "unknown CLUSTER subcommand '"+sub+"'")
+	}
+}
+
+// --- master side: serving a replica's SYNC ---
+
+// replSession is one attached replica connection on a master.
+type replSession struct {
+	id     string
+	nc     net.Conn
+	stream *replication.Stream
+}
+
+func (s *replSession) close() {
+	s.stream.Cancel()
+	s.nc.Close()
+}
+
+func (r *serverRepl) addSession(sess *replSession) bool {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	old := r.sessions[sess.id]
+	r.sessions[sess.id] = sess
+	r.mu.Unlock()
+	if old != nil {
+		old.close() // a reconnect replaces the stale session
+	}
+	return true
+}
+
+func (r *serverRepl) removeSession(sess *replSession) {
+	r.mu.Lock()
+	if r.sessions[sess.id] == sess {
+		delete(r.sessions, sess.id)
+	}
+	r.mu.Unlock()
+}
+
+// cmdSync validates the handshake and schedules the connection hijack;
+// serveReplica (below) runs on the connection goroutine and owns the
+// socket until the replica detaches.
+func (r *serverRepl) cmdSync(c *conn, args [][]byte) {
+	if len(args) != 3 {
+		c.out = appendError(c.out, "wrong number of arguments for 'sync'")
+		return
+	}
+	if r.isReplica() {
+		c.out = appendError(c.out, "cannot SYNC from a replica")
+		return
+	}
+	after, err := strconv.ParseUint(string(args[1]), 10, 64)
+	if err != nil {
+		c.out = appendError(c.out, "invalid SYNC position")
+		return
+	}
+	nodeID := string(args[2])
+	if nodeID == "" {
+		c.out = appendError(c.out, "SYNC requires a node id")
+		return
+	}
+	c.hijack = func() { r.serveReplica(c, after, nodeID) }
+}
+
+// serveReplica streams the op log to one replica. The status line tells
+// the replica whether its position still resumes (+CONTINUE) or a
+// snapshot precedes the stream (+FULLSYNC). The snapshot stream is
+// opened at the current head BEFORE the engines are walked, and every op
+// carries its key's full resulting state, so replaying the overlap over
+// the (possibly newer) snapshot converges.
+func (r *serverRepl) serveReplica(c *conn, after uint64, nodeID string) {
+	nc := c.nc
+	bw := bufio.NewWriterSize(nc, 64<<10)
+
+	var stream *replication.Stream
+	var err error
+	full := false
+	snapSeq := uint64(0)
+	if after <= r.log.Seq() {
+		stream, err = r.log.Stream(after)
+	} else {
+		// The replica claims a future position: divergent history (an old
+		// master rejoining with unreplicated writes). Snapshot it.
+		err = replication.ErrSeqGap
+	}
+	if err != nil {
+		full = true
+		snapSeq = r.log.Seq()
+		if stream, err = r.log.Stream(snapSeq); err != nil {
+			return // log closed (server shutting down)
+		}
+	}
+	defer stream.Cancel()
+
+	if full {
+		r.fullSyncsServed.Add(1)
+		if _, err := bw.WriteString("+FULLSYNC\r\n"); err != nil {
+			return
+		}
+		if err := replication.WriteSnapBegin(bw, snapSeq); err != nil {
+			return
+		}
+		for _, sh := range r.s.shards {
+			werr := error(nil)
+			ferr := sh.eng.ForEachEncoded(func(key string, val []byte, encoded bool) bool {
+				werr = replication.WriteSnapEntry(bw, key, val, encoded)
+				return werr == nil
+			})
+			if werr != nil || ferr != nil {
+				return
+			}
+		}
+		if err := replication.WriteSnapEnd(bw, snapSeq); err != nil {
+			return
+		}
+	} else {
+		if _, err := bw.WriteString("+CONTINUE\r\n"); err != nil {
+			return
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	sess := &replSession{id: nodeID, nc: nc, stream: stream}
+	if !r.addSession(sess) {
+		return
+	}
+	defer r.removeSession(sess)
+	r.acks.Attach(nodeID)
+	defer r.acks.Detach(nodeID)
+
+	// Cumulative acks ride back on the same socket; a read error means
+	// the replica is gone — cancel the stream to unblock the writer.
+	ackDone := make(chan struct{})
+	go func() {
+		defer close(ackDone)
+		br := c.cr.r
+		for {
+			f, err := replication.ReadFrame(br)
+			if err != nil {
+				stream.Cancel()
+				return
+			}
+			if f.IsAck() {
+				r.acks.Ack(nodeID, f.Seq)
+			}
+		}
+	}()
+	defer func() {
+		nc.Close()
+		<-ackDone
+	}()
+
+	var buf []replication.Op
+	for {
+		ops, err := stream.Recv(buf)
+		if err != nil {
+			return
+		}
+		buf = ops
+		for _, op := range ops {
+			if err := replication.WriteOp(bw, op); err != nil {
+				return
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// --- replica side: the applier loop ---
+
+// replApplier is a replica's connection to its master: dial, handshake,
+// apply the stream, ack; redial with backoff on any failure.
+type replApplier struct {
+	r          *serverRepl
+	masterAddr string
+	stop       chan struct{}
+	mu         sync.Mutex
+	conn       net.Conn
+	stopped    bool
+	wg         sync.WaitGroup
+}
+
+func (r *serverRepl) startApplier(addr string) {
+	a := &replApplier{r: r, masterAddr: addr, stop: make(chan struct{})}
+	r.mu.Lock()
+	r.applier = a
+	r.mu.Unlock()
+	a.wg.Add(1)
+	go a.run()
+}
+
+// close stops the loop and waits for it: after close returns, no apply
+// is in flight (promote relies on this before flipping the role).
+func (a *replApplier) close() {
+	a.mu.Lock()
+	if !a.stopped {
+		a.stopped = true
+		close(a.stop)
+		if a.conn != nil {
+			a.conn.Close()
+		}
+	}
+	a.mu.Unlock()
+	a.wg.Wait()
+}
+
+func (a *replApplier) run() {
+	defer a.wg.Done()
+	backoff := 50 * time.Millisecond
+	for {
+		select {
+		case <-a.stop:
+			return
+		default:
+		}
+		start := time.Now()
+		a.syncOnce()
+		a.r.masterLinkUp.Store(false)
+		if time.Since(start) > 2*time.Second {
+			backoff = 50 * time.Millisecond // the session held; reset
+		}
+		select {
+		case <-a.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// setConn registers the live socket so close can sever a blocked read.
+func (a *replApplier) setConn(nc net.Conn) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stopped {
+		return false
+	}
+	a.conn = nc
+	return true
+}
+
+// syncOnce runs one master session: handshake from the local position,
+// install a snapshot if offered, then apply-and-ack until the connection
+// dies or the applier stops.
+func (a *replApplier) syncOnce() {
+	r := a.r
+	nc, err := net.DialTimeout("tcp", a.masterAddr, 2*time.Second)
+	if err != nil {
+		return
+	}
+	defer nc.Close()
+	if !a.setConn(nc) {
+		return
+	}
+	br := bufio.NewReaderSize(nc, 64<<10)
+	bw := bufio.NewWriterSize(nc, 64<<10)
+	if err := writeRESPCommand(bw, "SYNC", strconv.FormatUint(r.lastApplied.Load(), 10), r.cfg.NodeID); err != nil {
+		return
+	}
+	status, err := br.ReadString('\n')
+	if err != nil {
+		return
+	}
+	switch strings.TrimRight(status, "\r\n") {
+	case "+CONTINUE":
+	case "+FULLSYNC":
+		r.fullSyncsDone.Add(1)
+		if !a.readSnapshot(br) {
+			return
+		}
+	default:
+		return // -ERR (e.g. the target is itself a replica): back off, retry
+	}
+	r.masterLinkUp.Store(true)
+	// The initial ack registers this replica's position with the master
+	// before any new op arrives (semi-sync counts attached replicas).
+	if replication.WriteAck(bw, r.lastApplied.Load()) != nil || bw.Flush() != nil {
+		return
+	}
+	for {
+		f, err := replication.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		if !f.IsOp() {
+			continue
+		}
+		op := f.Op
+		r.applyOp(op)
+		if r.log.AppendAt(op) != nil {
+			// A mirrored-log gap should be impossible; restart the window
+			// at this op so the log stays internally consistent (future
+			// subscribers behind this point full-sync).
+			r.log.Reset(op.Seq)
+		}
+		r.lastApplied.Store(op.Seq)
+		if br.Buffered() == 0 {
+			// Batch boundary: ack the whole drained window in one frame.
+			if replication.WriteAck(bw, op.Seq) != nil || bw.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// readSnapshot installs a full-sync snapshot: drop the cache tier,
+// apply every entry, reset the mirrored log to the snapshot position.
+// (The replica's private storage tier is NOT cleared — stale storage
+// keys shadowed by the snapshot remain until overwritten; see the
+// package comment.)
+func (a *replApplier) readSnapshot(br *bufio.Reader) bool {
+	r := a.r
+	started := false
+	for {
+		f, err := replication.ReadFrame(br)
+		if err != nil {
+			return false
+		}
+		switch {
+		case f.IsSnapBegin():
+			for _, sh := range r.s.shards {
+				sh.eng.FlushAll()
+			}
+			started = true
+		case f.IsSnapEntry():
+			if !started {
+				return false
+			}
+			r.applyEntry(f.Key, f.Val, f.Encoded)
+		case f.IsSnapEnd():
+			if !started {
+				return false
+			}
+			r.lastApplied.Store(f.Seq)
+			r.log.Reset(f.Seq)
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// applyOp applies one streamed op through the owning shard's tiered
+// store (the sink is inert on replicas, so nothing re-enters the log).
+func (r *serverRepl) applyOp(op replication.Op) {
+	switch op.Kind {
+	case replication.OpSet:
+		r.applyEntry(op.Key, op.Val, false)
+	case replication.OpSetEncoded:
+		r.applyEntry(op.Key, op.Val, true)
+	case replication.OpDel:
+		sh := r.s.shardFor([]byte(op.Key))
+		if _, err := sh.strBatchDel([]string{op.Key}); err != nil {
+			r.applyErrors.Add(1)
+		}
+	}
+}
+
+func (r *serverRepl) applyEntry(key string, val []byte, encoded bool) {
+	sh := r.s.shardFor([]byte(key))
+	var err error
+	if encoded {
+		err = sh.tiered.Locked(key, func() error {
+			if err := sh.eng.LoadEncoded(key, val); err != nil {
+				return err
+			}
+			return sh.tiered.PropagateEncoded(key, val)
+		})
+	} else {
+		err = sh.strSet(key, val)
+	}
+	if err != nil {
+		r.applyErrors.Add(1)
+	}
+}
+
+// writeRESPCommand frames one command as a RESP array and flushes.
+func writeRESPCommand(bw *bufio.Writer, args ...string) error {
+	fmt.Fprintf(bw, "*%d\r\n", len(args))
+	for _, arg := range args {
+		fmt.Fprintf(bw, "$%d\r\n%s\r\n", len(arg), arg)
+	}
+	return bw.Flush()
+}
+
+// --- coordinator heartbeat ---
+
+// heartbeatLoop registers the node with the coordinator and heartbeats
+// every HeartbeatInterval. Registration refreshes on role changes (the
+// reregister flag) and when the coordinator forgets us (-UNKNOWNNODE,
+// e.g. a coordinator restart).
+func (r *serverRepl) heartbeatLoop() {
+	defer r.wg.Done()
+	var cc *client.Client
+	defer func() {
+		if cc != nil {
+			cc.Close()
+		}
+	}()
+	registered := false
+	tick := time.NewTicker(r.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		if cc == nil || cc.Err() != nil {
+			if cc != nil {
+				cc.Close()
+			}
+			cc = nil
+			if c, err := client.Dial(r.cfg.CoordinatorAddr); err == nil {
+				cc = c
+				registered = false
+			}
+		}
+		if cc != nil {
+			if r.reregister.Swap(false) {
+				registered = false
+			}
+			if !registered {
+				role, masterAddr := "master", "-"
+				if r.isReplica() {
+					role = "replica"
+					masterAddr = r.currentMasterAddr()
+				}
+				if _, err := cc.Do("CLUSTER", "REGISTER", r.cfg.NodeID, r.advertiseAddr(), role, masterAddr); err == nil {
+					registered = true
+				}
+			} else if _, err := cc.Do("CLUSTER", "HEARTBEAT", r.cfg.NodeID); err != nil {
+				if strings.Contains(err.Error(), "UNKNOWNNODE") {
+					registered = false
+				}
+			}
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// --- INFO replication ---
+
+// info renders the "# Replication" section: role, sequence positions,
+// attached replicas with ack lag, sync counters.
+func (r *serverRepl) info(b *strings.Builder) {
+	fmt.Fprintf(b, "# Replication\r\n")
+	role := "master"
+	if r.isReplica() {
+		role = "replica"
+	}
+	seq := r.log.Seq()
+	fmt.Fprintf(b, "role:%s\r\n", role)
+	fmt.Fprintf(b, "node_id:%s\r\n", r.cfg.NodeID)
+	fmt.Fprintf(b, "repl_seq:%d\r\n", seq)
+	fmt.Fprintf(b, "repl_start_seq:%d\r\n", r.log.StartSeq())
+	fmt.Fprintf(b, "semi_sync_acks:%d\r\n", r.cfg.SemiSyncAcks)
+	if role == "replica" {
+		link := "down"
+		if r.masterLinkUp.Load() {
+			link = "up"
+		}
+		fmt.Fprintf(b, "master_addr:%s\r\n", r.currentMasterAddr())
+		fmt.Fprintf(b, "master_link:%s\r\n", link)
+		fmt.Fprintf(b, "last_applied_seq:%d\r\n", r.lastApplied.Load())
+	}
+	acked := r.acks.Snapshot()
+	ids := make([]string, 0, len(acked))
+	for id := range acked {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Fprintf(b, "connected_replicas:%d\r\n", len(ids))
+	for i, id := range ids {
+		fmt.Fprintf(b, "replica%d:id=%s,acked_seq=%d,ack_lag=%d\r\n", i, id, acked[id], seq-acked[id])
+	}
+	fmt.Fprintf(b, "full_syncs_served:%d\r\n", r.fullSyncsServed.Load())
+	fmt.Fprintf(b, "full_syncs_done:%d\r\n", r.fullSyncsDone.Load())
+	fmt.Fprintf(b, "apply_errors:%d\r\n", r.applyErrors.Load())
+}

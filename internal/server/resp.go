@@ -192,6 +192,15 @@ func appendError(out []byte, msg string) []byte {
 	return append(out, '\r', '\n')
 }
 
+// appendRawError writes an error reply whose first token is its own
+// error class (MOVED, ASK, NOREPLICAS, ...) rather than the generic ERR
+// prefix — what typed client-side error dispatch keys on.
+func appendRawError(out []byte, msg string) []byte {
+	out = append(out, '-')
+	out = append(out, msg...)
+	return append(out, '\r', '\n')
+}
+
 func appendInt(out []byte, v int64) []byte {
 	out = append(out, ':')
 	out = strconv.AppendInt(out, v, 10)
@@ -326,6 +335,14 @@ func canonicalCommand(tok []byte, scratch *[16]byte) string {
 		return "HLEN"
 	case "HGETALL":
 		return "HGETALL"
+	case "SYNC":
+		return "SYNC"
+	case "REPLICAOF":
+		return "REPLICAOF"
+	case "SLAVEOF":
+		return "REPLICAOF"
+	case "CLUSTER":
+		return "CLUSTER"
 	}
 	return ""
 }

@@ -13,44 +13,16 @@ import (
 	"tierbase/internal/cache"
 	"tierbase/internal/elastic"
 	"tierbase/internal/engine"
-	"tierbase/internal/lsm"
 	"tierbase/internal/metrics"
 )
 
-// Options configures a Server.
-type Options struct {
-	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
-	Addr string
-	// Shards is the number of data nodes in this process (default 1).
-	// Keys are hash-partitioned across shards; each shard has its own
-	// engine and elastic worker pool, reproducing "one instance might
-	// switch to multi-threaded mode while others remain in single-threaded
-	// mode within the same container" (§4.4).
-	Shards int
-	// EngineOptions configures each shard's engine (compression, PMem...).
-	EngineOptions engine.Options
-	// TieredFactory, when set, builds the tiered store for each shard
-	// (write-through/write-back against a storage tier). When nil, shards
-	// run cache-only.
-	TieredFactory func(eng *engine.Engine) (*cache.Tiered, error)
-	// StorageStats, when set, reports the storage tier's per-shard LSM
-	// stats for the INFO "storage" section. The deployment wires it (the
-	// server doesn't own the LSM handles — the tiered store sees only the
-	// Storage interface).
-	StorageStats func() []lsm.Stats
-	// Pool configures each shard's elastic pool. When BoostQueueDepth is
-	// unset the server picks a small absolute default (see Start): each
-	// connection keeps at most one command in flight, so pool queue depth
-	// equals connections waiting for a worker, and the pool's
-	// queue-relative default would never trip.
-	Pool elastic.PoolOptions
-}
-
-// Server is the TierBase RESP server.
+// Server is the TierBase RESP server. It is configured by Config (see
+// config.go); replication/cluster behavior lives in replication.go.
 type Server struct {
-	opts   Options
+	opts   Config
 	ln     net.Listener
 	shards []*shard
+	repl   *serverRepl // nil unless Config.Replication is enabled
 	wg     sync.WaitGroup
 	connWg sync.WaitGroup
 	mu     sync.Mutex
@@ -70,12 +42,19 @@ type shard struct {
 }
 
 // Start listens and serves until Close.
-func Start(opts Options) (*Server, error) {
-	if opts.Shards <= 0 {
-		opts.Shards = 1
+func Start(opts Config) (*Server, error) {
+	opts.normalize()
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
-	if opts.Pool.BoostQueueDepth <= 0 {
-		opts.Pool.BoostQueueDepth = 4
+	factory := opts.TieredFactory
+	if factory == nil && opts.Replication.Enabled() {
+		// Replication needs every mutation to cross the tiered store's
+		// op-sink seam; a cache-only tiered wrapper provides it without a
+		// storage tier.
+		factory = func(eng *engine.Engine) (*cache.Tiered, error) {
+			return cache.New(cache.Options{Policy: cache.CacheOnly, Engine: eng})
+		}
 	}
 	ln, err := net.Listen("tcp", opts.Addr)
 	if err != nil {
@@ -91,8 +70,8 @@ func Start(opts Options) (*Server, error) {
 	for i := 0; i < opts.Shards; i++ {
 		eng := engine.New(opts.EngineOptions)
 		sh := &shard{eng: eng, pool: elastic.NewPool(opts.Pool)}
-		if opts.TieredFactory != nil {
-			tr, err := opts.TieredFactory(eng)
+		if factory != nil {
+			tr, err := factory(eng)
 			if err != nil {
 				ln.Close()
 				return nil, err
@@ -100,6 +79,13 @@ func Start(opts Options) (*Server, error) {
 			sh.tiered = tr
 		}
 		s.shards = append(s.shards, sh)
+	}
+	if opts.Replication.Enabled() {
+		s.repl = newServerRepl(s, opts.Replication)
+		for _, sh := range s.shards {
+			sh.tiered.SetSink(s.repl)
+		}
+		s.repl.start()
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -149,6 +135,10 @@ type conn struct {
 	out        []byte
 	cmdScratch [16]byte
 	task       connTask
+	// hijack, when set by a command (SYNC), takes over the connection
+	// after the current reply flushes: serveConn flushes c.out, invokes
+	// hijack on the connection goroutine, and returns when it does.
+	hijack func()
 }
 
 const (
@@ -219,6 +209,19 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.dispatch(c, args)
 		s.Latency.RecordDuration(time.Since(start))
 		s.Throughput.Mark(1)
+		if c.hijack != nil {
+			// A command (SYNC) is taking over the connection: flush any
+			// pending replies, then hand the socket to the hijacker. It
+			// runs on this goroutine; when it returns the connection dies.
+			if len(c.out) > 0 {
+				if _, err := c.nc.Write(c.out); err != nil {
+					return
+				}
+				c.out = nil
+			}
+			c.hijack()
+			return
+		}
 		// Write when no more pipelined commands are buffered (one syscall
 		// per pipeline window), or when the window's replies grow large.
 		if c.cr.Buffered() == 0 || len(c.out) >= flushThreshold {
@@ -247,15 +250,27 @@ func (s *Server) submit(c *conn, sh *shard, cmd string, args [][]byte) {
 	t.args = nil
 }
 
-// dispatch routes one command, appending its reply to c.out. Server-level
-// commands run inline on the connection goroutine; per-key commands run on
-// the owning shard's pool; multi-key commands fan out per shard.
+// dispatch routes one command, appending its reply to c.out. Replication
+// (when enabled) intercepts first: replication commands, role-aware write
+// rejection, and the semi-sync gate all live in the repl layer; anything
+// it declines falls through to plain execution.
 func (s *Server) dispatch(c *conn, args [][]byte) {
 	if len(args) == 0 {
 		c.out = appendError(c.out, "empty command")
 		return
 	}
 	cmd := canonicalCommand(args[0], &c.cmdScratch)
+	if s.repl != nil && s.repl.intercept(c, cmd, args) {
+		return
+	}
+	s.dispatchCmd(c, cmd, args)
+}
+
+// dispatchCmd executes one command with no replication awareness.
+// Server-level commands run inline on the connection goroutine; per-key
+// commands run on the owning shard's pool; multi-key commands fan out
+// per shard.
+func (s *Server) dispatchCmd(c *conn, cmd string, args [][]byte) {
 	switch cmd {
 	case "PING":
 		c.out = appendSimple(c.out, "PONG")
@@ -553,6 +568,9 @@ func (s *Server) info(section string) string {
 		fmt.Fprintf(&b, "keys:%d\r\nmem_bytes:%d\r\n", keys, mem)
 		fmt.Fprintf(&b, "p99_ns:%d\r\n", s.Latency.P99())
 	}
+	if (section == "" || section == "replication") && s.repl != nil {
+		s.repl.info(&b)
+	}
 	if section == "" || section == "writepath" {
 		s.writePathInfo(&b)
 	}
@@ -672,6 +690,12 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	err := s.ln.Close()
+	if s.repl != nil {
+		// Stop replication before joining connection goroutines: hijacked
+		// SYNC connections block in OpLog streams, which only Close here
+		// unblocks.
+		s.repl.close()
+	}
 	s.wg.Wait()
 	s.connWg.Wait()
 	for _, sh := range s.shards {
