@@ -29,6 +29,12 @@ func main() {
 		dataset   = flag.String("dataset", "kv1", "value shape: cities | kv1 | kv2 | random")
 		interval  = flag.Float64("access-interval", 0, "mean per-key access interval in seconds (0 = skip break-even advice)")
 		refQPS    = flag.Float64("ref-qps", 100000, "assumed per-core QPS of the raw configuration (scales relative measurements to your fleet)")
+
+		probeOps   = flag.Int("probe-ops", 200000, "live MR probe: reads driven through an in-process tiered store (0 = skip)")
+		probeKeys  = flag.Int("probe-keys", 20000, "live MR probe: distinct keys")
+		cacheRatio = flag.Float64("cache-ratio", 0.1, "live MR probe: cache capacity as a fraction of data bytes")
+		probeDist  = flag.String("distribution", "zipfian", "live MR probe key distribution: zipfian | uniform | hotspot | hotspot-shift")
+		adaptive   = flag.Bool("adaptive", true, "live MR probe: adaptive per-stripe budgets (false = static even split)")
 	)
 	flag.Parse()
 
@@ -65,6 +71,25 @@ func main() {
 		best, err := core.RecommendStorage(core.StandardContainer, ms, w.AvgRecordBytes, *interval)
 		if err == nil {
 			fmt.Printf("\nfor a %.0f s mean access interval, use: %s\n", *interval, best.Config)
+		}
+	}
+
+	if *probeOps > 0 {
+		// Cache-tier inputs for the live probe: the raw config's smooth
+		// PC/SC, with miss handling assumed 4x the cost of a hit (same
+		// class of assumption as the relSpeed factors above).
+		raw := configs["raw"]
+		in := core.TieredInputs{
+			PCCache: core.SmoothPC(w, core.StandardContainer, raw),
+			SCCache: core.SmoothSC(w, core.StandardContainer, raw),
+			PCMiss:  core.StandardContainer.Cost / (*refQPS / 4) * w.QPS,
+		}
+		p := liveProbe{
+			keys: *probeKeys, ops: *probeOps, cacheRatio: *cacheRatio,
+			dist: *probeDist, adaptive: *adaptive,
+		}
+		if err := p.run(ds, in); err != nil {
+			log.Fatalf("cost-advisor: live probe: %v", err)
 		}
 	}
 }

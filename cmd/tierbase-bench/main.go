@@ -31,6 +31,7 @@ import (
 	"tierbase/internal/bench"
 	"tierbase/internal/client"
 	"tierbase/internal/metrics"
+	"tierbase/internal/workload"
 )
 
 func main() {
@@ -49,6 +50,8 @@ func main() {
 		readPct  = flag.Int("readpct", 90, "networked: percentage of reads (rest are writes)")
 		keyspace = flag.Int("keyspace", 10000, "networked: distinct keys (prefilled)")
 		valSize  = flag.Int("valsize", 64, "networked: value size in bytes")
+		dist     = flag.String("workload", "uniform", "networked: key distribution: uniform | zipf | hotspot-shift")
+		shiftOps = flag.Int("shift-every", 0, "networked: hotspot-shift rotates the hot set every this many ops per client (0 = keyspace)")
 	)
 	flag.Parse()
 
@@ -63,6 +66,7 @@ func main() {
 		if err := runNetBench(netOpts{
 			addr: *addr, coordinator: *coord, clients: *clients, conns: *conns, ops: *ops,
 			readPct: *readPct, keyspace: *keyspace, valSize: *valSize,
+			workload: *dist, shiftEvery: *shiftOps,
 		}); err != nil {
 			log.Fatalf("tierbase-bench: %v", err)
 		}
@@ -115,6 +119,29 @@ type netOpts struct {
 	readPct     int
 	keyspace    int
 	valSize     int
+	workload    string // uniform | zipf | hotspot-shift
+	shiftEvery  int
+}
+
+// newChooser builds one goroutine's key chooser for the selected
+// distribution (the workload generators are single-threaded; each client
+// goroutine owns one).
+func (o netOpts) newChooser() (workload.KeyChooser, error) {
+	n := int64(o.keyspace)
+	switch o.workload {
+	case "", "uniform":
+		return workload.NewUniform(n), nil
+	case "zipf":
+		return workload.NewScrambledZipfian(n, workload.ZipfianTheta), nil
+	case "hotspot-shift":
+		shift := int64(o.shiftEvery)
+		if shift <= 0 {
+			shift = n
+		}
+		return workload.NewShiftingHotspot(n, 0.1, 0.9, shift), nil
+	default:
+		return nil, fmt.Errorf("unknown -workload %q (uniform | zipf | hotspot-shift)", o.workload)
+	}
 }
 
 // kvCaller is the per-op surface both networked backends share: the
@@ -142,6 +169,9 @@ func runNetBench(o netOpts) error {
 	if o.addr != "" && o.coordinator != "" {
 		return fmt.Errorf("-addr and -coordinator are mutually exclusive")
 	}
+	if _, err := o.newChooser(); err != nil {
+		return err // validate the distribution before dialing anything
+	}
 
 	var muxes []*client.Client // single-node mode only
 	var callers []kvCaller     // indexed by goroutine % len
@@ -168,8 +198,8 @@ func runNetBench(o netOpts) error {
 		if err := muxes[0].Ping(); err != nil {
 			return err
 		}
-		fmt.Printf("networked bench: addr=%s clients=%d conns=%d ops=%d read%%=%d keyspace=%d valsize=%d\n",
-			o.addr, o.clients, o.conns, o.ops, o.readPct, o.keyspace, o.valSize)
+		fmt.Printf("networked bench: addr=%s clients=%d conns=%d ops=%d read%%=%d keyspace=%d valsize=%d workload=%s\n",
+			o.addr, o.clients, o.conns, o.ops, o.readPct, o.keyspace, o.valSize, o.workload)
 	}
 
 	key := func(i int) string { return fmt.Sprintf("netbench:%08d", i) }
@@ -217,12 +247,13 @@ func runNetBench(o netOpts) error {
 		go func(g int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g)*7919 + 1))
+			chooser, _ := o.newChooser() // validated above; one per goroutine
 			c := callers[g%len(callers)]
 			for {
 				if int(cursor.Add(1)) > o.ops {
 					return
 				}
-				k := key(rng.Intn(o.keyspace))
+				k := key(int(chooser.Next(rng)))
 				opStart := time.Now()
 				var err error
 				if rng.Intn(100) < o.readPct {
@@ -287,10 +318,33 @@ func runNetBench(o netOpts) error {
 			float64(memAfter.TotalAlloc-memBefore.TotalAlloc)/float64(okOps))
 	}
 	printElasticState(muxes[0])
+	printTieringState(muxes[0])
 	if n := opErrs.Load(); n > 0 {
 		return fmt.Errorf("%d operations failed", n)
 	}
 	return nil
+}
+
+// printTieringState reports the cache-tiering section from INFO tiering:
+// under a skewed -workload, the per-stripe budget and hit-rate skew (and
+// the rebalance counters, if -adaptive-tiering is on server-side) show
+// where the run's working set landed and whether budgets followed it.
+func printTieringState(c *client.Client) {
+	v, err := c.Do("INFO", "tiering")
+	if err != nil {
+		return
+	}
+	s, ok := v.(string)
+	if !ok || !strings.Contains(s, "tiered_shards:") || strings.Contains(s, "tiered_shards:0") {
+		return // cache-only server: no tiering section to report
+	}
+	fmt.Println("server tiering state:")
+	for _, line := range strings.Split(strings.TrimRight(s, "\r\n"), "\r\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fmt.Printf("  %s\n", line)
+	}
 }
 
 // printElasticState reports each shard's elastic pool state from INFO

@@ -43,6 +43,11 @@ func main() {
 		queueSize   = flag.Int("queue-size", 0, "pending task queue bound per shard (0 = default)")
 		cooldown    = flag.Int("cooldown-ticks", 0, "calm evaluations before shrinking back to single mode (0 = default)")
 		evalEvery   = flag.Duration("eval-interval", 0, "elastic controller period (0 = default)")
+		boostRate   = flag.Float64("boost-rate", 0, "windowed submit rate (tasks/sec) that triggers boost mode (0 = depth-only)")
+
+		adaptive      = flag.Bool("adaptive-tiering", false, "rebalance per-stripe cache budgets toward the observed workload (needs -cache-bytes)")
+		rebalanceTick = flag.Duration("rebalance-interval", 0, "adaptive rebalancer period (0 = default 100ms)")
+		targetHitRate = flag.Float64("target-hit-rate", 0, "adaptive total sizing: grow/shrink cache toward this hit rate (0 = off)")
 
 		nodeID        = flag.String("node-id", "", "cluster node id (enables replication)")
 		advertise     = flag.String("advertise", "", "address other nodes reach this one at (default: listen addr)")
@@ -78,6 +83,7 @@ func main() {
 		Pool: elastic.PoolOptions{
 			MaxWorkers:      *maxWorkers,
 			BoostQueueDepth: *boostDepth,
+			BoostSubmitRate: *boostRate,
 			QueueSize:       *queueSize,
 			CooldownTicks:   *cooldown,
 			EvalInterval:    *evalEvery,
@@ -111,6 +117,9 @@ func main() {
 	default:
 		log.Fatalf("tierbase-server: unknown policy %q", *policy)
 	}
+	if (*adaptive || *targetHitRate > 0) && *cacheBytes <= 0 {
+		log.Fatal("tierbase-server: -adaptive-tiering/-target-hit-rate require -cache-bytes > 0")
+	}
 	var dbs []*lsm.DB
 	if cachePolicy != cache.CacheOnly {
 		if *dir == "" {
@@ -130,6 +139,9 @@ func main() {
 				Engine:             eng,
 				Storage:            cache.NewLSMStorage(db),
 				CacheCapacityBytes: *cacheBytes,
+				AdaptiveTiering:    *adaptive,
+				RebalanceInterval:  *rebalanceTick,
+				TargetHitRate:      *targetHitRate,
 			})
 		}
 		// INFO storage: per-shard LSM counters (flush backlog, level

@@ -1,0 +1,451 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tierbase/internal/engine"
+)
+
+// Adaptive-tiering tests: budget-stealing invariants under concurrency,
+// the skew win over a static even split, hotspot-shift re-convergence,
+// and hit-rate-targeted total sizing. Deterministic tests drive the
+// rebalancer with RebalanceNow and a fake window clock; the stress test
+// uses the real clock and the background loop.
+
+// tierClock is a fake time source shared by every stripe's window
+// counters, so tests control window decay instead of sleeping through it.
+type tierClock struct{ ns atomic.Int64 }
+
+func newTierClock() *tierClock {
+	c := &tierClock{}
+	c.ns.Store(1 << 40) // far from zero: slot epoch 0 means "never used"
+	return c
+}
+
+func (c *tierClock) now() int64              { return c.ns.Load() }
+func (c *tierClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+// installTierClock must run before any traffic (SetClock is not atomic).
+func installTierClock(t *Tiered, c *tierClock) {
+	for _, st := range t.tier.stripes {
+		st.winHits.SetClock(c.now)
+		st.winMisses.SetClock(c.now)
+	}
+}
+
+func adaptiveKey(i int64) string { return fmt.Sprintf("ad:%05d", i) }
+
+// newSkewStore builds a write-through store over nKeys fixed-size values
+// and returns it plus the measured per-key resident footprint. capKeys
+// sizes the cache in units of that footprint.
+func newSkewStore(t testing.TB, nKeys int, capKeys float64, adaptive bool) *Tiered {
+	t.Helper()
+	val := make([]byte, 128)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	// Measure the real per-key footprint on a scratch engine: budgets act
+	// on engine-resident bytes, not logical value sizes.
+	scratch := engine.New(engine.Options{Shards: 8})
+	scratch.Set(adaptiveKey(0), val)
+	perKey := scratch.Stats().MemBytes
+
+	tr, err := New(Options{
+		Policy:             WriteThrough,
+		Engine:             engine.New(engine.Options{Shards: 8}),
+		Storage:            NewMapStorage(),
+		CacheCapacityBytes: int64(capKeys * float64(perKey)),
+		AdaptiveTiering:    adaptive,
+		RebalanceInterval:  time.Hour, // deterministic tests step via RebalanceNow
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	for i := 0; i < nKeys; i++ {
+		if err := tr.Set(adaptiveKey(int64(i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// hotspotOp returns the next key index: p=0.95 uniform over the hot set
+// starting at hotBase, else uniform over the whole space.
+func hotspotOp(rng *rand.Rand, nKeys, hotBase, hotN int64) int64 {
+	if rng.Float64() < 0.95 {
+		return (hotBase + rng.Int63n(hotN)) % nKeys
+	}
+	return rng.Int63n(nKeys)
+}
+
+// TestAdaptiveBudgetInvariants hammers Get/Set/eviction while the
+// background rebalancer and explicit RebalanceNow calls move budgets, and
+// checks conservation (budgets sum to exactly the configured total — the
+// rebalancer moves budget, never mints it) and the per-stripe floor.
+// Run with -race: this is also the data-race gate for the sampling hooks
+// and the live atomic budget targets.
+func TestAdaptiveBudgetInvariants(t *testing.T) {
+	val := make([]byte, 128)
+	tr, err := New(Options{
+		Policy:             WriteThrough,
+		Engine:             engine.New(engine.Options{Shards: 8}),
+		Storage:            NewMapStorage(),
+		CacheCapacityBytes: 64 << 10,
+		AdaptiveTiering:    true,
+		RebalanceInterval:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	initial := tr.tier.capacity.Load()
+	floor := tr.tier.floor
+	// Hot set confined to one engine stripe, and larger than that stripe's
+	// even-split budget: maximal per-stripe pressure differential, so the
+	// rebalancer is guaranteed work while readers and writers hammer it.
+	var hot []string
+	for i := int64(0); len(hot) < 256; i++ {
+		if k := adaptiveKey(i); tr.eng.ShardIndex(k) == 0 {
+			hot = append(hot, k)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 1))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var k string
+				if rng.Float64() < 0.95 {
+					k = hot[rng.Intn(len(hot))]
+				} else {
+					k = adaptiveKey(rng.Int63n(2048))
+				}
+				if i%8 == 0 {
+					tr.Set(k, val)
+				} else {
+					tr.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			tr.RebalanceNow()
+		}
+	}()
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	var sum int64
+	for i, st := range tr.tier.stripes {
+		b := st.budget.Load()
+		if b < floor {
+			t.Errorf("stripe %d budget %d below floor %d", i, b, floor)
+		}
+		sum += b
+	}
+	if sum != initial {
+		t.Errorf("budget not conserved: sum %d != initial %d", sum, initial)
+	}
+	if tr.TieringStats().Rebalances == 0 {
+		t.Error("stress run never moved budget (workload should be skewed enough)")
+	}
+}
+
+// runPhase drives rounds of opsPerRound reads (nextKey picks each key)
+// with a rebalance round after each (when step is true) and returns the
+// hit rate over the second half, past warmup/convergence.
+func runPhase(tr *Tiered, clk *tierClock, rounds, opsPerRound int, step bool, nextKey func() string) float64 {
+	var startHits, startReqs int64
+	measureFrom := rounds / 2
+	for r := 0; r < rounds; r++ {
+		if r == measureFrom {
+			s := tr.Stats()
+			startHits, startReqs = s.Hits, s.Hits+s.Misses
+		}
+		for i := 0; i < opsPerRound; i++ {
+			tr.Get(nextKey())
+		}
+		clk.advance(200 * time.Millisecond)
+		if step {
+			tr.RebalanceNow()
+		}
+	}
+	s := tr.Stats()
+	return float64(s.Hits-startHits) / float64(s.Hits+s.Misses-startReqs)
+}
+
+// runHotspotPhase is runPhase over a contiguous hot window at hotBase.
+func runHotspotPhase(tr *Tiered, clk *tierClock, rng *rand.Rand, nKeys, hotBase, hotN int64, rounds, opsPerRound int, step bool) float64 {
+	return runPhase(tr, clk, rounds, opsPerRound, step, func() string {
+		return adaptiveKey(hotspotOp(rng, nKeys, hotBase, hotN))
+	})
+}
+
+// TestAdaptiveBeatsStaticOnHotspot: the hot set collides onto two of the
+// eight stripes — the placement skew a static even split cannot answer.
+// Static leaves six stripes hoarding slack for cold traffic while the two
+// hot stripes thrash; budget stealing must reclaim that slack and land a
+// large hit-rate win on the same op sequence.
+func TestAdaptiveBeatsStaticOnHotspot(t *testing.T) {
+	const (
+		nKeys   = 4096
+		hotN    = 40 // ~20 hot keys on each of two stripes
+		capKeys = 64 // even split: 8 keys of budget per stripe
+		rounds  = 40
+		perRnd  = 2048
+	)
+	run := func(adaptive bool) float64 {
+		tr := newSkewStore(t, nKeys, capKeys, false) // rebalance stepped manually
+		clk := newTierClock()
+		installTierClock(tr, clk)
+		var hot []string
+		for i := int64(0); len(hot) < hotN; i++ {
+			if k := adaptiveKey(i); tr.eng.ShardIndex(k) <= 1 {
+				hot = append(hot, k)
+			}
+		}
+		rng := rand.New(rand.NewSource(7))
+		return runPhase(tr, clk, rounds, perRnd, adaptive, func() string {
+			if rng.Float64() < 0.95 {
+				return hot[rng.Intn(len(hot))]
+			}
+			return adaptiveKey(rng.Int63n(nKeys))
+		})
+	}
+	static := run(false)
+	adaptive := run(true)
+	t.Logf("hotspot hit rate: static=%.4f adaptive=%.4f (delta %+.4f)", static, adaptive, adaptive-static)
+	if adaptive < static+0.10 {
+		t.Errorf("adaptive %.4f should beat static %.4f by >= 0.10", adaptive, static)
+	}
+}
+
+// TestAdaptiveDoesNoHarmOnSpreadHotspot: the hot keys hash-spread evenly
+// and capacity is tight (1.3x the hot set), so the static even split is
+// already near-optimal and every stripe sits at its working-set knee —
+// any steal starves its donor for more than the grant wins. The rollback
+// guard must keep adaptive within noise of static instead of letting
+// that starvation cascade.
+func TestAdaptiveDoesNoHarmOnSpreadHotspot(t *testing.T) {
+	const (
+		nKeys   = 4096
+		hotN    = 40
+		capKeys = 52
+		rounds  = 40
+		perRnd  = 2048
+	)
+	run := func(adaptive bool) (float64, TieringStats) {
+		tr := newSkewStore(t, nKeys, capKeys, false)
+		clk := newTierClock()
+		installTierClock(tr, clk)
+		rng := rand.New(rand.NewSource(7))
+		hr := runHotspotPhase(tr, clk, rng, nKeys, 0, hotN, rounds, perRnd, adaptive)
+		return hr, tr.TieringStats()
+	}
+	static, _ := run(false)
+	adaptive, ts := run(true)
+	t.Logf("spread hotspot hit rate: static=%.4f adaptive=%.4f (delta %+.4f, %d rebalances, %d rollbacks)",
+		static, adaptive, adaptive-static, ts.Rebalances, ts.Rollbacks)
+	if adaptive < static-0.02 {
+		t.Errorf("adaptive %.4f must stay within 0.02 of static %.4f on a spread hotspot", adaptive, static)
+	}
+}
+
+// TestHotspotShiftReconverges: phase A concentrates the hot set on
+// stripes 0-1, so convergence piles their budget high; then the hot set
+// jumps to disjoint keys on stripes 6-7. Hit rate must recover to near
+// its pre-shift level within a bounded number of rebalance rounds — the
+// hysteresis (and the rollback guard's cooldown) must not pin the budget
+// to the old hotspot, and the eviction nudge must free the stolen bytes.
+func TestHotspotShiftReconverges(t *testing.T) {
+	const (
+		nKeys   = 4096
+		hotN    = 40
+		capKeys = 64
+		perRnd  = 2048
+		bound   = 24 // rounds allowed to re-converge after the shift
+	)
+	tr := newSkewStore(t, nKeys, capKeys, false)
+	clk := newTierClock()
+	installTierClock(tr, clk)
+	rng := rand.New(rand.NewSource(9))
+
+	hotOn := func(lo, hi int) []string {
+		var hot []string
+		for i := int64(0); len(hot) < hotN; i++ {
+			k := adaptiveKey(i)
+			if si := tr.eng.ShardIndex(k); si >= lo && si <= hi {
+				hot = append(hot, k)
+			}
+		}
+		return hot
+	}
+	pick := func(hot []string) func() string {
+		return func() string {
+			if rng.Float64() < 0.95 {
+				return hot[rng.Intn(len(hot))]
+			}
+			return adaptiveKey(rng.Int63n(nKeys))
+		}
+	}
+
+	before := runPhase(tr, clk, 40, perRnd, true, pick(hotOn(0, 1)))
+	if before < 0.80 {
+		t.Fatalf("phase A never converged: hit rate %.4f", before)
+	}
+
+	// Shift, then measure per-round hit rate until it recovers to within
+	// 0.05 of the pre-shift level.
+	next := pick(hotOn(6, 7))
+	recovered := -1
+	for r := 0; r < bound; r++ {
+		s := tr.Stats()
+		h0, m0 := s.Hits, s.Misses
+		for i := 0; i < perRnd; i++ {
+			tr.Get(next())
+		}
+		clk.advance(200 * time.Millisecond)
+		tr.RebalanceNow()
+		s = tr.Stats()
+		hr := float64(s.Hits-h0) / float64(s.Hits-h0+s.Misses-m0)
+		if hr >= before-0.05 {
+			recovered = r
+			break
+		}
+	}
+	if recovered < 0 {
+		t.Fatalf("hit rate did not re-converge within %d rounds after the shift (pre-shift %.4f)", bound, before)
+	}
+	t.Logf("re-converged %d rounds after the shift (pre-shift hit rate %.4f)", recovered+1, before)
+}
+
+// TestAdaptiveSizingTracksTargetHitRate: with TargetHitRate set, a
+// miss-heavy window grows the total budget toward the ceiling and a
+// hit-heavy window shrinks it toward the floor, with stripe budgets
+// always summing to the live capacity.
+func TestAdaptiveSizingTracksTargetHitRate(t *testing.T) {
+	val := make([]byte, 128)
+	base := int64(32 << 10)
+	tr, err := New(Options{
+		Policy:             WriteThrough,
+		Engine:             engine.New(engine.Options{Shards: 8}),
+		Storage:            NewMapStorage(),
+		CacheCapacityBytes: base,
+		AdaptiveTiering:    false, // stepped manually
+		RebalanceInterval:  time.Hour,
+		TargetHitRate:      0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	clk := newTierClock()
+	installTierClock(tr, clk)
+
+	checkSum := func(when string) {
+		var sum int64
+		for _, st := range tr.tier.stripes {
+			sum += st.budget.Load()
+		}
+		if got := tr.tier.capacity.Load(); sum != got {
+			t.Fatalf("%s: stripe budgets sum %d != capacity %d", when, sum, got)
+		}
+	}
+
+	// Miss-heavy: read keys that exist nowhere. Every read is a miss.
+	for i := 0; i < 256; i++ {
+		tr.Get(adaptiveKey(int64(100000 + i)))
+	}
+	for i := 0; i < 4; i++ {
+		tr.RebalanceNow()
+	}
+	grown := tr.tier.capacity.Load()
+	if grown <= base {
+		t.Fatalf("capacity did not grow under misses: %d <= %d", grown, base)
+	}
+	if max := tr.opts.MaxCapacityBytes; grown > max {
+		t.Fatalf("capacity %d above ceiling %d", grown, max)
+	}
+	checkSum("after growth")
+
+	// Let the miss window decay, then serve pure hits.
+	clk.advance(3 * time.Second)
+	tr.Set(adaptiveKey(1), val)
+	for i := 0; i < 256; i++ {
+		tr.Get(adaptiveKey(1))
+	}
+	for i := 0; i < 16; i++ {
+		tr.RebalanceNow()
+	}
+	shrunk := tr.tier.capacity.Load()
+	if shrunk >= grown {
+		t.Fatalf("capacity did not shrink under pure hits: %d >= %d", shrunk, grown)
+	}
+	if min := tr.opts.MinCapacityBytes; shrunk < min {
+		t.Fatalf("capacity %d below floor %d", shrunk, min)
+	}
+	for i, st := range tr.tier.stripes {
+		if b := st.budget.Load(); b < tr.tier.floor {
+			t.Fatalf("stripe %d budget %d below floor %d after shrink", i, b, tr.tier.floor)
+		}
+	}
+	checkSum("after shrink")
+	st := tr.TieringStats()
+	if st.Grows == 0 || st.Shrinks == 0 {
+		t.Fatalf("sizing counters: grows=%d shrinks=%d", st.Grows, st.Shrinks)
+	}
+}
+
+// TestTieringStatsShape: the snapshot reports one entry per engine
+// stripe with live budgets, and unbounded stores report zero capacity
+// with no rebalancer.
+func TestTieringStatsShape(t *testing.T) {
+	tr := newSkewStore(t, 64, 32, true)
+	st := tr.TieringStats()
+	if !st.Adaptive {
+		t.Error("adaptive store should report Adaptive")
+	}
+	if len(st.Stripes) != tr.eng.NumShards() {
+		t.Fatalf("stripes %d != shards %d", len(st.Stripes), tr.eng.NumShards())
+	}
+	if st.CapacityBytes <= 0 || st.FloorBytes <= 0 || st.StepBytes <= 0 {
+		t.Errorf("bounded store should report capacity/floor/step, got %+v", st)
+	}
+
+	unb, err := New(Options{Policy: CacheOnly, Engine: engine.New(engine.Options{Shards: 4})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unb.Close()
+	unb.Set("k", []byte("v"))
+	unb.Get("k")
+	ust := unb.TieringStats()
+	if ust.Adaptive || ust.CapacityBytes != 0 {
+		t.Errorf("unbounded store: %+v", ust)
+	}
+	if unb.RebalanceNow() != 0 {
+		t.Error("unbounded store must not rebalance")
+	}
+	if ust.Stripes[unb.eng.ShardIndex("k")].WindowHits == 0 {
+		t.Error("sampling should run even unbounded (INFO reports it)")
+	}
+}

@@ -65,6 +65,10 @@ func (t *Tiered) BatchGet(keys []string) (map[string][]byte, error) {
 		t.misses.Add(1)
 		missing = append(missing, k)
 	}
+	// Per-stripe access sampling, one grouping pass per outcome (the
+	// adaptive rebalancer reads these; wrong-typed keys are neither).
+	t.sampleHitBatch(hit)
+	t.sampleMissBatch(missing)
 	t.touchBatch(hit) // one LRU stripe lock per touched stripe
 	if len(missing) == 0 || t.opts.Policy == CacheOnly {
 		return out, nil

@@ -1,0 +1,97 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tierbase/internal/engine"
+	"tierbase/internal/workload"
+)
+
+// Skew benchmark suite: the same read loop over uniform, zipf-0.99 and
+// shifting-hotspot key distributions, once with the static even budget
+// split and once with adaptive budget stealing live. Each run reports the
+// achieved hit rate (hit_pct) next to ns/op, so the artifact records the
+// adaptive-vs-static delta per distribution, not just raw read cost.
+// Note the hash-striping caveat: zipf's head keys FNV-spread evenly
+// across stripes, so the adaptive win there is small by construction —
+// stripe-concentrated hotspots (TestAdaptiveBeatsStaticOnHotspot) are
+// where stealing pays, and these benches bound its overhead elsewhere.
+
+const skewBenchKeys = 16384
+
+func skewBenchKey(i int64) string { return fmt.Sprintf("skew:%05d", i) }
+
+func newSkewBenchChooser(b *testing.B, dist string) workload.KeyChooser {
+	switch dist {
+	case "uniform":
+		return workload.NewUniform(skewBenchKeys)
+	case "zipf":
+		return workload.NewScrambledZipfian(skewBenchKeys, workload.ZipfianTheta)
+	case "hotspot-shift":
+		// Hot window jumps every 50k ops: several shifts per second of
+		// sustained bench load, zero shifts under -benchtime 1x smoke runs.
+		return workload.NewShiftingHotspot(skewBenchKeys, 0.1, 0.9, 50000)
+	default:
+		b.Fatalf("unknown distribution %q", dist)
+		return nil
+	}
+}
+
+func benchSkew(b *testing.B, dist string, adaptive bool) {
+	val := make([]byte, 128)
+	// Budgets act on engine-resident bytes; size the cache to hold 1/8 of
+	// the keyspace in units of the measured per-key footprint.
+	scratch := engine.New(engine.Options{})
+	scratch.Set(skewBenchKey(0), val)
+	perKey := scratch.Stats().MemBytes
+
+	tr, err := New(Options{
+		Policy:             WriteThrough,
+		Engine:             engine.New(engine.Options{}),
+		Storage:            NewMapStorage(),
+		CacheCapacityBytes: skewBenchKeys / 8 * perKey,
+		AdaptiveTiering:    adaptive,
+		RebalanceInterval:  2 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { tr.Close() })
+	for i := int64(0); i < skewBenchKeys; i++ {
+		if err := tr.Set(skewBenchKey(i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	chooser := newSkewBenchChooser(b, dist)
+	rng := rand.New(rand.NewSource(11))
+	start := tr.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Get(skewBenchKey(chooser.Next(rng))); err != nil && err != ErrNotFound {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s := tr.Stats()
+	if reads := s.Hits - start.Hits + s.Misses - start.Misses; reads > 0 {
+		b.ReportMetric(float64(s.Hits-start.Hits)/float64(reads)*100, "hit_pct")
+	}
+	ts := tr.TieringStats()
+	b.ReportMetric(float64(ts.Rebalances), "rebalances")
+}
+
+// BenchmarkSkewSuite is the workload-adaptive tiering benchmark matrix:
+// distribution x {static, adaptive}.
+func BenchmarkSkewSuite(b *testing.B) {
+	for _, dist := range []string{"uniform", "zipf", "hotspot-shift"} {
+		for _, mode := range []string{"static", "adaptive"} {
+			adaptive := mode == "adaptive"
+			b.Run(dist+"/"+mode, func(b *testing.B) { benchSkew(b, dist, adaptive) })
+		}
+	}
+}

@@ -61,6 +61,34 @@ type Options struct {
 	FetchWindow time.Duration
 	// DisableCoalescing turns off write-through group commit (ablation).
 	DisableCoalescing bool
+
+	// AdaptiveTiering starts the background budget rebalancer: per-stripe
+	// byte budgets follow the observed workload (windowed miss pressure)
+	// instead of staying pinned at capacity/stripes. Requires
+	// CacheCapacityBytes > 0. See adaptive.go.
+	AdaptiveTiering bool
+	// RebalanceInterval is the rebalancer period (default 100 ms).
+	RebalanceInterval time.Duration
+	// StripeFloorBytes is the minimum budget any stripe can be stolen
+	// down to (default: an eighth of the even split, at least 1).
+	StripeFloorBytes int64
+	// RebalanceStepBytes bounds how much budget moves into or out of one
+	// stripe per round (default: a quarter of the even split, at least 1).
+	RebalanceStepBytes int64
+	// RebalanceHysteresis is the dead band around the mean miss pressure:
+	// a stripe must be this fraction above (below) the mean to be ranked
+	// hot (cold). Default 0.25.
+	RebalanceHysteresis float64
+
+	// TargetHitRate, when > 0, enables hit-rate-targeted total sizing:
+	// the rebalancer grows the total budget toward MaxCapacityBytes while
+	// the sampled window hit rate is below target, and shrinks it toward
+	// MinCapacityBytes while comfortably above. Requires AdaptiveTiering.
+	TargetHitRate float64
+	// MinCapacityBytes / MaxCapacityBytes bound adaptive total sizing
+	// (defaults: CacheCapacityBytes/2 and 4*CacheCapacityBytes).
+	MinCapacityBytes int64
+	MaxCapacityBytes int64
 }
 
 func (o *Options) fill() {
@@ -75,6 +103,20 @@ func (o *Options) fill() {
 	}
 	if o.FetchWindow <= 0 {
 		o.FetchWindow = time.Millisecond
+	}
+	if o.RebalanceInterval <= 0 {
+		o.RebalanceInterval = 100 * time.Millisecond
+	}
+	if o.RebalanceHysteresis <= 0 {
+		o.RebalanceHysteresis = 0.25
+	}
+	if o.TargetHitRate > 0 {
+		if o.MinCapacityBytes <= 0 {
+			o.MinCapacityBytes = o.CacheCapacityBytes / 2
+		}
+		if o.MaxCapacityBytes <= 0 {
+			o.MaxCapacityBytes = 4 * o.CacheCapacityBytes
+		}
 	}
 }
 
@@ -95,10 +137,14 @@ type Tiered struct {
 	eng  *engine.Engine
 
 	// Per-stripe LRU bookkeeping for capacity eviction; lru[i] tracks the
-	// keys resident in engine stripe i. shardCap is each stripe's byte
-	// budget (CacheCapacityBytes split evenly, rounded up).
-	lru      []*lruShard
-	shardCap int64
+	// keys resident in engine stripe i. Each stripe's live byte budget is
+	// tier[i].budget (seeded from CacheCapacityBytes split evenly, rounded
+	// up; the adaptive rebalancer moves it afterwards — see adaptive.go).
+	lru []*lruShard
+
+	// Per-stripe access sampling + live budgets (always allocated, one
+	// entry per engine stripe) and the rebalancer state around them.
+	tier tiering
 
 	// Write-through per-key queues (write ordering + coalescing), striped
 	// along the engine's stripes: wt[i] owns the queues of every key in
@@ -227,18 +273,19 @@ func New(opts Options) (*Tiered, error) {
 		ds.cond = sync.NewCond(&ds.mu)
 		t.dirtyStripes[i] = ds
 	}
-	// Ceil division, as with shardCap below: stripe budgets sum to at
-	// least MaxDirty and never round down to an unwritable zero.
+	// Ceil division, as with the stripe byte budgets: stripe budgets sum
+	// to at least MaxDirty and never round down to an unwritable zero.
 	t.stripeMaxDirty = (opts.MaxDirty + nsh - 1) / nsh
+	t.initTiering(nsh)
 	if opts.CacheCapacityBytes > 0 {
 		t.lru = make([]*lruShard, nsh)
 		for i := range t.lru {
 			t.lru[i] = &lruShard{ll: list.New(), pos: make(map[string]*list.Element)}
 		}
-		// Ceil division: stripes sum to at least the configured capacity,
-		// and a tiny capacity never rounds a stripe's budget down to zero
-		// (which would read as "unbounded").
-		t.shardCap = (opts.CacheCapacityBytes + int64(nsh) - 1) / int64(nsh)
+		if opts.AdaptiveTiering {
+			t.wg.Add(1)
+			go t.rebalanceLoop()
+		}
 	}
 	if opts.Policy == WriteBack {
 		t.fetchCh = make(chan fetchReq, 1024)
@@ -271,7 +318,15 @@ func (t *Tiered) touch(key string) {
 	if t.lru == nil {
 		return
 	}
-	s := t.lru[t.eng.ShardIndex(key)]
+	t.touchShard(t.eng.ShardIndex(key), key)
+}
+
+// touchShard promotes key on its (known) stripe without rehashing.
+func (t *Tiered) touchShard(si int, key string) {
+	if t.lru == nil {
+		return
+	}
+	s := t.lru[si]
 	s.mu.Lock()
 	s.touchLocked(key)
 	s.mu.Unlock()
@@ -340,12 +395,15 @@ func (t *Tiered) forgetBatch(keys []string) {
 // stripe's engine-resident bytes fit its budget. Dirty keys are skipped:
 // they must reach storage first. Eviction, like the bookkeeping, is
 // per-stripe — a hot stripe evicting never blocks hits on other stripes.
+// The budget is a live atomic target: the adaptive rebalancer moves it
+// between stripes, and the next eviction pass on a shrunk stripe trims
+// residency down to the new value.
 func (t *Tiered) maybeEvictShard(si int) {
 	if t.lru == nil {
 		return
 	}
 	s := t.lru[si]
-	for t.eng.ShardMemUsed(si) > t.shardCap {
+	for t.eng.ShardMemUsed(si) > t.tier.stripes[si].budget.Load() {
 		s.mu.Lock()
 		el := s.ll.Back()
 		var key string
@@ -424,14 +482,17 @@ func (t *Tiered) Get(key string) ([]byte, error) {
 		return nil, ErrClosed
 	}
 	t.reqs.Add(1)
-	if v, err := t.eng.Get(key); err == nil {
+	v, si, err := t.eng.GetWithShard(key)
+	if err == nil {
 		t.hits.Add(1)
-		t.touch(key)
+		t.tier.stripes[si].sampleHit(1)
+		t.touchShard(si, key)
 		return v, nil
 	} else if err == engine.ErrWrongType {
 		return nil, err
 	}
 	t.misses.Add(1)
+	t.tier.stripes[si].sampleMiss(1)
 	if t.opts.Policy == CacheOnly {
 		return nil, ErrNotFound
 	}
@@ -449,11 +510,11 @@ func (t *Tiered) Get(key string) ([]byte, error) {
 			return copyBytes(e.val), nil
 		}
 	}
-	v, err := t.fetchCoalesced(key)
+	v, err = t.fetchCoalesced(key)
 	if err != nil {
 		return nil, err
 	}
-	t.maybeEvictKey(key)
+	t.maybeEvictShard(si)
 	return v, nil
 }
 
@@ -636,11 +697,13 @@ func (t *Tiered) Update(key string, fn func(old []byte, exists bool) []byte) err
 	t.reqs.Add(1)
 	var old []byte
 	exists := false
-	if v, err := t.eng.Get(key); err == nil {
+	if v, si, err := t.eng.GetWithShard(key); err == nil {
 		old, exists = v, true
 		t.hits.Add(1)
+		t.tier.stripes[si].sampleHit(1)
 	} else {
 		t.misses.Add(1)
+		t.tier.stripes[si].sampleMiss(1)
 		switch t.opts.Policy {
 		case WriteBack:
 			// Dirty state shadows storage.

@@ -51,6 +51,12 @@ type PoolOptions struct {
 	// scaling up (boost-side hysteresis; default 1: react on the first
 	// tick that observes a backlog).
 	BoostTicks int
+	// BoostSubmitRate triggers scale-up when the windowed submission rate
+	// (tasks/sec over the recent window) crosses it, even with an empty
+	// queue. CPU-bound cache-resident bursts drain the queue as fast as it
+	// fills — depth never accumulates — but the submit rate still shows
+	// the burst. 0 disables the rate trigger (depth-only, the default).
+	BoostSubmitRate float64
 	// EvalInterval is the controller period (default 10 ms).
 	EvalInterval time.Duration
 	// CooldownTicks is how many consecutive calm evaluations are needed
@@ -194,8 +200,15 @@ func (p *Pool) controlLoop() {
 		}
 		depth := len(p.tasks)
 		cur := int(p.workers.Load())
+		// Hot on queue backlog OR on windowed submit rate: a CPU-bound
+		// burst served from cache keeps the queue near-empty while the
+		// rate counter (marked on every submit) still sees it.
+		hot := depth >= p.opts.BoostQueueDepth
+		if !hot && p.opts.BoostSubmitRate > 0 {
+			hot = p.rate.Rate() >= p.opts.BoostSubmitRate
+		}
 		switch {
-		case depth >= p.opts.BoostQueueDepth && cur < p.opts.MaxWorkers:
+		case hot && cur < p.opts.MaxWorkers:
 			p.calm = 0
 			p.hot++
 			if p.hot < p.opts.BoostTicks {
@@ -211,7 +224,9 @@ func (p *Pool) controlLoop() {
 			}
 			p.boosts.Add(1)
 			p.hot = 0
-		case depth == 0 && cur > 1:
+		case !hot && depth == 0 && cur > 1:
+			// !hot matters at MaxWorkers: a rate-hot burst served from
+			// cache keeps depth at 0, which must not read as calm.
 			p.hot = 0
 			p.calm++
 			if p.calm >= p.opts.CooldownTicks {

@@ -372,6 +372,31 @@ func (e *Engine) Get(key string) ([]byte, error) {
 	return e.decodeValue(sv)
 }
 
+// GetWithShard is Get plus the stripe index the key hashed to. The cache
+// tier's per-stripe access sampling needs that index on every read, and
+// Get already computed it — returning it saves the caller a second
+// FNV pass over the key on the hottest path in the system.
+func (e *Engine) GetWithShard(key string) ([]byte, int, error) {
+	si := e.shardIndex(key)
+	s := e.shards[si]
+	s.mu.RLock()
+	it, ok := s.getItem(key, e.now())
+	if !ok {
+		s.mu.RUnlock()
+		s.misses.Add(1)
+		return nil, int(si), ErrNotFound
+	}
+	if it.kind != KindString {
+		s.mu.RUnlock()
+		return nil, int(si), ErrWrongType
+	}
+	sv := it.str
+	s.mu.RUnlock()
+	s.hits.Add(1)
+	v, err := e.decodeValue(sv)
+	return v, int(si), err
+}
+
 // GetWithVersion fetches a string value plus its CAS version token.
 func (e *Engine) GetWithVersion(key string) ([]byte, uint64, error) {
 	s := e.shardFor(key)

@@ -197,6 +197,22 @@ func (w *WindowCounter) Rate() float64 {
 	return float64(total) / secs
 }
 
+// Sum returns the event total over the still-current slots. Unlike Rate
+// it does not normalize by populated slots, so two counters sharing a
+// window shape compose into exact in-window ratios (hits/(hits+misses))
+// even when one of them saw activity in fewer slots.
+func (w *WindowCounter) Sum() int64 {
+	nowIdx := w.now() / w.slotDur
+	var total int64
+	for i := range w.slots {
+		e := w.slots[i].epoch.Load()
+		if e != 0 && nowIdx-e < int64(len(w.slots)) {
+			total += w.slots[i].count.Load()
+		}
+	}
+	return total
+}
+
 // TimeSeries records (t, value) points at moments chosen by the caller.
 // Used by the fig9 burst experiment to emit a throughput timeline.
 type TimeSeries struct {

@@ -544,7 +544,7 @@ func (s *Server) mset(c *conn, kvArgs [][]byte) {
 }
 
 // info renders INFO output. section filters to one section ("server",
-// "writepath", "storage"); empty renders everything.
+// "writepath", "storage", "tiering"); empty renders everything.
 func (s *Server) info(section string) string {
 	var b strings.Builder
 	if section == "" || section == "server" {
@@ -577,7 +577,70 @@ func (s *Server) info(section string) string {
 	if section == "" || section == "storage" {
 		s.storageInfo(&b)
 	}
+	if section == "" || section == "tiering" {
+		s.tieringInfo(&b)
+	}
 	return b.String()
+}
+
+// tieringInfo renders the cache-tiering section: per-shard adaptive
+// state (live total budget, rebalance counters, window hit rate) plus
+// the per-stripe budget/resident/hit-rate/steal distributions the
+// rebalancer is acting on. CSV-per-stripe, like the dirty-stripe lines.
+func (s *Server) tieringInfo(b *strings.Builder) {
+	fmt.Fprintf(b, "# Tiering\r\n")
+	tiered := 0
+	for _, sh := range s.shards {
+		if sh.tiered != nil {
+			tiered++
+		}
+	}
+	fmt.Fprintf(b, "tiered_shards:%d\r\n", tiered)
+	if tiered == 0 {
+		return
+	}
+	for i, sh := range s.shards {
+		if sh.tiered == nil {
+			continue
+		}
+		ts := sh.tiered.TieringStats()
+		fmt.Fprintf(b, "shard%d_adaptive:%d\r\n", i, boolToInt(ts.Adaptive))
+		fmt.Fprintf(b, "shard%d_capacity_bytes:%d\r\n", i, ts.CapacityBytes)
+		fmt.Fprintf(b, "shard%d_stripe_floor_bytes:%d\r\n", i, ts.FloorBytes)
+		fmt.Fprintf(b, "shard%d_rebalance_step_bytes:%d\r\n", i, ts.StepBytes)
+		fmt.Fprintf(b, "shard%d_rebalances:%d\r\n", i, ts.Rebalances)
+		fmt.Fprintf(b, "shard%d_rollbacks:%d\r\n", i, ts.Rollbacks)
+		fmt.Fprintf(b, "shard%d_rebalanced_bytes:%d\r\n", i, ts.BytesMoved)
+		fmt.Fprintf(b, "shard%d_capacity_grows:%d\r\n", i, ts.Grows)
+		fmt.Fprintf(b, "shard%d_capacity_shrinks:%d\r\n", i, ts.Shrinks)
+		fmt.Fprintf(b, "shard%d_window_hit_rate:%.4f\r\n", i, ts.WindowHitRate)
+		fmt.Fprintf(b, "shard%d_miss_ratio:%.4f\r\n", i, sh.tiered.MissRatio())
+		n := len(ts.Stripes)
+		budgets := make([]string, n)
+		resident := make([]string, n)
+		rates := make([]string, n)
+		stolen := make([]string, n)
+		granted := make([]string, n)
+		for j, st := range ts.Stripes {
+			budgets[j] = strconv.FormatInt(st.BudgetBytes, 10)
+			resident[j] = strconv.FormatInt(st.ResidentBytes, 10)
+			rates[j] = strconv.FormatFloat(st.HitRate, 'f', 3, 64)
+			stolen[j] = strconv.FormatInt(st.StolenBytes, 10)
+			granted[j] = strconv.FormatInt(st.GrantedBytes, 10)
+		}
+		fmt.Fprintf(b, "shard%d_stripe_budget_bytes:%s\r\n", i, strings.Join(budgets, ","))
+		fmt.Fprintf(b, "shard%d_stripe_resident_bytes:%s\r\n", i, strings.Join(resident, ","))
+		fmt.Fprintf(b, "shard%d_stripe_hit_rate:%s\r\n", i, strings.Join(rates, ","))
+		fmt.Fprintf(b, "shard%d_stripe_stolen_bytes:%s\r\n", i, strings.Join(stolen, ","))
+		fmt.Fprintf(b, "shard%d_stripe_granted_bytes:%s\r\n", i, strings.Join(granted, ","))
+	}
+}
+
+func boolToInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // storageInfo renders the storage-tier section: per-shard LSM counters —

@@ -719,3 +719,70 @@ func TestInfoStorageCacheOnly(t *testing.T) {
 		t.Fatalf("cache-only storage section: %v %v", st, err)
 	}
 }
+
+// TestInfoTieringSection: INFO exposes the adaptive-tiering section —
+// per-shard budgets, rebalance/rollback counters, windowed hit rate and
+// the CSV per-stripe distributions — and supports section filtering.
+func TestInfoTieringSection(t *testing.T) {
+	stor := cache.NewMapStorage()
+	opts := Options{
+		Shards: 2,
+		TieredFactory: func(eng *engine.Engine) (*cache.Tiered, error) {
+			return cache.New(cache.Options{
+				Policy: cache.WriteThrough, Engine: eng, Storage: stor,
+				CacheCapacityBytes: 64 << 10, AdaptiveTiering: true,
+			})
+		},
+	}
+	_, c := startTestServer(t, opts)
+	for i := 0; i < 8; i++ {
+		if err := c.Set(fmt.Sprintf("tk%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Get(fmt.Sprintf("tk%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := c.Do("INFO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# Tiering", "tiered_shards:2",
+		"shard0_adaptive:1", "shard0_capacity_bytes:", "shard0_stripe_floor_bytes:",
+		"shard0_rebalances:", "shard0_rollbacks:", "shard0_rebalanced_bytes:",
+		"shard0_window_hit_rate:", "shard0_miss_ratio:",
+		"shard0_stripe_budget_bytes:", "shard0_stripe_resident_bytes:",
+		"shard0_stripe_hit_rate:", "shard1_stripe_stolen_bytes:",
+		"shard1_stripe_granted_bytes:"} {
+		if !strings.Contains(full.(string), want) {
+			t.Fatalf("INFO missing %q in:\n%s", want, full)
+		}
+	}
+	// Section filter: only the requested section renders.
+	ti, err := c.Do("INFO", "tiering")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ti.(string), "# Tiering") || strings.Contains(ti.(string), "# Server") ||
+		strings.Contains(ti.(string), "# WritePath") {
+		t.Fatalf("INFO tiering filtering broken:\n%s", ti)
+	}
+	// The stripe CSVs carry one entry per engine stripe.
+	for _, line := range strings.Split(ti.(string), "\r\n") {
+		if rest, ok := strings.CutPrefix(line, "shard0_stripe_budget_bytes:"); ok {
+			if got := len(strings.Split(rest, ",")); got != engine.DefaultShards {
+				t.Fatalf("stripe budget CSV has %d entries, want %d: %s", got, engine.DefaultShards, line)
+			}
+		}
+	}
+}
+
+// TestInfoTieringCacheOnly: without a tiered backend the section renders
+// tiered_shards:0 instead of erroring.
+func TestInfoTieringCacheOnly(t *testing.T) {
+	_, c := startTestServer(t, Options{})
+	ti, err := c.Do("INFO", "tiering")
+	if err != nil || !strings.Contains(ti.(string), "tiered_shards:0") {
+		t.Fatalf("cache-only tiering section: %v %v", ti, err)
+	}
+}

@@ -274,3 +274,74 @@ func (h *Hotspot) SetItemCount(n int64) {
 		h.n = n
 	}
 }
+
+// --- Shifting hotspot ---
+
+// ShiftingHotspot is a hotspot whose hot set rotates through the key
+// space every shiftEvery operations: phase p concentrates hotOpFraction
+// of operations on the window starting at p*hotN (mod n). It models the
+// workload drift the adaptive cache tiering must re-converge under — a
+// static budget split is optimal for none of the phases.
+type ShiftingHotspot struct {
+	n              int64
+	hotSetFraction float64
+	hotOpFraction  float64
+	shiftEvery     int64
+	ops            int64
+}
+
+// NewShiftingHotspot returns a shifting-hotspot chooser over [0,n) whose
+// hot window rotates every shiftEvery operations.
+func NewShiftingHotspot(n int64, hotSetFraction, hotOpFraction float64, shiftEvery int64) *ShiftingHotspot {
+	if n < 1 {
+		n = 1
+	}
+	if hotSetFraction <= 0 || hotSetFraction > 1 {
+		hotSetFraction = 0.1
+	}
+	if hotOpFraction < 0 || hotOpFraction > 1 {
+		hotOpFraction = 0.9
+	}
+	if shiftEvery < 1 {
+		shiftEvery = 100000
+	}
+	return &ShiftingHotspot{
+		n:              n,
+		hotSetFraction: hotSetFraction,
+		hotOpFraction:  hotOpFraction,
+		shiftEvery:     shiftEvery,
+	}
+}
+
+// Phase reports the current hot-window index (ops so far / shiftEvery).
+func (s *ShiftingHotspot) Phase() int64 { return s.ops / s.shiftEvery }
+
+// Next implements KeyChooser. Determinism: the phase advances purely on
+// the operation count, so a fixed seed replays the exact key sequence.
+// Not safe for concurrent use (like the other choosers — wrap per
+// goroutine or feed from one).
+func (s *ShiftingHotspot) Next(rng *rand.Rand) int64 {
+	phase := s.ops / s.shiftEvery
+	s.ops++
+	hotN := int64(float64(s.n) * s.hotSetFraction)
+	if hotN < 1 {
+		hotN = 1
+	}
+	start := (phase * hotN) % s.n
+	if rng.Float64() < s.hotOpFraction {
+		return (start + rng.Int63n(hotN)) % s.n
+	}
+	coldN := s.n - hotN
+	if coldN < 1 {
+		return rng.Int63n(s.n)
+	}
+	// Offset past the hot window, wrapping around the key space.
+	return (start + hotN + rng.Int63n(coldN)) % s.n
+}
+
+// SetItemCount implements KeyChooser.
+func (s *ShiftingHotspot) SetItemCount(n int64) {
+	if n > 0 {
+		s.n = n
+	}
+}

@@ -66,11 +66,16 @@ type Spec struct {
 	RecordCount int64
 	Mix         Mix
 	Dataset     Dataset
-	// Distribution is one of "zipfian", "uniform", "latest", "hotspot".
+	// Distribution is one of "zipfian", "uniform", "latest", "hotspot",
+	// "hotspot-shift".
 	Distribution string
 	ZipfTheta    float64
 	KeyPrefix    string
 	Seed         int64
+	// ShiftEvery rotates the hotspot-shift hot window every this many
+	// operations (default RecordCount, i.e. one rotation per population
+	// pass). Only "hotspot-shift" reads it.
+	ShiftEvery int64
 }
 
 // DefaultSpec returns Workload A over the cities dataset with n records.
@@ -134,6 +139,12 @@ func NewGenerator(spec Spec, offset int64) *Generator {
 		chooser = NewLatest(spec.RecordCount, theta)
 	case "hotspot":
 		chooser = NewHotspot(spec.RecordCount, 0.01, 0.9)
+	case "hotspot-shift":
+		shift := spec.ShiftEvery
+		if shift <= 0 {
+			shift = spec.RecordCount
+		}
+		chooser = NewShiftingHotspot(spec.RecordCount, 0.1, 0.9, shift)
 	default:
 		chooser = NewScrambledZipfian(spec.RecordCount, theta)
 	}
