@@ -14,6 +14,7 @@
 //	tierbase-bench -experiment all -scale 2.0
 //	tierbase-bench -addr 127.0.0.1:6380 -clients 64 -conns 1 -ops 200000
 //	tierbase-bench -coordinator 127.0.0.1:7000 -clients 32 -ops 200000
+//	tierbase-bench -addr 127.0.0.1:6380 -chaos slow-replica -chaos-listen 127.0.0.1:7381
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -30,6 +32,7 @@ import (
 
 	"tierbase/internal/bench"
 	"tierbase/internal/client"
+	"tierbase/internal/faults"
 	"tierbase/internal/metrics"
 	"tierbase/internal/workload"
 )
@@ -52,8 +55,24 @@ func main() {
 		valSize  = flag.Int("valsize", 64, "networked: value size in bytes")
 		dist     = flag.String("workload", "uniform", "networked: key distribution: uniform | zipf | hotspot-shift")
 		shiftOps = flag.Int("shift-every", 0, "networked: hotspot-shift rotates the hot set every this many ops per client (0 = keyspace)")
+
+		chaos       = flag.String("chaos", "", "replication chaos drill against -addr: slow-replica | partition")
+		chaosListen = flag.String("chaos-listen", "127.0.0.1:0", "chaos: listen address for the replication-link relay the replica must connect through")
 	)
 	flag.Parse()
+
+	if *chaos != "" {
+		if *addr == "" {
+			log.Fatal("tierbase-bench: -chaos requires -addr (the master)")
+		}
+		if err := runChaosBench(chaosOpts{
+			mode: *chaos, masterAddr: *addr, listen: *chaosListen,
+			ops: *ops, valSize: *valSize,
+		}); err != nil {
+			log.Fatalf("tierbase-bench: %v", err)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range bench.Registry() {
@@ -323,6 +342,146 @@ func runNetBench(o netOpts) error {
 		return fmt.Errorf("%d operations failed", n)
 	}
 	return nil
+}
+
+// --- replication chaos mode ---
+
+type chaosOpts struct {
+	mode       string // slow-replica | partition
+	masterAddr string
+	listen     string
+	ops        int
+	valSize    int
+}
+
+// runChaosBench measures a live master's behavior while its replication
+// link misbehaves. The bench interposes a fault-injecting relay between
+// the replica and the master (start the replica with -replicaof pointed
+// at the relay address this prints), then drives writes through three
+// phases — healthy, faulted, healed — and reports the client-observed
+// max write stall per phase plus the master's own robustness counters
+// (max_write_stall_ns, laggards_shed, degraded-op counts).
+func runChaosBench(o chaosOpts) error {
+	switch o.mode {
+	case "slow-replica", "partition":
+	default:
+		return fmt.Errorf("unknown -chaos mode %q (slow-replica | partition)", o.mode)
+	}
+	if o.ops < 3 {
+		return fmt.Errorf("-ops must be at least 3")
+	}
+
+	mc, err := client.Dial(o.masterAddr)
+	if err != nil {
+		return err
+	}
+	defer mc.Close()
+	if err := mc.Ping(); err != nil {
+		return err
+	}
+
+	proxy, err := faults.NewProxy(o.listen, o.masterAddr)
+	if err != nil {
+		return fmt.Errorf("relay: %w", err)
+	}
+	defer proxy.Close()
+	fmt.Printf("chaos %s: replication-link relay up at %s -> %s\n", o.mode, proxy.Addr(), o.masterAddr)
+	fmt.Printf("point the replica through it:  tierbase-server -node-id r1 -replicaof %s ...\n", proxy.Addr())
+
+	// The drill needs a replica attached through the relay before the
+	// fault means anything.
+	fmt.Print("waiting for a replica to attach through the relay... ")
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if n := infoField(mc, "replication", "connected_replicas"); n != "" && n != "0" {
+			fmt.Printf("attached (connected_replicas=%s)\n", n)
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no replica attached through the relay within 2m")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	val := strings.Repeat("x", o.valSize)
+	phase := func(name string, n int) (time.Duration, int64) {
+		var maxStall time.Duration
+		var failed int64
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			err := mc.Set(fmt.Sprintf("chaosbench:%s:%08d", name, i), val)
+			if lat := time.Since(start); lat > maxStall {
+				maxStall = lat
+			}
+			if err != nil {
+				failed++ // e.g. NOREPLICAS under semi-sync during a partition
+			}
+		}
+		fmt.Printf("phase %-8s %6d writes  max_stall=%-12s failed=%d\n",
+			name, n, maxStall.Round(time.Microsecond), failed)
+		return maxStall, failed
+	}
+
+	third := o.ops / 3
+	phase("healthy", third)
+
+	switch o.mode {
+	case "slow-replica":
+		proxy.Injector().SetByteRate(128 << 10) // ~10x slower than a LAN link
+		fmt.Println("fault injected: replication link capped at 128 KiB/s")
+	case "partition":
+		proxy.Injector().Partition()
+		fmt.Println("fault injected: replication link partitioned (both directions blackholed)")
+	}
+	faultStall, faultFailed := phase("faulted", third)
+
+	proxy.Injector().Heal()
+	if o.mode == "partition" {
+		proxy.DropConns() // flush zombie relays; the replica redials
+	}
+	fmt.Println("fault healed")
+	phase("healed", o.ops-2*third)
+
+	fmt.Println("\nmaster robustness counters:")
+	for _, f := range []string{"max_write_stall_ns", "laggards_shed", "full_syncs_served", "connected_replicas"} {
+		if v := infoField(mc, "replication", f); v != "" {
+			if f == "max_write_stall_ns" {
+				ns, _ := strconv.ParseInt(v, 10, 64)
+				fmt.Printf("  %s:%s (%s)\n", f, v, time.Duration(ns).Round(time.Microsecond))
+				continue
+			}
+			fmt.Printf("  %s:%s\n", f, v)
+		}
+	}
+	fmt.Println("master health counters:")
+	for _, f := range []string{"degraded_shards", "degraded_ops", "degraded_transitions", "storage_errors", "storage_retries"} {
+		if v := infoField(mc, "health", f); v != "" {
+			fmt.Printf("  %s:%s\n", f, v)
+		}
+	}
+	if faultFailed > 0 {
+		fmt.Printf("\n%d writes failed during the fault window (expected under semi-sync); max stall while faulted was %s\n",
+			faultFailed, faultStall.Round(time.Microsecond))
+	}
+	return nil
+}
+
+// infoField extracts one field from an INFO section, "" if unavailable.
+func infoField(c *client.Client, section, field string) string {
+	v, err := c.Do("INFO", section)
+	if err != nil {
+		return ""
+	}
+	s, ok := v.(string)
+	if !ok {
+		return ""
+	}
+	for _, line := range strings.Split(s, "\r\n") {
+		if strings.HasPrefix(line, field+":") {
+			return strings.TrimPrefix(line, field+":")
+		}
+	}
+	return ""
 }
 
 // printTieringState reports the cache-tiering section from INFO tiering:

@@ -57,6 +57,12 @@ func main() {
 		ackTimeout    = flag.Duration("ack-timeout", 0, "semi-sync wait bound (0 = default 2s)")
 		replLogCap    = flag.Int("repl-log-cap", 0, "retained op-log window (0 = default)")
 		heartbeatTick = flag.Duration("heartbeat-interval", 0, "coordinator heartbeat period (0 = default 500ms)")
+
+		replWriteTimeout = flag.Duration("repl-write-timeout", 0, "per-frame replication write bound (0 = default 5s)")
+		replKeepalive    = flag.Duration("repl-keepalive", 0, "master->replica ping period (0 = default 1s)")
+		replReadTimeout  = flag.Duration("repl-read-timeout", 0, "replication link read bound (0 = default 4x keepalive)")
+		shedBacklog      = flag.Int("shed-backlog", 0, "unacked-op backlog that sheds a laggard replica (0 = default log-cap/2, negative disables)")
+		snapChunkBytes   = flag.Int("snapshot-chunk-bytes", 0, "full-sync snapshot bytes buffered per chunk (0 = default 1MiB)")
 	)
 	flag.Parse()
 
@@ -89,14 +95,19 @@ func main() {
 			EvalInterval:    *evalEvery,
 		},
 		Replication: server.ReplicationConfig{
-			NodeID:            *nodeID,
-			AdvertiseAddr:     *advertise,
-			MasterAddr:        *replicaOf,
-			CoordinatorAddr:   *coordinator,
-			SemiSyncAcks:      *semiSyncAcks,
-			AckTimeout:        *ackTimeout,
-			LogCap:            *replLogCap,
-			HeartbeatInterval: *heartbeatTick,
+			NodeID:             *nodeID,
+			AdvertiseAddr:      *advertise,
+			MasterAddr:         *replicaOf,
+			CoordinatorAddr:    *coordinator,
+			SemiSyncAcks:       *semiSyncAcks,
+			AckTimeout:         *ackTimeout,
+			LogCap:             *replLogCap,
+			HeartbeatInterval:  *heartbeatTick,
+			WriteTimeout:       *replWriteTimeout,
+			KeepaliveInterval:  *replKeepalive,
+			ReadTimeout:        *replReadTimeout,
+			ShedBacklog:        *shedBacklog,
+			SnapshotChunkBytes: *snapChunkBytes,
 		},
 	}
 	if !*elasticOn {

@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"errors"
+
 	"tierbase/internal/engine"
 )
 
@@ -111,7 +113,12 @@ func (t *Tiered) BatchGet(keys []string) (map[string][]byte, error) {
 		}
 		svals, err := t.opts.Storage.BatchGet(fetch)
 		t.publishFlights(lead, svals, err)
-		fetchErr = err
+		if !errors.Is(err, ErrDegraded) {
+			// Degraded (cache-only) mode: the misses stay nil rather
+			// than failing the whole MGET — cache hits above are still
+			// the best available answer.
+			fetchErr = err
+		}
 		for k, f := range lead {
 			if f.err == nil {
 				out[k] = f.val
@@ -122,8 +129,8 @@ func (t *Tiered) BatchGet(keys []string) (map[string][]byte, error) {
 	for k, f := range join {
 		v, err := t.awaitFlight(f)
 		switch {
-		case err == ErrNotFound || err == engine.ErrWrongType:
-			// stays nil (absent, or a collection key — MGET reports nil)
+		case err == ErrNotFound || err == engine.ErrWrongType || errors.Is(err, ErrDegraded):
+			// stays nil (absent, a collection key, or degraded cache-only)
 		case err != nil:
 			if fetchErr == nil {
 				fetchErr = err

@@ -1,0 +1,202 @@
+package cache
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Storage-tier graceful degradation. The storage tier is a network hop
+// away (paper §3's disaggregation), so transient failures — a slow disk,
+// a flapping link, a restarting UCS node — are a matter of when, not if.
+// Rather than surfacing every blip to clients, the tiered store wraps its
+// Storage in retryStorage at construction: every storage call gets a
+// bounded retry-with-backoff, and a run of consecutive failures trips the
+// store into DEGRADED mode, where reads serve from the cache tier only
+// (a miss reports absent instead of stalling on a dead disk) and writes
+// fail fast. One probe per DegradedProbeInterval keeps testing the
+// storage tier; the first success heals the store back to normal.
+
+// ErrDegraded reports a storage read short-circuited because the store
+// is in degraded (cache-only) mode. Read paths translate it to "absent";
+// read-modify-write and delete paths surface it, since guessing absence
+// there could clobber stored data once the tier recovers.
+var ErrDegraded = errors.New("cache: storage degraded, serving cache tier only")
+
+// storageHealth is the shared health state behind retryStorage — all
+// atomics, read on every storage call.
+type storageHealth struct {
+	errors      atomic.Int64 // failed storage attempts (each retry counts)
+	retries     atomic.Int64 // retry attempts after a failure
+	degradedOps atomic.Int64 // reads short-circuited while degraded
+	transitions atomic.Int64 // healthy -> degraded trips
+	consecFails atomic.Int64 // consecutive failed calls (resets on success)
+	lastProbe   atomic.Int64 // UnixNano of the last degraded-mode probe
+	degraded    atomic.Bool
+}
+
+// success records a storage call that went through, healing a degraded
+// store.
+func (h *storageHealth) success() {
+	h.consecFails.Store(0)
+	h.degraded.CompareAndSwap(true, false)
+}
+
+// failure records a failed attempt; degradeAfter consecutive failed
+// calls trip degraded mode.
+func (h *storageHealth) failure(degradeAfter int64) {
+	h.errors.Add(1)
+	if h.consecFails.Add(1) >= degradeAfter {
+		if h.degraded.CompareAndSwap(false, true) {
+			h.transitions.Add(1)
+		}
+	}
+}
+
+// allowRead reports whether a storage read may proceed: always when
+// healthy, one probe per interval when degraded (the CAS elects exactly
+// one prober; everyone else serves cache-only).
+func (h *storageHealth) allowRead(probeInterval time.Duration) bool {
+	if !h.degraded.Load() {
+		return true
+	}
+	now := time.Now().UnixNano()
+	last := h.lastProbe.Load()
+	return now-last >= int64(probeInterval) && h.lastProbe.CompareAndSwap(last, now)
+}
+
+// HealthStats is a point-in-time snapshot of storage-tier health,
+// surfaced through INFO health.
+type HealthStats struct {
+	Degraded         bool
+	StorageErrors    int64
+	StorageRetries   int64
+	DegradedOps      int64
+	DegradedTransit  int64
+	ConsecutiveFails int64
+}
+
+func (h *storageHealth) snapshot() HealthStats {
+	return HealthStats{
+		Degraded:         h.degraded.Load(),
+		StorageErrors:    h.errors.Load(),
+		StorageRetries:   h.retries.Load(),
+		DegradedOps:      h.degradedOps.Load(),
+		DegradedTransit:  h.transitions.Load(),
+		ConsecutiveFails: h.consecFails.Load(),
+	}
+}
+
+// retryStorage decorates a Storage with bounded retry-with-backoff and
+// the degradation state machine. It is installed by New() in place of
+// Options.Storage, so every existing call site — write-through commits,
+// write-back flushes, miss fetches, batch round trips — inherits the
+// behavior without knowing about it.
+type retryStorage struct {
+	inner         Storage
+	h             *storageHealth
+	retries       int           // extra attempts after the first failure
+	backoff       time.Duration // sleep before retry i is backoff << i
+	degradeAfter  int64
+	probeInterval time.Duration
+}
+
+func newRetryStorage(inner Storage, retries int, backoff time.Duration,
+	degradeAfter int64, probeInterval time.Duration) *retryStorage {
+	return &retryStorage{
+		inner:         inner,
+		h:             &storageHealth{},
+		retries:       retries,
+		backoff:       backoff,
+		degradeAfter:  degradeAfter,
+		probeInterval: probeInterval,
+	}
+}
+
+// do runs one storage operation under the retry/degradation policy.
+// Reads are gated first: a degraded store short-circuits them (cache-only
+// serving) except for the elected probe. While degraded, ops fail fast —
+// a single attempt with no retry sleeps — so a dead disk costs one quick
+// error, not retries*backoff per call; the attempt itself still doubles
+// as a recovery signal.
+func (r *retryStorage) do(read bool, op func() error) error {
+	if read && !r.h.allowRead(r.probeInterval) {
+		r.h.degradedOps.Add(1)
+		return ErrDegraded
+	}
+	attempts := r.retries
+	if r.h.degraded.Load() {
+		attempts = 0
+	}
+	for i := 0; ; i++ {
+		err := op()
+		if err == nil {
+			r.h.success()
+			return nil
+		}
+		r.h.failure(r.degradeAfter)
+		if i >= attempts {
+			return err
+		}
+		r.h.retries.Add(1)
+		time.Sleep(r.backoff << i)
+	}
+}
+
+// Get implements Storage.
+func (r *retryStorage) Get(key string) ([]byte, bool, error) {
+	var val []byte
+	var ok bool
+	err := r.do(true, func() error {
+		var e error
+		val, ok, e = r.inner.Get(key)
+		return e
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return val, ok, nil
+}
+
+// Put implements Storage.
+func (r *retryStorage) Put(key string, val []byte) error {
+	return r.do(false, func() error { return r.inner.Put(key, val) })
+}
+
+// Delete implements Storage.
+func (r *retryStorage) Delete(key string) error {
+	return r.do(false, func() error { return r.inner.Delete(key) })
+}
+
+// BatchGet implements Storage.
+func (r *retryStorage) BatchGet(keys []string) (map[string][]byte, error) {
+	var out map[string][]byte
+	err := r.do(true, func() error {
+		var e error
+		out, e = r.inner.BatchGet(keys)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BatchPut implements Storage.
+func (r *retryStorage) BatchPut(entries map[string][]byte) error {
+	return r.do(false, func() error { return r.inner.BatchPut(entries) })
+}
+
+// BatchDelete implements Storage.
+func (r *retryStorage) BatchDelete(keys []string) error {
+	return r.do(false, func() error { return r.inner.BatchDelete(keys) })
+}
+
+// FlushAll implements StorageFlusher by forwarding to the inner storage
+// (FlushStorage reports an error if it doesn't support bulk clears).
+func (r *retryStorage) FlushAll() error {
+	return r.do(false, func() error { return FlushStorage(r.inner) })
+}
+
+var _ Storage = (*retryStorage)(nil)
+var _ StorageFlusher = (*retryStorage)(nil)

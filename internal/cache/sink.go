@@ -28,6 +28,14 @@ type OpSink interface {
 	ReplicateSet(key string, val []byte, encoded bool)
 	// ReplicateDelete reports a committed deletion.
 	ReplicateDelete(key string)
+	// ReplicateExpire reports a TTL set on key, as an absolute UnixNano
+	// deadline — replicas applying the op late still expire the key at
+	// the master's wall-clock instant, not a drifted relative one.
+	ReplicateExpire(key string, at int64)
+	// ReplicatePersist reports a TTL cleared from key.
+	ReplicatePersist(key string)
+	// ReplicateFlushAll reports a committed whole-keyspace clear.
+	ReplicateFlushAll()
 }
 
 // SetSink installs the replication sink. It must be called before the

@@ -17,10 +17,14 @@ type recordingSink struct {
 }
 
 type sinkOp struct {
-	key     string
-	val     []byte
-	del     bool
-	encoded bool
+	key      string
+	val      []byte
+	del      bool
+	encoded  bool
+	expire   bool
+	expireAt int64
+	persist  bool
+	flushAll bool
 }
 
 func (r *recordingSink) ReplicateSet(key string, val []byte, encoded bool) {
@@ -32,6 +36,24 @@ func (r *recordingSink) ReplicateSet(key string, val []byte, encoded bool) {
 func (r *recordingSink) ReplicateDelete(key string) {
 	r.mu.Lock()
 	r.ops = append(r.ops, sinkOp{key: key, del: true})
+	r.mu.Unlock()
+}
+
+func (r *recordingSink) ReplicateExpire(key string, at int64) {
+	r.mu.Lock()
+	r.ops = append(r.ops, sinkOp{key: key, expire: true, expireAt: at})
+	r.mu.Unlock()
+}
+
+func (r *recordingSink) ReplicatePersist(key string) {
+	r.mu.Lock()
+	r.ops = append(r.ops, sinkOp{key: key, persist: true})
+	r.mu.Unlock()
+}
+
+func (r *recordingSink) ReplicateFlushAll() {
+	r.mu.Lock()
+	r.ops = append(r.ops, sinkOp{flushAll: true})
 	r.mu.Unlock()
 }
 

@@ -52,6 +52,25 @@ type Storage interface {
 	BatchDelete(keys []string) error
 }
 
+// StorageFlusher is the optional bulk-clear extension of Storage. A
+// replicated FLUSHALL must empty the storage tier too — otherwise
+// flushed keys resurrect from storage on the next cache miss (the same
+// failure mode ROADMAP.md records for TTL expiry). Implementations clear
+// every key in (logically) one operation.
+type StorageFlusher interface {
+	FlushAll() error
+}
+
+// FlushStorage clears every key from s. Storage implementations that
+// support bulk clearing implement StorageFlusher; for the rest this
+// reports an error rather than silently leaving stale keys behind.
+func FlushStorage(s Storage) error {
+	if f, ok := s.(StorageFlusher); ok {
+		return f.FlushAll()
+	}
+	return errors.New("cache: storage does not support FlushAll")
+}
+
 // presentValue normalizes a known-present value to the BatchGet/Get
 // contract: a private copy, non-nil even when empty (make never returns
 // nil, so a stored empty — or nil — value stays present-empty).
@@ -145,6 +164,38 @@ func (s *LSMStorage) BatchDelete(keys []string) error {
 	return s.DB.Apply(b)
 }
 
+// FlushAll implements StorageFlusher by scanning live keys in bounded
+// batches and writing a tombstone batch for each — the LSM has no
+// O(1) truncate, so this is the honest cost of a replicated FLUSHALL
+// against the UCS role. Each round scans from just past the previous
+// batch's last key, so the loop terminates even while concurrent
+// writers add keys behind the scan cursor.
+func (s *LSMStorage) FlushAll() error {
+	const batch = 512
+	var start []byte
+	for {
+		kvs, err := s.DB.Scan(start, nil, batch)
+		if err != nil {
+			return err
+		}
+		if len(kvs) == 0 {
+			return nil
+		}
+		b := &lsm.Batch{}
+		for _, kv := range kvs {
+			b.Delete(kv.Key)
+		}
+		if err := s.DB.Apply(b); err != nil {
+			return err
+		}
+		last := kvs[len(kvs)-1].Key
+		start = append(append([]byte(nil), last...), 0)
+		if len(kvs) < batch {
+			return nil
+		}
+	}
+}
+
 // --- remote wrapper: models the disaggregation network hop ---
 
 // Remote wraps a Storage with a per-round-trip latency (the cache/storage
@@ -162,6 +213,7 @@ type Remote struct {
 	batchGets atomic.Int64
 	batchPuts atomic.Int64
 	batchDels atomic.Int64
+	flushes   atomic.Int64
 	keysMoved atomic.Int64
 }
 
@@ -231,9 +283,18 @@ func (r *Remote) BatchDelete(keys []string) error {
 	return r.Inner.BatchDelete(keys)
 }
 
+// FlushAll implements StorageFlusher when the inner storage does; one
+// round trip regardless of key count (the whole point of pushing the
+// clear down instead of enumerating keys over the wire).
+func (r *Remote) FlushAll() error {
+	r.flushes.Add(1)
+	r.pause()
+	return FlushStorage(r.Inner)
+}
+
 // RPCStats reports storage-tier round trips by type.
 type RPCStats struct {
-	Gets, Puts, Deletes, BatchGets, BatchPuts, BatchDels, KeysMoved int64
+	Gets, Puts, Deletes, BatchGets, BatchPuts, BatchDels, Flushes, KeysMoved int64
 }
 
 // Stats returns the RPC counters.
@@ -245,6 +306,7 @@ func (r *Remote) Stats() RPCStats {
 		BatchGets: r.batchGets.Load(),
 		BatchPuts: r.batchPuts.Load(),
 		BatchDels: r.batchDels.Load(),
+		Flushes:   r.flushes.Load(),
 		KeysMoved: r.keysMoved.Load(),
 	}
 }
@@ -252,7 +314,7 @@ func (r *Remote) Stats() RPCStats {
 // TotalRPCs returns the total number of storage round trips.
 func (r *Remote) TotalRPCs() int64 {
 	s := r.Stats()
-	return s.Gets + s.Puts + s.Deletes + s.BatchGets + s.BatchPuts + s.BatchDels
+	return s.Gets + s.Puts + s.Deletes + s.BatchGets + s.BatchPuts + s.BatchDels + s.Flushes
 }
 
 // --- map storage: in-memory test double / pure-cache backend ---
@@ -343,6 +405,17 @@ func (s *MapStorage) BatchDelete(keys []string) error {
 	for _, k := range keys {
 		delete(s.m, k)
 	}
+	return nil
+}
+
+// FlushAll implements StorageFlusher.
+func (s *MapStorage) FlushAll() error {
+	if s.FailPuts.Load() {
+		return errInjectedFailure
+	}
+	s.mu.Lock()
+	s.m = make(map[string][]byte)
+	s.mu.Unlock()
 	return nil
 }
 

@@ -80,6 +80,26 @@ type Options struct {
 	// hot (cold). Default 0.25.
 	RebalanceHysteresis float64
 
+	// StorageRetries is how many times a failed storage call is retried
+	// before the error surfaces (default 2; negative disables). Retries
+	// back off exponentially from StorageRetryBackoff (default 5 ms).
+	StorageRetries      int
+	StorageRetryBackoff time.Duration
+	// DegradeAfter trips degraded (cache-only) mode after this many
+	// consecutive failed storage calls (default 3). While degraded,
+	// storage reads short-circuit to "absent", writes fail fast without
+	// retry sleeps, and one probe per DegradedProbeInterval (default
+	// 500 ms) tests for recovery. See health.go.
+	DegradeAfter          int
+	DegradedProbeInterval time.Duration
+	// ExpirySweepInterval starts a background sweep that deletes lapsed
+	// TTL keys through the storage tier (0 = lazy only: expired keys
+	// delete through on first touch). Without delete-through, a key that
+	// expires in the cache tier resurrects from storage on its next miss.
+	ExpirySweepInterval time.Duration
+	// ExpirySweepBatch bounds keys deleted per sweep round (default 256).
+	ExpirySweepBatch int
+
 	// TargetHitRate, when > 0, enables hit-rate-targeted total sizing:
 	// the rebalancer grows the total budget toward MaxCapacityBytes while
 	// the sampled window hit rate is below target, and shrinks it toward
@@ -103,6 +123,24 @@ func (o *Options) fill() {
 	}
 	if o.FetchWindow <= 0 {
 		o.FetchWindow = time.Millisecond
+	}
+	if o.StorageRetries == 0 {
+		o.StorageRetries = 2
+	}
+	if o.StorageRetries < 0 {
+		o.StorageRetries = 0
+	}
+	if o.StorageRetryBackoff <= 0 {
+		o.StorageRetryBackoff = 5 * time.Millisecond
+	}
+	if o.DegradeAfter <= 0 {
+		o.DegradeAfter = 3
+	}
+	if o.DegradedProbeInterval <= 0 {
+		o.DegradedProbeInterval = 500 * time.Millisecond
+	}
+	if o.ExpirySweepBatch <= 0 {
+		o.ExpirySweepBatch = 256
 	}
 	if o.RebalanceInterval <= 0 {
 		o.RebalanceInterval = 100 * time.Millisecond
@@ -184,6 +222,10 @@ type Tiered struct {
 	// Replication sink (see sink.go); nil when replication is off.
 	sink OpSink
 
+	// Storage-tier health: retry counters and the degraded-mode state
+	// machine (see health.go); nil under CacheOnly.
+	health *storageHealth
+
 	// Deferred cache-fetch batcher.
 	fetchCh chan fetchReq
 
@@ -255,9 +297,22 @@ func New(opts Options) (*Tiered, error) {
 	if opts.Policy != CacheOnly && opts.Storage == nil {
 		return nil, errors.New("cache: Storage required for tiered policies")
 	}
+	// Decorate the storage tier with retry + degradation (health.go)
+	// before anything captures opts.Storage: every call site below —
+	// write-through commits, write-back flushes, miss fetches, batch
+	// round trips — then inherits the policy transparently.
+	var health *storageHealth
+	if opts.Policy != CacheOnly {
+		rs := newRetryStorage(opts.Storage, opts.StorageRetries,
+			opts.StorageRetryBackoff, int64(opts.DegradeAfter),
+			opts.DegradedProbeInterval)
+		opts.Storage = rs
+		health = rs.h
+	}
 	t := &Tiered{
 		opts:    opts,
 		eng:     opts.Engine,
+		health:  health,
 		flights: make(map[string]*flight),
 		stopCh:  make(chan struct{}),
 	}
@@ -293,6 +348,10 @@ func New(opts Options) (*Tiered, error) {
 		t.wg.Add(2)
 		go t.flushLoop()
 		go t.fetchLoop()
+	}
+	if opts.Policy != CacheOnly && opts.ExpirySweepInterval > 0 {
+		t.wg.Add(1)
+		go t.expirySweepLoop()
 	}
 	return t, nil
 }
@@ -510,12 +569,76 @@ func (t *Tiered) Get(key string) ([]byte, error) {
 			return copyBytes(e.val), nil
 		}
 	}
+	// TTL delete-through: if the miss is a lapsed-TTL key still occupying
+	// the shard map, delete it through the storage tier instead of
+	// fetching — the storage copy would otherwise resurrect the expired
+	// key right here.
+	if t.expireThrough(key) {
+		return nil, ErrNotFound
+	}
 	v, err = t.fetchCoalesced(key)
 	if err != nil {
+		if errors.Is(err, ErrDegraded) {
+			return nil, ErrNotFound // degraded: serve cache tier only
+		}
 		return nil, err
 	}
 	t.maybeEvictShard(si)
 	return v, nil
+}
+
+// expireThrough confirms key's TTL has lapsed and, if so, deletes it
+// through every tier under the key's RMW stripe lock — the cache-tier
+// removal, the storage-tier delete (per the write policy) and the
+// replication sink all observe it as an ordinary delete. Reports whether
+// an expired key was taken. TakeExpired rechecks under the engine write
+// lock, so a concurrent PERSIST or overwrite wins the race and no live
+// value is deleted.
+func (t *Tiered) expireThrough(key string) bool {
+	if t.opts.Policy == CacheOnly {
+		return false // engine lazy expiry suffices; nothing to resurrect
+	}
+	mu := &t.rmw[t.eng.ShardIndex(key)]
+	mu.Lock()
+	defer mu.Unlock()
+	if !t.eng.TakeExpired(key) {
+		return false
+	}
+	// Best-effort storage delete: the key is already gone from the cache
+	// tier either way, and on failure the invalidate/tombstone machinery
+	// of the write paths has recorded what it could. A write-through
+	// failure here leaves the storage copy behind (it can resurrect once
+	// more until the next delete-through attempt); the health counters
+	// record the error.
+	switch t.opts.Policy {
+	case WriteThrough:
+		_ = t.writeThrough(key, nil, true, false, false)
+	case WriteBack:
+		_ = t.writeBack(key, nil, true, false, false)
+	}
+	if t.sink != nil {
+		t.sink.ReplicateDelete(key)
+	}
+	return true
+}
+
+// expirySweepLoop proactively deletes lapsed-TTL keys through the
+// storage tier (ExpirySweepInterval > 0), so cold expired keys don't
+// linger in storage until someone happens to touch them.
+func (t *Tiered) expirySweepLoop() {
+	defer t.wg.Done()
+	ticker := time.NewTicker(t.opts.ExpirySweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stopCh:
+			return
+		case <-ticker.C:
+			for _, k := range t.eng.CollectExpired(t.opts.ExpirySweepBatch) {
+				t.expireThrough(k)
+			}
+		}
+	}
 }
 
 // --- singleflight core (shared by Get and BatchGet) ---
@@ -755,6 +878,127 @@ func (t *Tiered) Update(key string, fn func(old []byte, exists bool) []byte) err
 		t.maybeEvictKey(key)
 		return nil
 	}
+}
+
+// ExpireAt sets key's TTL as an absolute UnixNano deadline, under the
+// key's RMW stripe lock so the TTL change orders against writes and the
+// replication sink. Reports whether the key existed. The deadline is
+// absolute on the wire too (OpExpire): replicas applying the op late
+// still expire the key at the same instant the master did.
+func (t *Tiered) ExpireAt(key string, at int64) bool {
+	if t.closed.Load() {
+		return false
+	}
+	mu := &t.rmw[t.eng.ShardIndex(key)]
+	mu.Lock()
+	defer mu.Unlock()
+	if !t.eng.ExpireAt(key, at) {
+		return false
+	}
+	for _, r := range t.opts.Replicas {
+		r.ExpireAt(key, at)
+	}
+	if t.sink != nil {
+		t.sink.ReplicateExpire(key, at)
+	}
+	return true
+}
+
+// Persist clears key's TTL under its RMW stripe lock; reports whether
+// the key existed.
+func (t *Tiered) Persist(key string) bool {
+	if t.closed.Load() {
+		return false
+	}
+	mu := &t.rmw[t.eng.ShardIndex(key)]
+	mu.Lock()
+	defer mu.Unlock()
+	if !t.eng.Persist(key) {
+		return false
+	}
+	for _, r := range t.opts.Replicas {
+		r.Persist(key)
+	}
+	if t.sink != nil {
+		t.sink.ReplicatePersist(key)
+	}
+	return true
+}
+
+// FlushAll clears every tier: the cache engine, its replicas, the
+// write-back dirty set (unflushed data is moot once the keyspace is
+// gone), the LRU bookkeeping and the storage tier — without the storage
+// clear, flushed keys resurrect from storage on their next miss.
+//
+// It takes every RMW stripe lock (in index order, the same order any
+// multi-stripe path must use) for the whole operation, which excludes
+// in-flight single-key commits and gives the replication sink a clean
+// point in the op order. Batch commits release the stripe locks before
+// their storage round trip, so a batch racing FLUSHALL can land its
+// storage write after the clear — the known residual window documented
+// in ROADMAP.md.
+func (t *Tiered) FlushAll() error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	for i := range t.rmw {
+		t.rmw[i].Lock()
+	}
+	defer func() {
+		for i := range t.rmw {
+			t.rmw[i].Unlock()
+		}
+	}()
+
+	if t.opts.Policy == WriteBack {
+		// Drop dirty state under flushMu so a concurrent flush round
+		// can't commit collected-but-now-cleared entries after us
+		// (lock order flushMu -> ds.mu, matching flushDirty).
+		t.flushMu.Lock()
+		for _, ds := range t.dirtyStripes {
+			ds.mu.Lock()
+			n := len(ds.entries)
+			if n > 0 {
+				ds.entries = make(map[string]*dirtyEntry)
+				t.dirtyCount.Add(-int64(n))
+				ds.cond.Broadcast()
+			}
+			ds.gen++ // invalidate any in-flight flush round's gen stamps
+			ds.mu.Unlock()
+		}
+		t.flushMu.Unlock()
+	}
+
+	t.eng.FlushAll()
+	for _, r := range t.opts.Replicas {
+		r.FlushAll()
+	}
+	if t.lru != nil {
+		for _, s := range t.lru {
+			s.mu.Lock()
+			s.ll.Init()
+			s.pos = make(map[string]*list.Element)
+			s.mu.Unlock()
+		}
+	}
+
+	var err error
+	if t.opts.Policy != CacheOnly {
+		err = FlushStorage(t.opts.Storage)
+	}
+	if t.sink != nil {
+		t.sink.ReplicateFlushAll()
+	}
+	return err
+}
+
+// Health reports storage-tier health (retry/degradation counters); the
+// zero value under CacheOnly, which has no storage tier.
+func (t *Tiered) Health() HealthStats {
+	if t.health == nil {
+		return HealthStats{}
+	}
+	return t.health.snapshot()
 }
 
 // applyToCache mutates the cache tier and its replicas.

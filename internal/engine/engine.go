@@ -518,6 +518,14 @@ func (e *Engine) IncrBy(key string, delta int64) (int64, error) {
 
 // Expire sets a TTL; reports whether the key existed.
 func (e *Engine) Expire(key string, d time.Duration) bool {
+	return e.ExpireAt(key, e.now()+int64(d))
+}
+
+// ExpireAt sets an absolute expiry deadline (UnixNano on the engine's
+// clock); reports whether the key existed. Replication uses this form:
+// an op applied seconds late on a slow replica must expire the key at
+// the master's wall-clock instant, not late-arrival + TTL.
+func (e *Engine) ExpireAt(key string, at int64) bool {
 	s := e.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -525,8 +533,58 @@ func (e *Engine) Expire(key string, d time.Duration) bool {
 	if !ok {
 		return false
 	}
-	it.expireAt = e.now() + int64(d)
+	it.expireAt = at
 	return true
+}
+
+// TakeExpired deletes key if (and only if) it is present with a lapsed
+// TTL, reporting whether it did. This is the expiry-driven
+// delete-through hook: lazy expiry leaves the dead item in the map and
+// getItem merely hides it, so without this seam an expired key
+// resurrects from the storage tier on its next cold read. The caller
+// (cache.Tiered) routes a tombstone through the write path when this
+// returns true.
+func (e *Engine) TakeExpired(key string) bool {
+	s := e.shardFor(key)
+	s.mu.Lock()
+	it, ok := s.items[key]
+	if !ok || !it.expiredAt(e.now()) {
+		s.mu.Unlock()
+		return false
+	}
+	e.deleteItemLocked(s, key, it)
+	s.expired.Add(1)
+	s.mu.Unlock()
+	return true
+}
+
+// CollectExpired returns up to max keys whose TTL has lapsed but whose
+// items still occupy the shard maps. Read locks only — the caller
+// confirms and deletes each key through TakeExpired (directly or via
+// the tiered delete-through path), which rechecks under the write lock
+// so a concurrent PERSIST or overwrite wins the race.
+func (e *Engine) CollectExpired(max int) []string {
+	if max <= 0 {
+		return nil
+	}
+	var out []string
+	for _, s := range e.shards {
+		s.mu.RLock()
+		now := e.now()
+		for key, it := range s.items {
+			if it.expiredAt(now) {
+				out = append(out, key)
+				if len(out) >= max {
+					break
+				}
+			}
+		}
+		s.mu.RUnlock()
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
 }
 
 // Persist clears a TTL; reports whether the key existed.
@@ -714,6 +772,90 @@ func (e *Engine) ForEachEncoded(fn func(key string, val []byte, encoded bool) bo
 				}
 			}
 			if !fn(p.k, val, p.enc) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// SnapEntry is one key in a chunked snapshot walk (ForEachEncodedChunked).
+type SnapEntry struct {
+	Key     string
+	Val     []byte
+	Encoded bool // Val is a typed collection blob (EncodeCollection format)
+}
+
+// ForEachEncodedChunked is the bounded-buffer form of ForEachEncoded,
+// built for replication full-sync snapshots feeding a socket: plain
+// ForEachEncoded materializes a whole shard (every collection
+// serialized) in one slice before the first callback, so a big shard
+// costs O(shard) memory per attached replica. Here only the key list is
+// captured up front (strings, cheap); values materialize in chunks of
+// ~maxChunkBytes (at least one entry per chunk), each chunk under its
+// own short read-lock hold, and fn runs with no lock held — a stalled
+// replica socket inside fn never blocks writers, and buffered memory
+// stays O(chunk).
+//
+// Keys deleted between the key listing and their chunk are skipped; a
+// key mutated in between yields its newer value. Callers tolerate both
+// by streaming the op log from a position at or before the walk.
+// Returning false from fn stops the walk.
+func (e *Engine) ForEachEncodedChunked(maxChunkBytes int, fn func(chunk []SnapEntry) bool) error {
+	if maxChunkBytes <= 0 {
+		maxChunkBytes = 1 << 20
+	}
+	type ekv struct {
+		k   string
+		sv  storedVal // strings: decoded outside the lock
+		eb  []byte    // collections: blob built under the lock
+		enc bool
+	}
+	for _, s := range e.shards {
+		s.mu.RLock()
+		keys := make([]string, 0, len(s.items))
+		now := e.now()
+		for k, it := range s.items {
+			if !it.expiredAt(now) {
+				keys = append(keys, k)
+			}
+		}
+		s.mu.RUnlock()
+		for i := 0; i < len(keys); {
+			s.mu.RLock()
+			now = e.now()
+			var raw []ekv
+			bytes := 0
+			for ; i < len(keys) && (len(raw) == 0 || bytes < maxChunkBytes); i++ {
+				it, ok := s.items[keys[i]]
+				if !ok || it.expiredAt(now) {
+					continue // deleted or lapsed since the key listing
+				}
+				if it.kind == KindString {
+					raw = append(raw, ekv{k: keys[i], sv: it.str})
+					bytes += int(it.memBytes)
+				} else if blob, ok := encodeCollectionLocked(it); ok {
+					raw = append(raw, ekv{k: keys[i], eb: blob, enc: true})
+					bytes += len(blob)
+				}
+			}
+			s.mu.RUnlock()
+			if len(raw) == 0 {
+				continue
+			}
+			chunk := make([]SnapEntry, 0, len(raw))
+			for _, p := range raw {
+				val := p.eb
+				if !p.enc {
+					var err error
+					val, err = e.decodeValue(p.sv)
+					if err != nil {
+						return err
+					}
+				}
+				chunk = append(chunk, SnapEntry{Key: p.k, Val: val, Encoded: p.enc})
+			}
+			if !fn(chunk) {
 				return nil
 			}
 		}

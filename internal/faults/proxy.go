@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy is a faultable TCP relay for cross-process drills: point a
+// replica's -replicaof (or a bench client's -addr) at the proxy and the
+// test process slows, stalls, or partitions the link mid-flight through
+// the proxy's Injector — no root, no tc/netem, fully deterministic.
+//
+// Faults apply on the upstream (proxy→target) leg in both copy
+// directions, so one Injector shapes the whole link.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	inj    *Injector
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy listens on listenAddr (e.g. "127.0.0.1:0") and relays every
+// accepted connection to target through the fault seam.
+func NewProxy(listenAddr, target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:     ln,
+		target: target,
+		inj:    NewInjector(),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Injector returns the link's fault controls.
+func (p *Proxy) Injector() *Injector { return p.inj }
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		upstream, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		faulted := WrapConn(upstream, p.inj)
+		if !p.track(client, faulted) {
+			client.Close()
+			faulted.Close()
+			return
+		}
+		p.wg.Add(2)
+		go p.pipe(faulted, client)
+		go p.pipe(client, faulted)
+	}
+}
+
+func (p *Proxy) track(conns ...net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	for _, c := range conns {
+		p.conns[c] = struct{}{}
+	}
+	return true
+}
+
+// pipe copies src→dst until either side dies, then severs both so the
+// peer's copy loop unblocks too.
+func (p *Proxy) pipe(dst, src net.Conn) {
+	defer p.wg.Done()
+	io.Copy(dst, src) //nolint:errcheck // a dead link is the expected exit
+	src.Close()
+	dst.Close()
+	p.mu.Lock()
+	delete(p.conns, src)
+	delete(p.conns, dst)
+	p.mu.Unlock()
+}
+
+// DropConns severs all live relayed connections (a hard link flap)
+// without stopping the proxy; new connections relay normally.
+func (p *Proxy) DropConns() {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Close stops the proxy and severs every relayed connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.DropConns()
+	p.inj.Heal() // unblock any stalled I/O so the pipes can exit
+	p.wg.Wait()
+	return err
+}

@@ -34,6 +34,16 @@ const (
 	OpSetEncoded
 	// OpDel removes a key.
 	OpDel
+	// OpExpire sets a key's absolute expiry deadline. Val carries the
+	// deadline as decimal UnixNano text — absolute, not relative, so a
+	// replica applying the op late (slow link, replay) expires the key at
+	// the same wall-clock instant the master did.
+	OpExpire
+	// OpPersist clears a key's expiry (empty Val).
+	OpPersist
+	// OpFlushAll clears the whole keyspace — cache AND private storage
+	// tier on the replica (empty Key and Val).
+	OpFlushAll
 )
 
 // String names the kind.
@@ -45,6 +55,12 @@ func (k OpKind) String() string {
 		return "set-encoded"
 	case OpDel:
 		return "del"
+	case OpExpire:
+		return "expire"
+	case OpPersist:
+		return "persist"
+	case OpFlushAll:
+		return "flushall"
 	}
 	return "unknown"
 }
@@ -362,6 +378,16 @@ func (t *AckTracker) Wait(seq uint64, need int, timeout time.Duration) error {
 		t.mu.Unlock()
 		return ErrNotEnoughAcks
 	}
+}
+
+// Acked returns replica id's acknowledged sequence and whether it is
+// attached — the laggard-shedding probe (a master disconnects a replica
+// whose Seq()-Acked(id) backlog exceeds its bound).
+func (t *AckTracker) Acked(id string) (uint64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seq, ok := t.acked[id]
+	return seq, ok
 }
 
 // Snapshot returns a copy of the per-replica acked sequences (INFO

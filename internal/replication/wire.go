@@ -16,12 +16,17 @@ import (
 //
 //	op        : 'o' seq kind klen key [vlen val]   (val omitted for OpDel)
 //	ack       : 'a' seq
+//	ping      : 'p' seq        (master keepalive; seq = current log head.
+//	                            The replica answers with a cumulative ack,
+//	                            so an idle link still proves liveness both
+//	                            ways and refreshes read deadlines.)
 //	snap-begin: 'b' seq        (log position the snapshot will end at)
 //	snap-entry: 's' enc klen key vlen val          (enc: 0 raw, 1 encoded)
 //	snap-end  : 'e' seq        (replica resets its log to seq)
 const (
 	frameOp        = 'o'
 	frameAck       = 'a'
+	framePing      = 'p'
 	frameSnapBegin = 'b'
 	frameSnapEntry = 's'
 	frameSnapEnd   = 'e'
@@ -88,6 +93,15 @@ func WriteOp(w *bufio.Writer, op Op) error {
 // WriteAck frames a cumulative acknowledgement. The caller flushes.
 func WriteAck(w *bufio.Writer, seq uint64) error {
 	if err := w.WriteByte(frameAck); err != nil {
+		return err
+	}
+	return writeUvarint(w, seq)
+}
+
+// WritePing frames a keepalive carrying the master's current log head.
+// The caller flushes.
+func WritePing(w *bufio.Writer, seq uint64) error {
+	if err := w.WriteByte(framePing); err != nil {
 		return err
 	}
 	return writeUvarint(w, seq)
@@ -183,7 +197,7 @@ func ReadFrame(r *bufio.Reader) (Frame, error) {
 			}
 			f.Op.Val = val
 		}
-	case frameAck, frameSnapBegin, frameSnapEnd:
+	case frameAck, framePing, frameSnapBegin, frameSnapEnd:
 		seq, err := binary.ReadUvarint(r)
 		if err != nil {
 			return Frame{}, unexpectedEOF(err)
@@ -227,6 +241,9 @@ func (f Frame) IsOp() bool { return f.Type == frameOp }
 
 // IsAck reports an ack frame.
 func (f Frame) IsAck() bool { return f.Type == frameAck }
+
+// IsPing reports a keepalive frame.
+func (f Frame) IsPing() bool { return f.Type == framePing }
 
 // IsSnapBegin reports a snapshot-begin frame.
 func (f Frame) IsSnapBegin() bool { return f.Type == frameSnapBegin }

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"net"
 	"time"
 
 	"tierbase/internal/cache"
@@ -47,6 +48,11 @@ type Config struct {
 	// Replication configures the replication/cluster role of this
 	// process. Replication is enabled iff Replication.NodeID is set.
 	Replication ReplicationConfig
+	// WrapConn, when set, wraps every accepted connection before the
+	// server serves it — the fault-injection seam (internal/faults wraps
+	// sockets with injected latency, throughput caps and stalls). Must
+	// return a connection that behaves like the original.
+	WrapConn func(net.Conn) net.Conn
 }
 
 // Options is the historical name of Config, kept as an alias so existing
@@ -86,6 +92,35 @@ type ReplicationConfig struct {
 	// HeartbeatInterval is the coordinator heartbeat period (default
 	// 500ms).
 	HeartbeatInterval time.Duration
+	// WriteTimeout bounds every replication-frame write to a replica
+	// (op batches, snapshot chunks, keepalives). A replica that stops
+	// draining its socket fails the write within this bound instead of
+	// stalling the master-side session forever (default 5s).
+	WriteTimeout time.Duration
+	// KeepaliveInterval is the master→replica ping period. Pings carry
+	// the log head; the replica answers with a cumulative ack, so an
+	// idle link proves liveness both ways (default 1s).
+	KeepaliveInterval time.Duration
+	// ReadTimeout bounds how long either side waits for the next frame
+	// before declaring the link dead. With keepalives flowing, a healthy
+	// idle link always has a frame within KeepaliveInterval; the default
+	// is 4x KeepaliveInterval.
+	ReadTimeout time.Duration
+	// ShedBacklog is the laggard-shedding bound: a replica whose unacked
+	// backlog (log head minus its cumulative ack) exceeds this many ops
+	// is disconnected — it re-syncs later (incrementally if it recovers
+	// within the log window, full sync otherwise) instead of holding
+	// master-side resources. Default LogCap/2; negative disables.
+	ShedBacklog int
+	// SnapshotChunkBytes bounds how many snapshot bytes are materialized
+	// (and buffered) per engine lock acquisition during a full sync;
+	// each chunk is flushed under WriteTimeout before the next is built
+	// (default 1 MiB).
+	SnapshotChunkBytes int
+	// Dialer overrides how a replica dials its master — the
+	// fault-injection seam for the replica side of the link (default
+	// net.DialTimeout on "tcp").
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 // Enabled reports whether the replication machinery is on.
@@ -108,6 +143,21 @@ func (c *Config) normalize() {
 	}
 	if r.HeartbeatInterval <= 0 {
 		r.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if r.WriteTimeout <= 0 {
+		r.WriteTimeout = 5 * time.Second
+	}
+	if r.KeepaliveInterval <= 0 {
+		r.KeepaliveInterval = time.Second
+	}
+	if r.ReadTimeout <= 0 {
+		r.ReadTimeout = 4 * r.KeepaliveInterval
+	}
+	if r.ShedBacklog == 0 {
+		r.ShedBacklog = r.LogCap / 2
+	}
+	if r.SnapshotChunkBytes <= 0 {
+		r.SnapshotChunkBytes = 1 << 20
 	}
 }
 

@@ -13,6 +13,8 @@ import (
 
 	"tierbase/internal/client"
 	"tierbase/internal/cluster"
+	"tierbase/internal/engine"
+	"tierbase/internal/metrics"
 	"tierbase/internal/replication"
 )
 
@@ -39,12 +41,20 @@ import (
 // replicas can resume from it incrementally. Client writes are rejected
 // with `-MOVED <slot> <masterAddr>` so routed clients refresh and follow.
 //
-// Known gaps (see ROADMAP.md): FLUSHALL/EXPIRE/PERSIST are not
-// replicated (writes of them are still rejected on replicas); a full
-// sync clears the replica's cache tier but not its private storage tier;
-// batch writes enter the log per stripe after commit, so a concurrent
-// single-key RMW can order differently across stripes than on the
-// master.
+// Robustness (see internal/replication/README.md): every frame write to
+// a replica carries a deadline (WriteTimeout), full-sync snapshots
+// stream in bounded chunks (SnapshotChunkBytes) with a flush per chunk,
+// an idle link is kept provably alive by master pings answered with
+// replica acks (KeepaliveInterval/ReadTimeout), replicas whose unacked
+// backlog exceeds ShedBacklog are disconnected to re-sync later, and
+// the replica applier redials with jittered exponential backoff.
+// FLUSHALL/EXPIRE/PERSIST replicate as first-class ops (EXPIRE as an
+// absolute deadline), and a full sync clears the replica's private
+// storage tier along with its cache tier.
+//
+// Known gap (see ROADMAP.md): batch writes enter the log per stripe
+// after commit, so a concurrent single-key RMW can order differently
+// across stripes than on the master.
 
 const (
 	roleMaster int32 = iota
@@ -67,6 +77,8 @@ type serverRepl struct {
 	fullSyncsServed atomic.Int64
 	fullSyncsDone   atomic.Int64
 	applyErrors     atomic.Int64
+	laggardsShed    atomic.Int64     // sessions dropped for unacked backlog
+	writeStall      metrics.MaxGauge // worst replication-frame write+flush, ns
 
 	mu         sync.Mutex
 	masterAddr string
@@ -169,6 +181,33 @@ func (r *serverRepl) ReplicateDelete(key string) {
 		return
 	}
 	r.log.Append(replication.OpDel, key, nil)
+}
+
+// ReplicateExpire appends a TTL-set op. The value is the absolute
+// UnixNano deadline in decimal: a replica applying the op late still
+// expires the key at the master's wall-clock instant, not a relative
+// duration drifted by replication lag.
+func (r *serverRepl) ReplicateExpire(key string, at int64) {
+	if r.isReplica() {
+		return
+	}
+	r.log.Append(replication.OpExpire, key, strconv.AppendInt(nil, at, 10))
+}
+
+// ReplicatePersist appends a TTL-clear op.
+func (r *serverRepl) ReplicatePersist(key string) {
+	if r.isReplica() {
+		return
+	}
+	r.log.Append(replication.OpPersist, key, nil)
+}
+
+// ReplicateFlushAll appends a whole-keyspace clear.
+func (r *serverRepl) ReplicateFlushAll() {
+	if r.isReplica() {
+		return
+	}
+	r.log.Append(replication.OpFlushAll, "", nil)
 }
 
 // --- role-aware dispatch ---
@@ -345,6 +384,9 @@ type replSession struct {
 	id     string
 	nc     net.Conn
 	stream *replication.Stream
+	// wmu serializes frame writes: the op-stream loop and the keepalive
+	// ticker share one bufio.Writer.
+	wmu sync.Mutex
 }
 
 func (s *replSession) close() {
@@ -406,9 +448,19 @@ func (r *serverRepl) cmdSync(c *conn, args [][]byte) {
 // opened at the current head BEFORE the engines are walked, and every op
 // carries its key's full resulting state, so replaying the overlap over
 // the (possibly newer) snapshot converges.
+//
+// Robustness: every write toward the replica is bounded by WriteTimeout
+// (a stalled socket errors out instead of blocking the session forever);
+// the snapshot walk materializes at most SnapshotChunkBytes per engine
+// lock acquisition and flushes each chunk before building the next, so a
+// slow link bounds the master's buffering, not its memory; a keepalive
+// ticker pings the replica (and sheds it if its unacked backlog exceeds
+// ShedBacklog); and the ack reader enforces ReadTimeout — with pings
+// answered by acks, a healthy link always has a frame in flight.
 func (r *serverRepl) serveReplica(c *conn, after uint64, nodeID string) {
 	nc := c.nc
 	bw := bufio.NewWriterSize(nc, 64<<10)
+	wt := r.cfg.WriteTimeout
 
 	var stream *replication.Stream
 	var err error
@@ -430,6 +482,17 @@ func (r *serverRepl) serveReplica(c *conn, after uint64, nodeID string) {
 	}
 	defer stream.Cancel()
 
+	// deadlineFlush bounds one buffered write burst; the stall gauge
+	// records the worst case (the master-side write stall a slow replica
+	// link can induce).
+	deadlineFlush := func() error {
+		start := time.Now()
+		nc.SetWriteDeadline(start.Add(wt))
+		err := bw.Flush()
+		r.writeStall.Observe(time.Since(start).Nanoseconds())
+		return err
+	}
+
 	if full {
 		r.fullSyncsServed.Add(1)
 		if _, err := bw.WriteString("+FULLSYNC\r\n"); err != nil {
@@ -440,10 +503,16 @@ func (r *serverRepl) serveReplica(c *conn, after uint64, nodeID string) {
 		}
 		for _, sh := range r.s.shards {
 			werr := error(nil)
-			ferr := sh.eng.ForEachEncoded(func(key string, val []byte, encoded bool) bool {
-				werr = replication.WriteSnapEntry(bw, key, val, encoded)
-				return werr == nil
-			})
+			ferr := sh.eng.ForEachEncodedChunked(r.cfg.SnapshotChunkBytes,
+				func(chunk []engine.SnapEntry) bool {
+					for _, e := range chunk {
+						if werr = replication.WriteSnapEntry(bw, e.Key, e.Val, e.Encoded); werr != nil {
+							return false
+						}
+					}
+					werr = deadlineFlush()
+					return werr == nil
+				})
 			if werr != nil || ferr != nil {
 				return
 			}
@@ -456,7 +525,7 @@ func (r *serverRepl) serveReplica(c *conn, after uint64, nodeID string) {
 			return
 		}
 	}
-	if err := bw.Flush(); err != nil {
+	if err := deadlineFlush(); err != nil {
 		return
 	}
 
@@ -468,16 +537,20 @@ func (r *serverRepl) serveReplica(c *conn, after uint64, nodeID string) {
 	r.acks.Attach(nodeID)
 	defer r.acks.Detach(nodeID)
 
-	// Cumulative acks ride back on the same socket; a read error means
-	// the replica is gone — cancel the stream to unblock the writer.
+	// Cumulative acks (and ping answers) ride back on the same socket; a
+	// read error — including ReadTimeout with no frame, which a healthy
+	// replica never hits while it answers pings — means the replica is
+	// gone: cancel the stream to unblock the writer.
 	ackDone := make(chan struct{})
 	go func() {
 		defer close(ackDone)
 		br := c.cr.r
 		for {
+			nc.SetReadDeadline(time.Now().Add(r.cfg.ReadTimeout))
 			f, err := replication.ReadFrame(br)
 			if err != nil {
 				stream.Cancel()
+				nc.Close()
 				return
 			}
 			if f.IsAck() {
@@ -485,8 +558,51 @@ func (r *serverRepl) serveReplica(c *conn, after uint64, nodeID string) {
 			}
 		}
 	}()
+
+	// Keepalive + laggard shedding: ping with the current log head every
+	// KeepaliveInterval (the replica answers with a cumulative ack, so an
+	// idle link still proves liveness and refreshes both read deadlines),
+	// and disconnect a replica whose unacked backlog outgrew ShedBacklog
+	// — it re-syncs later instead of pinning master-side buffers.
+	kaStop := make(chan struct{})
+	kaDone := make(chan struct{})
+	go func() {
+		defer close(kaDone)
+		tick := time.NewTicker(r.cfg.KeepaliveInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-kaStop:
+				return
+			case <-tick.C:
+			}
+			if r.cfg.ShedBacklog > 0 {
+				if acked, ok := r.acks.Acked(nodeID); ok {
+					if head := r.log.Seq(); head > acked && head-acked > uint64(r.cfg.ShedBacklog) {
+						r.laggardsShed.Add(1)
+						stream.Cancel()
+						nc.Close()
+						return
+					}
+				}
+			}
+			sess.wmu.Lock()
+			err := replication.WritePing(bw, r.log.Seq())
+			if err == nil {
+				err = deadlineFlush()
+			}
+			sess.wmu.Unlock()
+			if err != nil {
+				stream.Cancel()
+				nc.Close()
+				return
+			}
+		}
+	}()
 	defer func() {
+		close(kaStop)
 		nc.Close()
+		<-kaDone
 		<-ackDone
 	}()
 
@@ -497,12 +613,16 @@ func (r *serverRepl) serveReplica(c *conn, after uint64, nodeID string) {
 			return
 		}
 		buf = ops
+		sess.wmu.Lock()
 		for _, op := range ops {
 			if err := replication.WriteOp(bw, op); err != nil {
+				sess.wmu.Unlock()
 				return
 			}
 		}
-		if err := bw.Flush(); err != nil {
+		err = deadlineFlush()
+		sess.wmu.Unlock()
+		if err != nil {
 			return
 		}
 	}
@@ -548,26 +668,24 @@ func (a *replApplier) close() {
 
 func (a *replApplier) run() {
 	defer a.wg.Done()
-	backoff := 50 * time.Millisecond
+	// Jittered exponential redial: repeated failures space out up to 2s,
+	// and the jitter keeps a fleet of replicas that lost the same master
+	// from redialing it in lockstep when it comes back.
+	bo := &cluster.Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}
 	for {
 		select {
 		case <-a.stop:
 			return
 		default:
 		}
-		start := time.Now()
-		a.syncOnce()
-		a.r.masterLinkUp.Store(false)
-		if time.Since(start) > 2*time.Second {
-			backoff = 50 * time.Millisecond // the session held; reset
+		if a.syncOnce() {
+			bo.Reset() // the session was established; restart fresh
 		}
+		a.r.masterLinkUp.Store(false)
 		select {
 		case <-a.stop:
 			return
-		case <-time.After(backoff):
-		}
-		if backoff < time.Second {
-			backoff *= 2
+		case <-time.After(bo.Next()):
 		}
 	}
 }
@@ -583,48 +701,79 @@ func (a *replApplier) setConn(nc net.Conn) bool {
 	return true
 }
 
+// dial resolves the master-dial seam: the configured Dialer (fault
+// injection wraps the socket here) or plain TCP.
+func (a *replApplier) dial() (net.Conn, error) {
+	if d := a.r.cfg.Dialer; d != nil {
+		return d(a.masterAddr, 2*time.Second)
+	}
+	return net.DialTimeout("tcp", a.masterAddr, 2*time.Second)
+}
+
 // syncOnce runs one master session: handshake from the local position,
 // install a snapshot if offered, then apply-and-ack until the connection
-// dies or the applier stops.
-func (a *replApplier) syncOnce() {
+// dies or the applier stops. It reports whether a session was
+// established (the redial backoff resets on true).
+//
+// Liveness is symmetric to the master side: every frame read is bounded
+// by ReadTimeout (the master pings at least every KeepaliveInterval, so
+// a healthy idle link never starves the deadline), pings are answered
+// with a cumulative ack, and every ack write is bounded by WriteTimeout.
+func (a *replApplier) syncOnce() bool {
 	r := a.r
-	nc, err := net.DialTimeout("tcp", a.masterAddr, 2*time.Second)
+	nc, err := a.dial()
 	if err != nil {
-		return
+		return false
 	}
 	defer nc.Close()
 	if !a.setConn(nc) {
-		return
+		return false
 	}
+	rt, wt := r.cfg.ReadTimeout, r.cfg.WriteTimeout
 	br := bufio.NewReaderSize(nc, 64<<10)
 	bw := bufio.NewWriterSize(nc, 64<<10)
+	nc.SetWriteDeadline(time.Now().Add(wt))
 	if err := writeRESPCommand(bw, "SYNC", strconv.FormatUint(r.lastApplied.Load(), 10), r.cfg.NodeID); err != nil {
-		return
+		return false
 	}
+	nc.SetReadDeadline(time.Now().Add(rt))
 	status, err := br.ReadString('\n')
 	if err != nil {
-		return
+		return false
 	}
 	switch strings.TrimRight(status, "\r\n") {
 	case "+CONTINUE":
 	case "+FULLSYNC":
 		r.fullSyncsDone.Add(1)
-		if !a.readSnapshot(br) {
-			return
+		if !a.readSnapshot(nc, br) {
+			return false
 		}
 	default:
-		return // -ERR (e.g. the target is itself a replica): back off, retry
+		return false // -ERR (e.g. the target is itself a replica): back off, retry
 	}
 	r.masterLinkUp.Store(true)
+	ack := func(seq uint64) bool {
+		nc.SetWriteDeadline(time.Now().Add(wt))
+		return replication.WriteAck(bw, seq) == nil && bw.Flush() == nil
+	}
 	// The initial ack registers this replica's position with the master
 	// before any new op arrives (semi-sync counts attached replicas).
-	if replication.WriteAck(bw, r.lastApplied.Load()) != nil || bw.Flush() != nil {
-		return
+	if !ack(r.lastApplied.Load()) {
+		return true
 	}
 	for {
+		nc.SetReadDeadline(time.Now().Add(rt))
 		f, err := replication.ReadFrame(br)
 		if err != nil {
-			return
+			return true
+		}
+		if f.IsPing() {
+			// Answer with the cumulative position: liveness both ways on
+			// an idle link, and the master's shed check stays current.
+			if !ack(r.lastApplied.Load()) {
+				return true
+			}
+			continue
 		}
 		if !f.IsOp() {
 			continue
@@ -640,22 +789,27 @@ func (a *replApplier) syncOnce() {
 		r.lastApplied.Store(op.Seq)
 		if br.Buffered() == 0 {
 			// Batch boundary: ack the whole drained window in one frame.
-			if replication.WriteAck(bw, op.Seq) != nil || bw.Flush() != nil {
-				return
+			if !ack(op.Seq) {
+				return true
 			}
 		}
 	}
 }
 
-// readSnapshot installs a full-sync snapshot: drop the cache tier,
-// apply every entry, reset the mirrored log to the snapshot position.
-// (The replica's private storage tier is NOT cleared — stale storage
-// keys shadowed by the snapshot remain until overwritten; see the
-// package comment.)
-func (a *replApplier) readSnapshot(br *bufio.Reader) bool {
+// readSnapshot installs a full-sync snapshot: clear every shard — cache
+// tier AND private storage tier, via the tiered store's FlushAll — then
+// apply every entry and reset the mirrored log to the snapshot position.
+// Clearing storage matters: a key deleted on the master while this
+// replica was away must not resurrect from the replica's stale storage
+// after promotion. Each frame read is bounded by ReadTimeout (the
+// master flushes at least every SnapshotChunkBytes, so a healthy link
+// always delivers in time).
+func (a *replApplier) readSnapshot(nc net.Conn, br *bufio.Reader) bool {
 	r := a.r
+	rt := r.cfg.ReadTimeout
 	started := false
 	for {
+		nc.SetReadDeadline(time.Now().Add(rt))
 		f, err := replication.ReadFrame(br)
 		if err != nil {
 			return false
@@ -663,7 +817,13 @@ func (a *replApplier) readSnapshot(br *bufio.Reader) bool {
 		switch {
 		case f.IsSnapBegin():
 			for _, sh := range r.s.shards {
-				sh.eng.FlushAll()
+				if sh.tiered != nil {
+					if err := sh.tiered.FlushAll(); err != nil {
+						r.applyErrors.Add(1)
+					}
+				} else {
+					sh.eng.FlushAll()
+				}
 			}
 			started = true
 		case f.IsSnapEntry():
@@ -696,6 +856,37 @@ func (r *serverRepl) applyOp(op replication.Op) {
 		sh := r.s.shardFor([]byte(op.Key))
 		if _, err := sh.strBatchDel([]string{op.Key}); err != nil {
 			r.applyErrors.Add(1)
+		}
+	case replication.OpExpire:
+		at, err := strconv.ParseInt(string(op.Val), 10, 64)
+		if err != nil {
+			r.applyErrors.Add(1)
+			return
+		}
+		sh := r.s.shardFor([]byte(op.Key))
+		sh.warm(op.Key)
+		if sh.tiered != nil {
+			sh.tiered.ExpireAt(op.Key, at)
+		} else {
+			sh.eng.ExpireAt(op.Key, at)
+		}
+	case replication.OpPersist:
+		sh := r.s.shardFor([]byte(op.Key))
+		sh.warm(op.Key)
+		if sh.tiered != nil {
+			sh.tiered.Persist(op.Key)
+		} else {
+			sh.eng.Persist(op.Key)
+		}
+	case replication.OpFlushAll:
+		for _, sh := range r.s.shards {
+			if sh.tiered != nil {
+				if err := sh.tiered.FlushAll(); err != nil {
+					r.applyErrors.Add(1)
+				}
+			} else {
+				sh.eng.FlushAll()
+			}
 		}
 	}
 }
@@ -742,9 +933,12 @@ func (r *serverRepl) heartbeatLoop() {
 		}
 	}()
 	registered := false
-	tick := time.NewTicker(r.cfg.HeartbeatInterval)
-	defer tick.Stop()
+	// An unreachable coordinator backs off with jitter instead of
+	// hammering it every HeartbeatInterval — the thundering-herd guard
+	// for a coordinator restart with a whole fleet re-registering.
+	bo := &cluster.Backoff{Base: r.cfg.HeartbeatInterval, Max: 8 * r.cfg.HeartbeatInterval}
 	for {
+		ok := true
 		if cc == nil || cc.Err() != nil {
 			if cc != nil {
 				cc.Close()
@@ -753,6 +947,8 @@ func (r *serverRepl) heartbeatLoop() {
 			if c, err := client.Dial(r.cfg.CoordinatorAddr); err == nil {
 				cc = c
 				registered = false
+			} else {
+				ok = false
 			}
 		}
 		if cc != nil {
@@ -767,6 +963,8 @@ func (r *serverRepl) heartbeatLoop() {
 				}
 				if _, err := cc.Do("CLUSTER", "REGISTER", r.cfg.NodeID, r.advertiseAddr(), role, masterAddr); err == nil {
 					registered = true
+				} else {
+					ok = false
 				}
 			} else if _, err := cc.Do("CLUSTER", "HEARTBEAT", r.cfg.NodeID); err != nil {
 				if strings.Contains(err.Error(), "UNKNOWNNODE") {
@@ -774,10 +972,16 @@ func (r *serverRepl) heartbeatLoop() {
 				}
 			}
 		}
+		wait := r.cfg.HeartbeatInterval
+		if ok {
+			bo.Reset()
+		} else {
+			wait = bo.Next()
+		}
 		select {
 		case <-r.stop:
 			return
-		case <-tick.C:
+		case <-time.After(wait):
 		}
 	}
 }
@@ -820,4 +1024,6 @@ func (r *serverRepl) info(b *strings.Builder) {
 	fmt.Fprintf(b, "full_syncs_served:%d\r\n", r.fullSyncsServed.Load())
 	fmt.Fprintf(b, "full_syncs_done:%d\r\n", r.fullSyncsDone.Load())
 	fmt.Fprintf(b, "apply_errors:%d\r\n", r.applyErrors.Load())
+	fmt.Fprintf(b, "laggards_shed:%d\r\n", r.laggardsShed.Load())
+	fmt.Fprintf(b, "max_write_stall_ns:%d\r\n", r.writeStall.Load())
 }

@@ -176,6 +176,9 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if s.opts.WrapConn != nil {
+			nc = s.opts.WrapConn(nc)
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -290,8 +293,18 @@ func (s *Server) dispatchCmd(c *conn, cmd string, args [][]byte) {
 		c.out = appendInt(c.out, n)
 		return
 	case "FLUSHALL":
+		// Through the tiered store where there is one: clearing only the
+		// cache tier would let flushed keys resurrect from storage on
+		// their next miss (and the clear must replicate).
 		for _, sh := range s.shards {
-			sh.eng.FlushAll()
+			if sh.tiered != nil {
+				if err := sh.tiered.FlushAll(); err != nil {
+					c.out = appendError(c.out, err.Error())
+					return
+				}
+			} else {
+				sh.eng.FlushAll()
+			}
 		}
 		c.out = appendSimple(c.out, "OK")
 		return
@@ -544,7 +557,7 @@ func (s *Server) mset(c *conn, kvArgs [][]byte) {
 }
 
 // info renders INFO output. section filters to one section ("server",
-// "writepath", "storage", "tiering"); empty renders everything.
+// "writepath", "storage", "tiering", "health"); empty renders everything.
 func (s *Server) info(section string) string {
 	var b strings.Builder
 	if section == "" || section == "server" {
@@ -580,7 +593,45 @@ func (s *Server) info(section string) string {
 	if section == "" || section == "tiering" {
 		s.tieringInfo(&b)
 	}
+	if section == "" || section == "health" {
+		s.healthInfo(&b)
+	}
 	return b.String()
+}
+
+// healthInfo renders the storage-tier health section: aggregate
+// error/retry/degraded counters across shards plus the per-shard
+// degraded flags — the first place to look when a chaos drill (or a
+// real disk) starts failing storage calls.
+func (s *Server) healthInfo(b *strings.Builder) {
+	fmt.Fprintf(b, "# Health\r\n")
+	var degraded int
+	var errs, retries, degOps, transitions int64
+	stats := make([]cache.HealthStats, len(s.shards))
+	for i, sh := range s.shards {
+		if sh.tiered == nil {
+			continue
+		}
+		st := sh.tiered.Health()
+		stats[i] = st
+		if st.Degraded {
+			degraded++
+		}
+		errs += st.StorageErrors
+		retries += st.StorageRetries
+		degOps += st.DegradedOps
+		transitions += st.DegradedTransit
+	}
+	fmt.Fprintf(b, "degraded_shards:%d\r\n", degraded)
+	fmt.Fprintf(b, "storage_errors:%d\r\n", errs)
+	fmt.Fprintf(b, "storage_retries:%d\r\n", retries)
+	fmt.Fprintf(b, "degraded_ops:%d\r\n", degOps)
+	fmt.Fprintf(b, "degraded_transitions:%d\r\n", transitions)
+	for i, st := range stats {
+		fmt.Fprintf(b, "shard%d_degraded:%t\r\n", i, st.Degraded)
+		fmt.Fprintf(b, "shard%d_storage_errors:%d\r\n", i, st.StorageErrors)
+		fmt.Fprintf(b, "shard%d_consecutive_fails:%d\r\n", i, st.ConsecutiveFails)
+	}
 }
 
 // tieringInfo renders the cache-tiering section: per-shard adaptive
@@ -1000,6 +1051,14 @@ func execute(sh *shard, cmd string, args [][]byte, out []byte) []byte {
 			return appendError(out, "value is not an integer or out of range")
 		}
 		sh.warm(key)
+		if sh.tiered != nil {
+			// Through the tiered store: the TTL replicates as an absolute
+			// deadline and expiry later deletes through to storage.
+			if sh.tiered.ExpireAt(key, time.Now().Add(time.Duration(secs)*time.Second).UnixNano()) {
+				return appendInt(out, 1)
+			}
+			return appendInt(out, 0)
+		}
 		if eng.Expire(key, time.Duration(secs)*time.Second) {
 			return appendInt(out, 1)
 		}
@@ -1016,6 +1075,12 @@ func execute(sh *shard, cmd string, args [][]byte, out []byte) []byte {
 		return appendInt(out, int64(d/time.Second))
 	case "PERSIST":
 		sh.warm(key)
+		if sh.tiered != nil {
+			if sh.tiered.Persist(key) {
+				return appendInt(out, 1)
+			}
+			return appendInt(out, 0)
+		}
 		if eng.Persist(key) {
 			return appendInt(out, 1)
 		}

@@ -552,22 +552,26 @@ func TestDelCountsStorageOnlyKeys(t *testing.T) {
 	}
 }
 
-// TestEmptyValueColdReadRESP: SET k "" must survive a cache flush and
-// come back as the empty string (not nil) once re-read through storage.
+// TestEmptyValueColdReadRESP: SET k "" must survive a cache-tier drop
+// and come back as the empty string (not nil) once re-read through
+// storage. The cache tier is dropped directly on the engine — FLUSHALL
+// now (correctly) clears storage too, so it can't play cache-evictor.
 func TestEmptyValueColdReadRESP(t *testing.T) {
 	stor := cache.NewMapStorage()
-	_, c := startTestServer(t, Options{
+	srv, c := startTestServer(t, Options{
 		TieredFactory: func(eng *engine.Engine) (*cache.Tiered, error) {
 			return cache.New(cache.Options{Policy: cache.WriteThrough, Engine: eng, Storage: stor})
 		},
 	})
+	dropCache := func() {
+		for _, sh := range srv.shards {
+			sh.eng.FlushAll()
+		}
+	}
 	if err := c.Set("e", ""); err != nil {
 		t.Fatal(err)
 	}
-	// FLUSHALL clears the cache tier only; storage keeps the key.
-	if _, err := c.Do("FLUSHALL"); err != nil {
-		t.Fatal(err)
-	}
+	dropCache()
 	v, err := c.Get("e")
 	if err != nil || v != "" {
 		t.Fatalf("cold empty read: %q %v (want present empty)", v, err)
@@ -576,9 +580,7 @@ func TestEmptyValueColdReadRESP(t *testing.T) {
 		t.Fatalf("absent key: %v", err)
 	}
 	// Batch path agrees: present-empty is a bulk "", absent is nil.
-	if _, err := c.Do("FLUSHALL"); err != nil {
-		t.Fatal(err)
-	}
+	dropCache()
 	arr, err := c.Do("MGET", "e", "never-set")
 	if err != nil {
 		t.Fatal(err)
