@@ -18,10 +18,14 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
 	"strconv"
@@ -58,8 +62,23 @@ func main() {
 
 		chaos       = flag.String("chaos", "", "replication chaos drill against -addr: slow-replica | partition")
 		chaosListen = flag.String("chaos-listen", "127.0.0.1:0", "chaos: listen address for the replication-link relay the replica must connect through")
+
+		overload = flag.String("overload", "", "overload drill against -addr: conn-storm | slow-reader | write-flood")
 	)
 	flag.Parse()
+
+	if *overload != "" {
+		if *addr == "" {
+			log.Fatal("tierbase-bench: -overload requires -addr")
+		}
+		if err := runOverloadBench(overloadOpts{
+			mode: *overload, addr: *addr,
+			ops: *ops, valSize: *valSize, clients: *clients,
+		}); err != nil {
+			log.Fatalf("tierbase-bench: %v", err)
+		}
+		return
+	}
 
 	if *chaos != "" {
 		if *addr == "" {
@@ -464,6 +483,314 @@ func runChaosBench(o chaosOpts) error {
 			faultFailed, faultStall.Round(time.Microsecond))
 	}
 	return nil
+}
+
+// --- overload drill mode ---
+
+type overloadOpts struct {
+	mode    string // conn-storm | slow-reader | write-flood
+	addr    string
+	ops     int
+	valSize int
+	clients int
+}
+
+// runOverloadBench attacks a live server with one overload shape —
+// a connection storm past the admission cap, a slow reader that
+// pipelines requests and never drains replies, or a write flood past
+// the memory high watermark — while one well-behaved reader keeps
+// polling. Overload protection is judged from both sides: the server's
+// shed counters (INFO overload) and the victim reader's p99, because
+// shedding the attacker is only a win if the healthy client stays fast.
+func runOverloadBench(o overloadOpts) error {
+	switch o.mode {
+	case "conn-storm", "slow-reader", "write-flood":
+	default:
+		return fmt.Errorf("unknown -overload mode %q (conn-storm | slow-reader | write-flood)", o.mode)
+	}
+	mc, err := client.Dial(o.addr)
+	if err != nil {
+		return err
+	}
+	defer mc.Close()
+	if err := mc.Ping(); err != nil {
+		return err
+	}
+
+	const probeKey = "overloadbench:probe"
+	if err := mc.Set(probeKey, strings.Repeat("p", 64)); err != nil {
+		return err
+	}
+	hist := metrics.NewHistogram()
+	var readErrs atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rc, err := client.Dial(o.addr)
+		if err != nil {
+			return
+		}
+		defer rc.Close()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			start := time.Now()
+			if _, err := rc.Get(probeKey); err != nil {
+				readErrs.Add(1)
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			hist.RecordDuration(time.Since(start))
+		}
+	}()
+
+	var attackErr error
+	switch o.mode {
+	case "conn-storm":
+		attackErr = connStorm(o)
+	case "slow-reader":
+		attackErr = slowReader(o, mc)
+	case "write-flood":
+		attackErr = writeFlood(o)
+	}
+	close(stop)
+	wg.Wait()
+	if attackErr != nil {
+		return attackErr
+	}
+
+	snap := hist.Snapshot()
+	fmt.Printf("\nhealthy reader under attack: %d reads (%d failed) p50=%s p99=%s p999=%s\n",
+		snap.Count, readErrs.Load(),
+		time.Duration(snap.P50), time.Duration(snap.P99), time.Duration(snap.P999))
+	fmt.Println("server overload state:")
+	printInfoSection(mc, "overload")
+	return nil
+}
+
+// connStorm opens a burst of raw connections and classifies each by the
+// server's first reply: +PONG means admitted (the slot is held open for
+// the storm's duration so later dials actually contend), -MAXCONN means
+// the admission cap refused it.
+func connStorm(o overloadOpts) error {
+	storm := o.clients
+	if storm < 16 {
+		storm = 16
+	}
+	fmt.Printf("conn-storm: opening %d concurrent connections against %s\n", storm, o.addr)
+	if v := infoFieldAt(o.addr, "overload", "max_conns"); v == "0" {
+		fmt.Println("conn-storm: note: server reports max_conns:0 (unlimited) — nothing will be refused")
+	}
+	var accepted, rejected, failed atomic.Int64
+	held := make(chan net.Conn, storm)
+	var wg sync.WaitGroup
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nc, err := net.DialTimeout("tcp", o.addr, 5*time.Second)
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			nc.SetDeadline(time.Now().Add(5 * time.Second))
+			if _, err := nc.Write([]byte("*1\r\n$4\r\nPING\r\n")); err != nil {
+				failed.Add(1)
+				nc.Close()
+				return
+			}
+			line, err := bufio.NewReader(nc).ReadString('\n')
+			switch {
+			case err == nil && strings.HasPrefix(line, "-MAXCONN"):
+				rejected.Add(1)
+				nc.Close()
+			case err == nil && strings.HasPrefix(line, "+PONG"):
+				accepted.Add(1)
+				nc.SetDeadline(time.Time{})
+				held <- nc
+			default:
+				failed.Add(1)
+				nc.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(held)
+	for nc := range held {
+		nc.Close()
+	}
+	fmt.Printf("conn-storm: accepted=%d rejected(-MAXCONN)=%d failed=%d\n",
+		accepted.Load(), rejected.Load(), failed.Load())
+	return nil
+}
+
+// slowReader pipelines GETs for a fat value over one raw connection and
+// never reads a byte of reply, so the server's buffered output for this
+// connection only grows. A protected server sheds it — at the output
+// cap, or when the flush write-timeout fires against the jammed socket —
+// which the attacker observes as a hard write error (timeouts are mere
+// backpressure and keep the attack going).
+func slowReader(o overloadOpts, mc *client.Client) error {
+	blobSize := o.valSize
+	if blobSize < 4096 {
+		blobSize = 4096 // make each unread reply count
+	}
+	const blobKey = "overloadbench:blob"
+	if err := mc.Set(blobKey, strings.Repeat("b", blobSize)); err != nil {
+		return err
+	}
+	nc, err := net.DialTimeout("tcp", o.addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	req := []byte(fmt.Sprintf("*2\r\n$3\r\nGET\r\n$%d\r\n%s\r\n", len(blobKey), blobKey))
+	pipeline := bytes.Repeat(req, 64)
+	fmt.Printf("slow-reader: pipelining GETs of a %dB value, never reading replies\n", blobSize)
+	start := time.Now()
+	var sent int64
+	buf := pipeline
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		n, err := nc.Write(buf)
+		sent += int64(n)
+		buf = buf[n:]
+		if len(buf) == 0 {
+			buf = pipeline
+		}
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue // backpressure, not a shed: the socket is jammed, keep pushing
+			}
+			fmt.Printf("slow-reader: shed after %s (%d request bytes sent, ~%s of replies owed)\n",
+				time.Since(start).Round(time.Millisecond), sent,
+				byteCount(sent/int64(len(req))*int64(blobSize)))
+			return nil
+		}
+	}
+	return fmt.Errorf("slow-reader: connection survived 2m unread — set -max-output-bytes / -write-timeout on the server")
+}
+
+// writeFlood hammers writes until the server trips its memory high
+// watermark and starts refusing them with -OVERLOADED, then stops and
+// waits for writes to come back once memory drains below the low
+// watermark. Reads keep serving throughout (the healthy-reader probe in
+// runOverloadBench measures that side).
+func writeFlood(o overloadOpts) error {
+	val := strings.Repeat("w", o.valSize)
+	fmt.Printf("write-flood: %d writers, %d ops of %dB values\n", o.clients, o.ops, o.valSize)
+	var acked, shed, failed atomic.Int64
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < o.clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := client.Dial(o.addr)
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			defer c.Close()
+			for {
+				i := int(cursor.Add(1))
+				if i > o.ops {
+					return
+				}
+				err := c.Set(fmt.Sprintf("overloadbench:flood:%010d", i), val)
+				var ov *client.OverloadedError
+				switch {
+				case err == nil:
+					acked.Add(1)
+				case errors.As(err, &ov):
+					shed.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("write-flood: %d acked, %d shed with -OVERLOADED, %d other errors\n",
+		acked.Load(), shed.Load(), failed.Load())
+	if shed.Load() == 0 {
+		fmt.Println("write-flood: watermark never tripped — raise -ops/-valsize or lower the server's -high-watermark-bytes")
+		return nil
+	}
+	// Recovery: writes must resume once eviction / write-back flushing /
+	// log trimming drains memory below the low watermark.
+	c, err := client.Dial(o.addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	start := time.Now()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		err := c.Set("overloadbench:recovery", "ok")
+		if err == nil {
+			fmt.Printf("write-flood: writes recovered %s after the flood stopped\n",
+				time.Since(start).Round(time.Millisecond))
+			return nil
+		}
+		var ov *client.OverloadedError
+		if !errors.As(err, &ov) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			fmt.Println("write-flood: still -OVERLOADED 30s after the flood — memory has nowhere to drain (no eviction or write-back tier configured?)")
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// byteCount renders n in a human unit for drill output.
+func byteCount(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// printInfoSection dumps every counter line of one INFO section.
+func printInfoSection(c *client.Client, section string) {
+	v, err := c.Do("INFO", section)
+	if err != nil {
+		return
+	}
+	s, ok := v.(string)
+	if !ok {
+		return
+	}
+	for _, line := range strings.Split(strings.TrimRight(s, "\r\n"), "\r\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fmt.Printf("  %s\n", line)
+	}
+}
+
+// infoFieldAt reads one INFO field over a throwaway connection.
+func infoFieldAt(addr, section, field string) string {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return ""
+	}
+	defer c.Close()
+	return infoField(c, section, field)
 }
 
 // infoField extracts one field from an INFO section, "" if unavailable.

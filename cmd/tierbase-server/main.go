@@ -63,6 +63,14 @@ func main() {
 		replReadTimeout  = flag.Duration("repl-read-timeout", 0, "replication link read bound (0 = default 4x keepalive)")
 		shedBacklog      = flag.Int("shed-backlog", 0, "unacked-op backlog that sheds a laggard replica (0 = default log-cap/2, negative disables)")
 		snapChunkBytes   = flag.Int("snapshot-chunk-bytes", 0, "full-sync snapshot bytes buffered per chunk (0 = default 1MiB)")
+
+		maxConns       = flag.Int("max-conns", 0, "client connection cap, excess refused with -MAXCONN (0 = unlimited)")
+		maxOutputBytes = flag.Int("max-output-bytes", 0, "per-connection reply buffer cap before the client is shed (0 = default 32MiB, negative disables)")
+		readTimeout    = flag.Duration("read-timeout", 0, "idle/partial-command read bound per connection (0 = disabled)")
+		writeTimeout   = flag.Duration("write-timeout", 0, "reply flush bound before a slow reader is shed (0 = default 30s, negative disables)")
+		highWatermark  = flag.Int64("high-watermark-bytes", 0, "memory level at which writes fail fast with -OVERLOADED (0 = watermark gate off)")
+		lowWatermark   = flag.Int64("low-watermark-bytes", 0, "memory level at which writes resume (0 = 90% of high)")
+		drainTimeout   = flag.Duration("drain-timeout", 0, "graceful-drain bound on SIGTERM before remaining connections are cut (0 = default 10s)")
 	)
 	flag.Parse()
 
@@ -108,6 +116,15 @@ func main() {
 			ReadTimeout:        *replReadTimeout,
 			ShedBacklog:        *shedBacklog,
 			SnapshotChunkBytes: *snapChunkBytes,
+		},
+		Overload: server.OverloadConfig{
+			MaxConns:           *maxConns,
+			MaxOutputBytes:     *maxOutputBytes,
+			ReadTimeout:        *readTimeout,
+			WriteTimeout:       *writeTimeout,
+			HighWatermarkBytes: *highWatermark,
+			LowWatermarkBytes:  *lowWatermark,
+			DrainTimeout:       *drainTimeout,
 		},
 	}
 	if !*elasticOn {
@@ -189,10 +206,21 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	log.Print("shutting down")
-	if err := srv.Close(); err != nil {
-		log.Printf("close: %v", err)
+	s := <-sig
+	if s == syscall.SIGTERM {
+		// Graceful drain: deregister from the coordinator, stop
+		// accepting, finish in-flight commands, flush write-back dirty
+		// state, then close. SIGINT keeps the fast path for interactive
+		// kills.
+		log.Print("draining (SIGTERM)")
+		if err := srv.Shutdown(); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	} else {
+		log.Print("shutting down")
+		if err := srv.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
 	}
 	// Close the storage tier AFTER the server: srv.Close flushes each
 	// shard's write-back dirty set into the LSM, and db.Close syncs the

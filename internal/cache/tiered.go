@@ -196,6 +196,10 @@ type Tiered struct {
 	// the flush trigger and Stats never sum under all the stripe locks.
 	dirtyStripes []*dirtyStripe
 	dirtyCount   atomic.Int64
+	// dirtyBytes approximates the dirty set's heap footprint (copied value
+	// buffers + keys + entry overhead) — the write-back backlog component
+	// of the server's overload watermark.
+	dirtyBytes atomic.Int64
 	// stripeMaxDirty is each stripe's backpressure budget: MaxDirty split
 	// evenly across stripes, rounded up (same ceil discipline as shardCap).
 	stripeMaxDirty int
@@ -959,6 +963,9 @@ func (t *Tiered) FlushAll() error {
 			ds.mu.Lock()
 			n := len(ds.entries)
 			if n > 0 {
+				for k, e := range ds.entries {
+					t.dirtyBytes.Add(-dirtyEntryBytes(k, e.val))
+				}
 				ds.entries = make(map[string]*dirtyEntry)
 				t.dirtyCount.Add(-int64(n))
 				ds.cond.Broadcast()
@@ -1061,6 +1068,11 @@ func (t *Tiered) Stats() Stats {
 		Dirty:             int(t.dirtyCount.Load()),
 	}
 }
+
+// DirtyBytes approximates the write-back dirty backlog's heap footprint
+// (copied value buffers + keys + entry overhead). Lock-free; the
+// server's overload watermark samples it.
+func (t *Tiered) DirtyBytes() int64 { return t.dirtyBytes.Load() }
 
 // WriteStripes reports the number of write-path stripes (== the engine's
 // lock stripes; the INFO writepath section surfaces this).

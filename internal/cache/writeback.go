@@ -61,10 +61,20 @@ func (t *Tiered) waitStripeRoomLocked(ds *dirtyStripe) (closed bool) {
 // Caller holds ds.mu.
 func (t *Tiered) setDirtyLocked(ds *dirtyStripe, key string, stored []byte, enc bool) {
 	ds.gen++
-	if _, existed := ds.entries[key]; !existed {
+	if old, existed := ds.entries[key]; existed {
+		t.dirtyBytes.Add(-dirtyEntryBytes(key, old.val))
+	} else {
 		t.dirtyCount.Add(1)
 	}
+	t.dirtyBytes.Add(dirtyEntryBytes(key, stored))
 	ds.entries[key] = &dirtyEntry{val: stored, gen: ds.gen, enc: enc}
+}
+
+// dirtyEntryBytes approximates one dirty entry's heap footprint: the
+// copied value buffer, the key, and the entry struct/map overhead.
+func dirtyEntryBytes(key string, val []byte) int64 {
+	const entryOverhead = 64 // dirtyEntry struct + map bucket slot, roughly
+	return int64(len(key) + len(val) + entryOverhead)
 }
 
 // wakeFlusher nudges the flush loop without blocking (the channel holds
@@ -216,6 +226,7 @@ collect:
 		ds.mu.Lock()
 		for _, rec := range recs[r.lo:r.hi] {
 			if e, ok := ds.entries[rec.key]; ok && e.gen == rec.gen {
+				t.dirtyBytes.Add(-dirtyEntryBytes(rec.key, e.val))
 				delete(ds.entries, rec.key)
 				removed++
 			}

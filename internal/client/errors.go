@@ -51,15 +51,43 @@ func (e *ConnError) Error() string { return "client: connection failure: " + e.E
 // Unwrap exposes the cause for errors.Is/As.
 func (e *ConnError) Unwrap() error { return e.Err }
 
+// OverloadedError is a server shedding writes at its memory high
+// watermark (-OVERLOADED). The condition is retryable on the SAME node:
+// the server keeps serving reads and recovers once memory drains below
+// its low watermark, so the routed client backs off and retries in
+// place instead of refreshing topology.
+type OverloadedError struct {
+	Msg string
+}
+
+// Error reports the server's message.
+func (e *OverloadedError) Error() string { return e.Msg }
+
+// MaxConnError is a server refusing a connection at its admission cap
+// (-MAXCONN). Retryable after connections drain; unlike OverloadedError
+// it arrives during the handshake, before any command ran.
+type MaxConnError struct {
+	Msg string
+}
+
+// Error reports the server's message.
+func (e *MaxConnError) Error() string { return e.Msg }
+
 // parseReplyError turns a RESP error line body (without the leading '-')
-// into a typed error when it carries routing semantics, or a plain error
-// otherwise.
+// into a typed error when it carries routing or overload semantics, or a
+// plain error otherwise.
 func parseReplyError(body string) error {
 	if slot, addr, ok := parseRedirect(body, "MOVED "); ok {
 		return &MovedError{Slot: slot, Addr: addr}
 	}
 	if slot, addr, ok := parseRedirect(body, "ASK "); ok {
 		return &AskError{Slot: slot, Addr: addr}
+	}
+	if strings.HasPrefix(body, "OVERLOADED") {
+		return &OverloadedError{Msg: body}
+	}
+	if strings.HasPrefix(body, "MAXCONN") {
+		return &MaxConnError{Msg: body}
 	}
 	return errors.New(body)
 }

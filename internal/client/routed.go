@@ -184,6 +184,12 @@ func (rc *Routed) doRouted(key string, fn func(c *Client) error) error {
 			addrOverride = mv.Addr
 		case errors.As(err, &ask):
 			addrOverride = ask.Addr
+		case isOverloaded(err):
+			// Watermark shedding is node-local and self-healing (the
+			// server resumes writes once memory drains below its low
+			// watermark): back off harder than a redirect and retry the
+			// same route — no topology refresh, the table is not stale.
+			time.Sleep(overloadBackoff(attempt))
 		case isTransient(err):
 			rc.maybeRefresh()
 		default:
@@ -192,6 +198,23 @@ func (rc *Routed) doRouted(key string, fn func(c *Client) error) error {
 		lastErr = err
 	}
 	return lastErr
+}
+
+// overloadBackoff is the wait before retrying a write the server shed at
+// its memory watermark (or a connection refused at the admission cap):
+// linear growth from 50ms, long enough for at least one server-side
+// watermark sample between attempts.
+func overloadBackoff(attempt int) time.Duration {
+	return time.Duration(attempt+1) * 50 * time.Millisecond
+}
+
+// isOverloaded reports whether err is a server-side overload rejection —
+// retryable against the same node after a backoff, with no topology
+// refresh.
+func isOverloaded(err error) bool {
+	var ov *OverloadedError
+	var mc *MaxConnError
+	return errors.As(err, &ov) || errors.As(err, &mc)
 }
 
 // retryTopology runs a whole-batch operation, retrying through routing
@@ -210,6 +233,8 @@ func (rc *Routed) retryTopology(op func() error) error {
 		var mv *MovedError
 		var ask *AskError
 		switch {
+		case isOverloaded(err):
+			time.Sleep(overloadBackoff(attempt)) // same node retries; see doRouted
 		case errors.As(err, &mv), errors.As(err, &ask), isTransient(err):
 			rc.maybeRefresh()
 		default:

@@ -143,18 +143,66 @@ func (c *Coordinator) Register(n Node) {
 	}
 }
 
-// Deregister removes a node (graceful shutdown).
+// Deregister removes a node (graceful shutdown). A draining master's
+// slots are handed to its promoted replica when it has one — see
+// DeregisterDetail.
 func (c *Coordinator) Deregister(id string) {
+	c.DeregisterDetail(id)
+}
+
+// DeregisterDetail removes a node and, when the node was a master with a
+// live replica, performs the same handoff a failure would — the
+// lowest-ID live replica is promoted, surviving replicas are re-pointed
+// at it, and the table rebalances — except here it happens immediately,
+// with the departing master still alive to finish streaming. Returns the
+// handoff event (nil when the node was unknown, a replica, or a master
+// with no replica) so a serving loop can push the role change to the
+// promoted process.
+func (c *Coordinator) DeregisterDetail(id string) *Failover {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n, ok := c.nodes[id]
 	if !ok {
-		return
+		return nil
 	}
 	delete(c.nodes, id)
-	if n.Role == RoleMaster {
-		c.rebalanceLocked()
+	if n.Role != RoleMaster {
+		return nil
 	}
+	ev := Failover{FailedID: id, FailedAddr: n.Addr}
+	if promoted := c.promoteReplicaLocked(id, n.Addr); promoted != nil {
+		ev.PromotedID = promoted.ID
+		ev.PromotedAddr = promoted.Addr
+	}
+	c.rebalanceLocked()
+	return &ev
+}
+
+// promoteReplicaLocked promotes the lowest-ID live replica of the master
+// identified by (id, addr) and re-points its sibling replicas at the
+// promotee. Returns nil when the master had no live replica.
+func (c *Coordinator) promoteReplicaLocked(id, addr string) *Node {
+	var candidates []string
+	for rid, r := range c.nodes {
+		if r.Role == RoleReplica && r.alive &&
+			(r.MasterID == id || (r.MasterAddr != "" && r.MasterAddr == addr)) {
+			candidates = append(candidates, rid)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	sort.Strings(candidates)
+	promoted := c.nodes[candidates[0]]
+	promoted.Role = RoleMaster
+	promoted.MasterID = ""
+	promoted.MasterAddr = ""
+	for _, rid := range candidates[1:] {
+		c.nodes[rid].MasterID = promoted.ID
+		c.nodes[rid].MasterAddr = promoted.Addr
+	}
+	c.failovers++
+	return promoted
 }
 
 // Heartbeat records liveness for a node.
@@ -251,29 +299,11 @@ func (c *Coordinator) CheckFailuresDetail() []Failover {
 			continue
 		}
 		ev := Failover{FailedID: id, FailedAddr: n.Addr}
-		// Find live replicas of this master to promote one of.
-		var candidates []string
-		for rid, r := range c.nodes {
-			if r.Role == RoleReplica && r.alive &&
-				(r.MasterID == id || (r.MasterAddr != "" && r.MasterAddr == n.Addr)) {
-				candidates = append(candidates, rid)
-			}
-		}
-		sort.Strings(candidates)
-		if len(candidates) > 0 {
-			promoted := c.nodes[candidates[0]]
-			promoted.Role = RoleMaster
-			promoted.MasterID = ""
-			promoted.MasterAddr = ""
+		// With no replica the master's slots redistribute on rebalance.
+		if promoted := c.promoteReplicaLocked(id, n.Addr); promoted != nil {
 			ev.PromotedID = promoted.ID
 			ev.PromotedAddr = promoted.Addr
-			for _, rid := range candidates[1:] {
-				c.nodes[rid].MasterID = promoted.ID
-				c.nodes[rid].MasterAddr = promoted.Addr
-			}
-			c.failovers++
 		}
-		// With no replica the master's slots redistribute on rebalance.
 		events = append(events, ev)
 		changed = true
 	}

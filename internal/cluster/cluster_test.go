@@ -182,6 +182,50 @@ func TestDeregister(t *testing.T) {
 	}
 }
 
+// A draining master's slots hand off to its live replica immediately —
+// the graceful-shutdown counterpart of the heartbeat-timeout failover.
+func TestDeregisterHandsOffToReplica(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := newTestCoordinator(&now)
+	c.Register(Node{ID: "m1", Addr: "h1:1", Role: RoleMaster})
+	c.Register(Node{ID: "r1", Addr: "h2:1", Role: RoleReplica, MasterAddr: "h1:1"})
+	c.Register(Node{ID: "r2", Addr: "h3:1", Role: RoleReplica, MasterAddr: "h1:1"})
+
+	ev := c.DeregisterDetail("m1")
+	if ev == nil || ev.PromotedID != "r1" || ev.PromotedAddr != "h2:1" {
+		t.Fatalf("handoff event = %+v, want r1 promoted", ev)
+	}
+	rt := c.Table()
+	for i, id := range rt.Slots {
+		if id != "r1" {
+			t.Fatalf("slot %d owned by %q after handoff, want r1", i, id)
+		}
+	}
+	// The sibling replica now follows the promotee.
+	for _, n := range c.Nodes() {
+		if n.ID == "r2" && (n.MasterID != "r1" || n.Role != RoleReplica) {
+			t.Fatalf("r2 not re-pointed: %+v", n)
+		}
+	}
+	if c.Failovers() != 1 {
+		t.Fatalf("failovers = %d, want 1", c.Failovers())
+	}
+
+	// A master with no replica still deregisters cleanly: slots empty.
+	ev = c.DeregisterDetail("r1")
+	if ev == nil || ev.PromotedID != "r2" {
+		t.Fatalf("second handoff = %+v, want r2 promoted", ev)
+	}
+	if ev2 := c.DeregisterDetail("r2"); ev2 == nil || ev2.PromotedID != "" {
+		t.Fatalf("final deregister = %+v, want no promotee", ev2)
+	}
+	for i, id := range c.Table().Slots {
+		if id != "" {
+			t.Fatalf("slot %d still owned by %q after all masters drained", i, id)
+		}
+	}
+}
+
 func TestNoMasters(t *testing.T) {
 	c := NewCoordinator()
 	if _, err := c.Masters(); err != ErrNoMasters {

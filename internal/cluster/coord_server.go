@@ -192,7 +192,19 @@ func (cs *CoordServer) cluster(bw *bufio.Writer, args []string) {
 			writeErr(bw, "ERR usage: CLUSTER DEREGISTER id")
 			return
 		}
-		cs.coord.Deregister(args[1])
+		ev := cs.coord.DeregisterDetail(args[1])
+		// Push the handoff promotion in the background: the draining
+		// master is blocked on this +OK and must not wait for the
+		// promotee's round-trip.
+		if ev != nil && ev.PromotedAddr != "" {
+			cs.Logf("cluster: master %s (%s) deregistered; promoting %s (%s)",
+				ev.FailedID, ev.FailedAddr, ev.PromotedID, ev.PromotedAddr)
+			cs.wg.Add(1)
+			go func(ev Failover) {
+				defer cs.wg.Done()
+				cs.pushPromotion(ev)
+			}(*ev)
+		}
 		writeSimple(bw, "OK")
 	case "TABLE":
 		table := cs.coord.Table()
@@ -236,20 +248,26 @@ func (cs *CoordServer) failoverLoop() {
 				continue
 			}
 			cs.Logf("cluster: master %s (%s) failed; promoting %s (%s)", ev.FailedID, ev.FailedAddr, ev.PromotedID, ev.PromotedAddr)
-			if err := cs.notify(ev.PromotedAddr, "REPLICAOF", "NO", "ONE"); err != nil {
-				cs.Logf("cluster: promotion notify %s: %v", ev.PromotedAddr, err)
-			}
-			// Re-point surviving replicas of the promotee at it.
-			host, port, splitErr := net.SplitHostPort(ev.PromotedAddr)
-			if splitErr != nil {
-				continue
-			}
-			for _, n := range cs.coord.Nodes() {
-				if n.Role == RoleReplica && n.MasterID == ev.PromotedID && n.ID != ev.PromotedID {
-					if err := cs.notify(n.Addr, "REPLICAOF", host, port); err != nil {
-						cs.Logf("cluster: re-point notify %s: %v", n.Addr, err)
-					}
-				}
+			cs.pushPromotion(ev)
+		}
+	}
+}
+
+// pushPromotion tells the promoted process it is now a master
+// (`REPLICAOF NO ONE`) and re-points that promotee's surviving replicas
+// at it. Shared by the failover loop and the graceful-deregister path.
+func (cs *CoordServer) pushPromotion(ev Failover) {
+	if err := cs.notify(ev.PromotedAddr, "REPLICAOF", "NO", "ONE"); err != nil {
+		cs.Logf("cluster: promotion notify %s: %v", ev.PromotedAddr, err)
+	}
+	host, port, splitErr := net.SplitHostPort(ev.PromotedAddr)
+	if splitErr != nil {
+		return
+	}
+	for _, n := range cs.coord.Nodes() {
+		if n.Role == RoleReplica && n.MasterID == ev.PromotedID && n.ID != ev.PromotedID {
+			if err := cs.notify(n.Addr, "REPLICAOF", host, port); err != nil {
+				cs.Logf("cluster: re-point notify %s: %v", n.Addr, err)
 			}
 		}
 	}

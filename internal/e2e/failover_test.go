@@ -55,18 +55,37 @@ func freeAddr(t *testing.T) string {
 	return addr
 }
 
+// syncBuffer is a mutex-guarded bytes.Buffer: exec's pipe copier writes
+// to it while tests poll the output of a still-running process.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
 // proc is one spawned binary; its combined output is dumped if the test
 // fails.
 type proc struct {
 	name string
 	cmd  *exec.Cmd
-	out  *bytes.Buffer
+	out  *syncBuffer
 }
 
 func startProc(t *testing.T, name, path string, args ...string) *proc {
 	t.Helper()
 	cmd := exec.Command(path, args...)
-	var buf bytes.Buffer
+	var buf syncBuffer
 	cmd.Stdout = &buf
 	cmd.Stderr = &buf
 	if err := cmd.Start(); err != nil {

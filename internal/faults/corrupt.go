@@ -1,0 +1,55 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+)
+
+// On-disk corruption injection: flip bits in files that are already
+// written and closed, simulating silent media decay (a misdirected
+// write, a rotted sector) rather than an erroring disk. The read path
+// must detect the damage by checksum and surface a typed error — never
+// serve the flipped bytes as data.
+
+// FlipBit XORs one bit in the file at path: the byte at offset gets bit
+// (0-7) inverted in place. Offsets are from the start of the file.
+func FlipBit(path string, offset int64, bit uint) error {
+	if bit > 7 {
+		return fmt.Errorf("faults: bit %d out of range", bit)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], offset); err != nil {
+		return fmt.Errorf("faults: read byte to flip: %w", err)
+	}
+	b[0] ^= 1 << bit
+	if _, err := f.WriteAt(b[:], offset); err != nil {
+		return fmt.Errorf("faults: write flipped byte: %w", err)
+	}
+	return nil
+}
+
+// FlipBytes XORs every byte in [offset, offset+n) with 0xFF — a denser
+// corruption burst for when a single bit flip could land in slack space.
+func FlipBytes(path string, offset, n int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, offset); err != nil {
+		return fmt.Errorf("faults: read bytes to flip: %w", err)
+	}
+	for i := range buf {
+		buf[i] ^= 0xFF
+	}
+	if _, err := f.WriteAt(buf, offset); err != nil {
+		return fmt.Errorf("faults: write flipped bytes: %w", err)
+	}
+	return nil
+}

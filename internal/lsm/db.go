@@ -144,6 +144,7 @@ type DB struct {
 	compactions atomic.Int64
 	writeBytes  atomic.Int64
 	multiGets   atomic.Int64
+	badBlocks   atomic.Int64 // reads that hit a checksum-mismatched block
 }
 
 // Open opens (creating if needed) a DB at opts.Dir and recovers state from
@@ -315,7 +316,7 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 	defer v.release()
 	e, ok, err := v.get(key)
 	if err != nil {
-		return nil, err
+		return nil, db.noteReadErr(err)
 	}
 	if !ok || e.kind == kindDelete {
 		return nil, ErrNotFound
@@ -334,9 +335,20 @@ func (db *DB) Has(key []byte) (bool, error) {
 	defer v.release()
 	e, ok, err := v.get(key)
 	if err != nil {
-		return false, err
+		return false, db.noteReadErr(err)
 	}
 	return ok && e.kind != kindDelete, nil
+}
+
+// noteReadErr counts checksum-mismatched blocks surfacing from the read
+// path (Stats.BadBlocks → INFO storage), so silent media corruption is
+// observable before it becomes an incident. The error still propagates:
+// a corrupt block is never served as data.
+func (db *DB) noteReadErr(err error) error {
+	if errors.Is(err, errBadBlock) {
+		db.badBlocks.Add(1)
+	}
+	return err
 }
 
 // Flush seals the active memtable (if non-empty) and waits until the
@@ -395,6 +407,7 @@ type Stats struct {
 	Compactions    int64
 	WriteBytes     int64
 	MultiGets      int64
+	BadBlocks      int64 // reads failed on a checksum-mismatched SSTable block
 	CacheHits      int64
 	CacheMisses    int64
 	CacheBytes     int64
@@ -427,6 +440,7 @@ func (db *DB) Stats() Stats {
 	st.Compactions = db.compactions.Load()
 	st.WriteBytes = db.writeBytes.Load()
 	st.MultiGets = db.multiGets.Load()
+	st.BadBlocks = db.badBlocks.Load()
 	if db.cache != nil {
 		st.CacheHits, st.CacheMisses, st.CacheBytes = db.cache.stats()
 	}

@@ -53,7 +53,7 @@ func (db *DB) rotate() error {
 	// segments older than the new one.
 	keepSeg := 0
 	if db.wlog != nil {
-		if l, ok := db.wlog.(*wal.Log); ok {
+		if l, ok := db.wlog.(wal.Rotator); ok {
 			seg, err := l.Rotate()
 			if err != nil {
 				return err
@@ -151,7 +151,7 @@ func (db *DB) flushOne() bool {
 
 	db.flushes.Add(1)
 	if db.wlog != nil && m.walKeepSeg > 0 {
-		if l, ok := db.wlog.(*wal.Log); ok {
+		if l, ok := db.wlog.(wal.Rotator); ok {
 			// Best-effort space reclamation; replay filters records with
 			// seq <= manifest.LastSeq, so a leftover segment is harmless.
 			l.RemoveBefore(m.walKeepSeg)

@@ -63,7 +63,7 @@ func (db *DB) MultiGet(keys [][]byte) (vals [][]byte, found []bool, err error) {
 					}
 				})
 				if err != nil {
-					return nil, nil, err
+					return nil, nil, db.noteReadErr(err)
 				}
 			}
 			next := pending[:0]
@@ -92,7 +92,7 @@ func (db *DB) MultiGet(keys [][]byte) (vals [][]byte, found []bool, err error) {
 					entries[i], resolved[i] = e, true
 				})
 				if err != nil {
-					return nil, nil, err
+					return nil, nil, db.noteReadErr(err)
 				}
 				next := pending[:0]
 				for _, i := range pending {

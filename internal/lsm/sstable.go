@@ -38,6 +38,12 @@ var (
 	crcTableCasta = crc32.MakeTable(crc32.Castagnoli)
 )
 
+// ErrBadBlock is the typed error reads surface when an SSTable block
+// fails checksum verification (silent media corruption). Exported so
+// fault-injection drills outside the package can assert on it; each
+// occurrence also counts in Stats.BadBlocks.
+var ErrBadBlock = errBadBlock
+
 // tableMeta describes a finished table for the manifest.
 type tableMeta struct {
 	Num      uint64 `json:"num"`

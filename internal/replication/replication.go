@@ -17,6 +17,7 @@ package replication
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -103,6 +104,20 @@ type OpLog struct {
 	seq   uint64 // last appended sequence (0 = none)
 	cap   int
 	close bool
+
+	// bytes approximates the retained window's heap footprint (key and
+	// value payloads plus per-op struct overhead). Read lock-free by
+	// overload watermark sampling.
+	bytes atomic.Int64
+}
+
+// opOverheadBytes is the accounted per-op fixed cost: the Op struct
+// itself plus slice/string headers already counted, rounded up to cover
+// allocator slop.
+const opOverheadBytes = 48
+
+func opBytes(op Op) int64 {
+	return int64(len(op.Key) + len(op.Val) + opOverheadBytes)
 }
 
 // NewOpLog creates a log retaining up to capacity ops (<=0 uses
@@ -127,7 +142,9 @@ func (l *OpLog) Append(kind OpKind, key string, val []byte) uint64 {
 	}
 	l.mu.Lock()
 	l.seq++
-	l.ops = append(l.ops, Op{Seq: l.seq, Kind: kind, Key: key, Val: v})
+	op := Op{Seq: l.seq, Kind: kind, Key: key, Val: v}
+	l.ops = append(l.ops, op)
+	l.bytes.Add(opBytes(op))
 	l.trimLocked()
 	seq := l.seq
 	l.cond.Broadcast()
@@ -149,6 +166,7 @@ func (l *OpLog) AppendAt(op Op) error {
 	}
 	l.seq = op.Seq
 	l.ops = append(l.ops, op)
+	l.bytes.Add(opBytes(op))
 	l.trimLocked()
 	l.cond.Broadcast()
 	return nil
@@ -160,6 +178,11 @@ func (l *OpLog) AppendAt(op Op) error {
 func (l *OpLog) trimLocked() {
 	if len(l.ops) > l.cap {
 		drop := len(l.ops) - l.cap
+		var freed int64
+		for _, op := range l.ops[:drop] {
+			freed += opBytes(op)
+		}
+		l.bytes.Add(-freed)
 		l.ops = l.ops[drop:]
 		l.start += uint64(drop)
 	}
@@ -170,10 +193,17 @@ func (l *OpLog) trimLocked() {
 func (l *OpLog) Reset(seq uint64) {
 	l.mu.Lock()
 	l.ops = nil
+	l.bytes.Store(0)
 	l.seq = seq
 	l.start = seq + 1
 	l.cond.Broadcast()
 	l.mu.Unlock()
+}
+
+// Bytes returns the approximate heap footprint of the retained op
+// window. Lock-free; intended for overload watermark sampling.
+func (l *OpLog) Bytes() int64 {
+	return l.bytes.Load()
 }
 
 // Seq returns the last appended sequence (0 when empty).

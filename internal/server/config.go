@@ -48,6 +48,11 @@ type Config struct {
 	// Replication configures the replication/cluster role of this
 	// process. Replication is enabled iff Replication.NodeID is set.
 	Replication ReplicationConfig
+	// Overload configures admission control, slow-client shedding, and
+	// the global memory watermarks (see overload.go). Zero values pick
+	// safe defaults; the watermark gate is off until HighWatermarkBytes
+	// is set.
+	Overload OverloadConfig
 	// WrapConn, when set, wraps every accepted connection before the
 	// server serves it — the fault-injection seam (internal/faults wraps
 	// sockets with injected latency, throughput caps and stalls). Must
@@ -159,6 +164,7 @@ func (c *Config) normalize() {
 	if r.SnapshotChunkBytes <= 0 {
 		r.SnapshotChunkBytes = 1 << 20
 	}
+	c.Overload.normalize()
 }
 
 // Validate rejects contradictory configuration. Start calls it after
@@ -166,6 +172,9 @@ func (c *Config) normalize() {
 func (c *Config) Validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("server: negative shard count %d", c.Shards)
+	}
+	if err := c.Overload.validate(); err != nil {
+		return err
 	}
 	r := &c.Replication
 	if r.SemiSyncAcks < 0 {

@@ -74,6 +74,7 @@ type serverRepl struct {
 	lastApplied     atomic.Uint64 // replica: last op applied from the master
 	masterLinkUp    atomic.Bool
 	reregister      atomic.Bool // role changed: refresh coordinator registration
+	draining        atomic.Bool // graceful drain: stop (re-)registering
 	fullSyncsServed atomic.Int64
 	fullSyncsDone   atomic.Int64
 	applyErrors     atomic.Int64
@@ -955,7 +956,12 @@ func (r *serverRepl) heartbeatLoop() {
 			if r.reregister.Swap(false) {
 				registered = false
 			}
-			if !registered {
+			if r.draining.Load() {
+				// Graceful drain deregistered this node; don't re-register
+				// when the coordinator answers -UNKNOWNNODE to a straggling
+				// heartbeat.
+				ok = true
+			} else if !registered {
 				role, masterAddr := "master", "-"
 				if r.isReplica() {
 					role = "replica"
@@ -984,6 +990,25 @@ func (r *serverRepl) heartbeatLoop() {
 		case <-time.After(wait):
 		}
 	}
+}
+
+// deregister removes this node from the coordinator's routing table —
+// the first step of a graceful drain, so clients re-route before the
+// listener closes. Best-effort (a dead coordinator will fail the node
+// over anyway) on a fresh connection: the heartbeat loop owns its own.
+// Also marks the node draining so a straggling heartbeat doesn't
+// re-register it.
+func (r *serverRepl) deregister() {
+	r.draining.Store(true)
+	if r.cfg.CoordinatorAddr == "" {
+		return
+	}
+	cc, err := client.Dial(r.cfg.CoordinatorAddr)
+	if err != nil {
+		return
+	}
+	defer cc.Close()
+	cc.Do("CLUSTER", "DEREGISTER", r.cfg.NodeID)
 }
 
 // --- INFO replication ---

@@ -8,9 +8,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tierbase/internal/cache"
+	"tierbase/internal/cluster"
 	"tierbase/internal/elastic"
 	"tierbase/internal/engine"
 	"tierbase/internal/metrics"
@@ -26,8 +28,10 @@ type Server struct {
 	wg     sync.WaitGroup
 	connWg sync.WaitGroup
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*conn
 	closed bool
+	stopCh chan struct{}
+	over   overloadState
 
 	// Latency is the server-side command latency histogram.
 	Latency *metrics.Histogram
@@ -63,7 +67,8 @@ func Start(opts Config) (*Server, error) {
 	s := &Server{
 		opts:       opts,
 		ln:         ln,
-		conns:      make(map[net.Conn]struct{}),
+		conns:      make(map[net.Conn]*conn),
+		stopCh:     make(chan struct{}),
 		Latency:    metrics.NewHistogram(),
 		Throughput: metrics.NewMeter(),
 	}
@@ -86,6 +91,10 @@ func Start(opts Config) (*Server, error) {
 			sh.tiered.SetSink(s.repl)
 		}
 		s.repl.start()
+	}
+	if opts.Overload.HighWatermarkBytes > 0 {
+		s.wg.Add(1)
+		go s.watermarkLoop()
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -139,6 +148,11 @@ type conn struct {
 	// after the current reply flushes: serveConn flushes c.out, invokes
 	// hijack on the connection goroutine, and returns when it does.
 	hijack func()
+	// hijacked marks the connection as handed to a replication session.
+	// Graceful drain and the overload deadlines skip hijacked
+	// connections: a replication session owns its socket and manages its
+	// own deadlines and laggard shedding (see serveReplica).
+	hijacked atomic.Bool
 }
 
 const (
@@ -171,28 +185,71 @@ func (t *connTask) Run() {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	// Transient accept failures (EMFILE under a connection storm, a
+	// half-open socket reset before accept) must not kill the listener:
+	// back off with jitter and retry. Only a closed listener (Close or
+	// Shutdown) exits the loop.
+	bo := &cluster.Backoff{Base: 5 * time.Millisecond, Max: time.Second}
 	for {
 		nc, err := s.ln.Accept()
 		if err != nil {
-			return // listener closed
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			select {
+			case <-s.stopCh:
+				return
+			case <-time.After(bo.Next()):
+			}
+			continue
 		}
+		bo.Reset()
 		if s.opts.WrapConn != nil {
 			nc = s.opts.WrapConn(nc)
 		}
+		c := &conn{srv: s, nc: nc, cr: newCmdReader(nc)}
+		c.task.c = c
+		c.task.done = make(chan struct{}, 1)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			nc.Close()
 			return
 		}
-		s.conns[nc] = struct{}{}
+		if max := s.opts.Overload.MaxConns; max > 0 && len(s.conns) >= max {
+			// Admission control: refuse before committing a goroutine or
+			// parse arena to the connection. The rejection reply is
+			// best-effort on a goroutine of its own so a non-draining
+			// storm client can't stall the accept loop.
+			s.mu.Unlock()
+			s.over.maxConnRejects.Add(1)
+			go rejectMaxConn(nc)
+			continue
+		}
+		s.conns[nc] = c
 		s.mu.Unlock()
 		s.connWg.Add(1)
-		go s.serveConn(nc)
+		go s.serveConn(c)
 	}
 }
 
-func (s *Server) serveConn(nc net.Conn) {
+// rejectMaxConn answers an over-cap connection with the typed -MAXCONN
+// error and closes it. Best-effort: the write is bounded so a client
+// that never reads can't pin the goroutine.
+func rejectMaxConn(nc net.Conn) {
+	nc.SetWriteDeadline(time.Now().Add(time.Second))
+	nc.Write([]byte(maxConnReply))
+	nc.Close()
+}
+
+func (s *Server) serveConn(c *conn) {
+	nc := c.nc
 	defer s.connWg.Done()
 	defer func() {
 		s.mu.Lock()
@@ -200,12 +257,17 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.mu.Unlock()
 		nc.Close()
 	}()
-	c := &conn{srv: s, nc: nc, cr: newCmdReader(nc)}
-	c.task.c = c
-	c.task.done = make(chan struct{}, 1)
+	cfg := &s.opts.Overload
 	for {
+		if cfg.ReadTimeout > 0 && !c.hijacked.Load() {
+			nc.SetReadDeadline(time.Now().Add(cfg.ReadTimeout))
+		}
 		args, err := c.cr.ReadCommand()
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.over.idleCloses.Add(1)
+			}
 			return
 		}
 		start := time.Now()
@@ -216,6 +278,9 @@ func (s *Server) serveConn(nc net.Conn) {
 			// A command (SYNC) is taking over the connection: flush any
 			// pending replies, then hand the socket to the hijacker. It
 			// runs on this goroutine; when it returns the connection dies.
+			// The session sets its own deadlines, so clear ours first.
+			c.hijacked.Store(true)
+			nc.SetDeadline(time.Time{})
 			if len(c.out) > 0 {
 				if _, err := c.nc.Write(c.out); err != nil {
 					return
@@ -225,11 +290,29 @@ func (s *Server) serveConn(nc net.Conn) {
 			c.hijack()
 			return
 		}
+		// Slow-client shedding: a client that pipelines faster than it
+		// drains replies grows c.out without bound (the flush below only
+		// runs a bounded write). Cut it off at the output cap.
+		s.over.slowestOut.Observe(int64(len(c.out)))
+		if outCap := cfg.MaxOutputBytes; outCap > 0 && len(c.out) > outCap {
+			s.over.shedConns.Add(1)
+			return
+		}
 		// Write when no more pipelined commands are buffered (one syscall
 		// per pipeline window), or when the window's replies grow large.
 		if c.cr.Buffered() == 0 || len(c.out) >= flushThreshold {
+			if cfg.WriteTimeout > 0 {
+				nc.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+			}
 			if _, err := c.nc.Write(c.out); err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					s.over.shedConns.Add(1)
+				}
 				return
+			}
+			if cfg.WriteTimeout > 0 {
+				nc.SetWriteDeadline(time.Time{})
 			}
 			if cap(c.out) > maxRetainedOut {
 				c.out = nil
@@ -263,6 +346,15 @@ func (s *Server) dispatch(c *conn, args [][]byte) {
 		return
 	}
 	cmd := canonicalCommand(args[0], &c.cmdScratch)
+	// Watermark gate: above the high watermark writes fail fast with the
+	// typed retryable -OVERLOADED while reads keep serving. Replication
+	// is exempt by construction — SYNC/REPLICAOF/CLUSTER are not write
+	// commands and the replica apply path doesn't pass through dispatch.
+	if isWriteCommand(cmd) && s.rejectWrites() {
+		s.over.rejectedWrites.Add(1)
+		c.out = appendRawError(c.out, overloadedReply)
+		return
+	}
 	if s.repl != nil && s.repl.intercept(c, cmd, args) {
 		return
 	}
@@ -557,7 +649,8 @@ func (s *Server) mset(c *conn, kvArgs [][]byte) {
 }
 
 // info renders INFO output. section filters to one section ("server",
-// "writepath", "storage", "tiering", "health"); empty renders everything.
+// "writepath", "storage", "tiering", "health", "overload"); empty
+// renders everything.
 func (s *Server) info(section string) string {
 	var b strings.Builder
 	if section == "" || section == "server" {
@@ -595,6 +688,9 @@ func (s *Server) info(section string) string {
 	}
 	if section == "" || section == "health" {
 		s.healthInfo(&b)
+	}
+	if section == "" || section == "overload" {
+		s.overloadInfo(&b)
 	}
 	return b.String()
 }
@@ -713,6 +809,7 @@ func (s *Server) storageInfo(b *strings.Builder) {
 		fmt.Fprintf(b, "shard%d_memtable_bytes:%d\r\n", i, st.MemtableBytes+st.ImmutableBytes)
 		fmt.Fprintf(b, "shard%d_write_bytes:%d\r\n", i, st.WriteBytes)
 		fmt.Fprintf(b, "shard%d_multigets:%d\r\n", i, st.MultiGets)
+		fmt.Fprintf(b, "shard%d_bad_blocks:%d\r\n", i, st.BadBlocks)
 		fmt.Fprintf(b, "shard%d_disk_bytes:%d\r\n", i, st.DiskBytes)
 		files := make([]string, len(st.LevelFiles))
 		for l, n := range st.LevelFiles {
@@ -791,22 +888,92 @@ func (s *Server) Pools() []*elastic.Pool {
 	return out
 }
 
-// Close stops accepting, closes connections, and shuts down shards.
-func (s *Server) Close() error {
+// beginClose transitions the server into the closed state exactly once.
+// Reports false when another Close/Shutdown already won.
+func (s *Server) beginClose() bool {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
-		return nil
+		return false
 	}
 	s.closed = true
-	for c := range s.conns {
-		c.Close()
+	return true
+}
+
+// Close stops accepting, closes connections, and shuts down shards.
+// Connections are cut immediately; use Shutdown for a graceful drain.
+func (s *Server) Close() error {
+	if !s.beginClose() {
+		return nil
+	}
+	close(s.stopCh)
+	s.mu.Lock()
+	for nc := range s.conns {
+		nc.Close()
 	}
 	s.mu.Unlock()
 	err := s.ln.Close()
+	s.finishClose()
+	return err
+}
+
+// Shutdown drains the server gracefully: deregister from the
+// coordinator (so routing tables drop this node before it goes dark),
+// stop accepting, let in-flight client commands finish and their
+// replies flush (bounded by Overload.DrainTimeout), then close — which
+// flushes write-back dirty state through tiered.Close. An acked write
+// is therefore never lost to a drain: it either flushed to storage or
+// replicated before the socket closed.
+func (s *Server) Shutdown() error {
+	if !s.beginClose() {
+		return nil
+	}
+	if s.repl != nil {
+		s.repl.deregister()
+	}
+	close(s.stopCh)
+	err := s.ln.Close()
+	deadline := time.Now().Add(s.opts.Overload.DrainTimeout)
+	for {
+		// Kick idle connections out of ReadCommand by expiring their read
+		// deadline: a conn blocked between commands fails its next read
+		// and exits; a conn mid-pipeline finishes the buffered window
+		// (already-parsed commands execute and flush) before its next
+		// socket read fails. Re-expire each pass — the serve loop re-arms
+		// deadlines when ReadTimeout is configured.
+		s.mu.Lock()
+		n := 0
+		for _, c := range s.conns {
+			if c.hijacked.Load() {
+				continue // replication sessions close with repl below
+			}
+			c.nc.SetReadDeadline(time.Now())
+			n++
+		}
+		s.mu.Unlock()
+		if n == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Force whatever remains (drain timeout, or hijacked sessions whose
+	// shutdown repl.close handles inside finishClose).
+	s.mu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	s.finishClose()
+	return err
+}
+
+// finishClose joins the background goroutines and shuts the shards
+// down. The tiered Close flushes all write-back dirty state to storage
+// before returning.
+func (s *Server) finishClose() {
 	if s.repl != nil {
 		// Stop replication before joining connection goroutines: hijacked
-		// SYNC connections block in OpLog streams, which only Close here
+		// SYNC connections block in OpLog streams, which only close here
 		// unblocks.
 		s.repl.close()
 	}
@@ -818,7 +985,6 @@ func (s *Server) Close() error {
 			sh.tiered.Close()
 		}
 	}
-	return err
 }
 
 // --- command execution on a shard ---

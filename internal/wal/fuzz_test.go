@@ -1,0 +1,49 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"testing"
+)
+
+// fuzzRecord frames one payload the way the appender does: 4-byte LE
+// length, 4-byte CRC32C, payload.
+func fuzzRecord(payload []byte) []byte {
+	rec := make([]byte, recHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, crcTable))
+	copy(rec[recHeaderSize:], payload)
+	return rec
+}
+
+// FuzzReplay feeds arbitrary bytes to the segment replay decoder as a
+// tail segment. Replay runs at every startup against whatever a crash
+// left on disk, so it must never panic and never allocate from a
+// corrupt length field (a flipped length byte must not size a buffer) —
+// torn tails end replay cleanly, anything decoded intact reaches the
+// callback whole.
+func FuzzReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(fuzzRecord([]byte("hello")))
+	f.Add(append(fuzzRecord([]byte("a")), fuzzRecord([]byte("bb"))...))
+	f.Add(fuzzRecord([]byte("torn"))[:6])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
+	corrupt := fuzzRecord([]byte("flip"))
+	corrupt[recHeaderSize] ^= 0x01
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(segName(dir, 1), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		err := Replay(dir, func(p []byte) error {
+			for _, b := range p {
+				total += int(b) // every delivered payload must be readable
+			}
+			return nil
+		})
+		_ = err // malformed input may error; it must not panic
+	})
+}

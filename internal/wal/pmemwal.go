@@ -24,6 +24,12 @@ type PMemLog struct {
 	drainErr error
 	appends  int64
 
+	// drainMu serializes ring→backing moves. Drains run from the
+	// background loop, from Append backpressure, from Close, and from
+	// Rotate; without the lock two concurrent drains could interleave
+	// their batches out of append order in the backing log.
+	drainMu sync.Mutex
+
 	// DrainBatch is the max records moved per drain cycle.
 	DrainBatch int
 	// DrainEvery is the drain interval.
@@ -80,6 +86,13 @@ func (l *PMemLog) Append(payload []byte) error {
 
 // drainOnce moves up to DrainBatch records from the ring to the backing log.
 func (l *PMemLog) drainOnce() error {
+	l.drainMu.Lock()
+	defer l.drainMu.Unlock()
+	return l.drainLocked()
+}
+
+// drainLocked is drainOnce's body; caller holds drainMu.
+func (l *PMemLog) drainLocked() error {
 	batch, err := l.ring.ConsumeBatch(l.DrainBatch)
 	if err != nil {
 		return fmt.Errorf("wal: pmem drain: %w", err)
@@ -162,6 +175,55 @@ func (l *PMemLog) Close() error {
 	return nil
 }
 
+// Rotate drains the ring into the backing log and rotates it, returning
+// the new active segment's sequence number. Callers serialize Rotate
+// against their own Appends (the LSM holds its commit lock), which
+// guarantees no record written after Rotate can land in a pre-rotation
+// segment — the invariant RemoveBefore reclamation rests on. Records of
+// the OLD memtable that the background drainer races into the new
+// segment are harmless: replay filters them by sequence number, they
+// are merely retained one rotation longer. A ring-only log (no backing
+// store) returns segment 0, which callers treat as "nothing to
+// reclaim".
+func (l *PMemLog) Rotate() (int, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if err := l.drainErr; err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	l.mu.Unlock()
+	if l.back == nil {
+		return 0, nil
+	}
+	l.drainMu.Lock()
+	defer l.drainMu.Unlock()
+	for l.ring.Len() > 0 {
+		if err := l.drainLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return l.back.Rotate()
+}
+
+// RemoveBefore reclaims checkpointed backing-log segments (see
+// Log.RemoveBefore). Ring-only logs have nothing to reclaim.
+func (l *PMemLog) RemoveBefore(seq int) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.mu.Unlock()
+	if l.back == nil {
+		return nil
+	}
+	return l.back.RemoveBefore(seq)
+}
+
 // Appender is the minimal WAL interface shared by Log and PMemLog; the
 // engine and cache tiers depend only on this.
 type Appender interface {
@@ -170,7 +232,19 @@ type Appender interface {
 	Close() error
 }
 
+// Rotator is the optional segment-reclamation interface: an Appender
+// that can seal its active segment and delete checkpointed ones. The
+// LSM type-switches on it at memtable rotation and flush install, so
+// any WAL implementing it — file-backed or PMem-fronted — gets its
+// space reclaimed instead of growing forever.
+type Rotator interface {
+	Rotate() (int, error)
+	RemoveBefore(seq int) error
+}
+
 var (
 	_ Appender = (*Log)(nil)
 	_ Appender = (*PMemLog)(nil)
+	_ Rotator  = (*Log)(nil)
+	_ Rotator  = (*PMemLog)(nil)
 )

@@ -362,6 +362,11 @@ func replaySegment(path string, lastSegment bool, fn func([]byte) error) error {
 		return fmt.Errorf("wal: replay open: %w", err)
 	}
 	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: replay stat: %w", err)
+	}
+	remaining := fi.Size()
 	r := bufio.NewReaderSize(f, 64<<10)
 	var hdr [recHeaderSize]byte
 	for {
@@ -374,8 +379,19 @@ func replaySegment(path string, lastSegment bool, fn func([]byte) error) error {
 			}
 			return fmt.Errorf("wal: replay %s: %w", path, err)
 		}
+		remaining -= recHeaderSize
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if int64(n) > remaining {
+			// The claimed length overruns the file: a torn length field at
+			// the tail, or mid-log corruption. Checking BEFORE allocating
+			// keeps a flipped length byte (up to 4 GiB) from sizing the
+			// buffer it asks for.
+			if lastSegment {
+				return nil
+			}
+			return fmt.Errorf("wal: replay %s: corrupt record length mid-log", path)
+		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
 			if (err == io.ErrUnexpectedEOF || err == io.EOF) && lastSegment {
@@ -383,6 +399,7 @@ func replaySegment(path string, lastSegment bool, fn func([]byte) error) error {
 			}
 			return fmt.Errorf("wal: replay %s: %w", path, err)
 		}
+		remaining -= int64(n)
 		if crc32.Checksum(payload, crcTable) != want {
 			if lastSegment {
 				return nil // torn write detected by checksum

@@ -380,6 +380,77 @@ func TestPMemLogBackpressure(t *testing.T) {
 	}
 }
 
+func TestPMemLogRotateRemoveBefore(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := newTestPMemLog(t, dir)
+	for i := 0; i < 50; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("old-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg <= 0 {
+		t.Fatalf("rotate returned segment %d, want > 0", seg)
+	}
+	for i := 0; i < 50; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("new-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.RemoveBefore(seg); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every pre-rotation record was drained into segments < seg, so
+	// after RemoveBefore only post-rotation records survive replay.
+	var got []string
+	if err := Replay(dir, func(p []byte) error { got = append(got, string(p)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("replayed %d records, want 50", len(got))
+	}
+	for i, p := range got {
+		if want := fmt.Sprintf("new-%d", i); p != want {
+			t.Fatalf("record %d = %q, want %q", i, p, want)
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if s < seg {
+			t.Fatalf("segment %d survived RemoveBefore(%d)", s, seg)
+		}
+	}
+}
+
+func TestPMemLogRotateRingOnly(t *testing.T) {
+	l, _ := newTestPMemLog(t, "")
+	if err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg != 0 {
+		t.Fatalf("ring-only rotate returned %d, want 0 (nothing to reclaim)", seg)
+	}
+	if err := l.RemoveBefore(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPMemLogRingOnly(t *testing.T) {
 	l, _ := newTestPMemLog(t, "")
 	if err := l.Append([]byte("ring-only")); err != nil {
